@@ -1,0 +1,90 @@
+//! `netobjd` — the standalone network object agent daemon.
+//!
+//! Runs a name service that processes on a host (or a test cluster) use
+//! to exchange their first object references:
+//!
+//! ```sh
+//! netobjd                        # listen on 127.0.0.1:7777
+//! netobjd --listen 0.0.0.0:9999  # explicit address
+//! ```
+//!
+//! Clients connect with [`netobj_agent::connect`] and use `put`/`get`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use netobj::transport::tcp::Tcp;
+use netobj::transport::Endpoint;
+use netobj::{Options, Space};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7777";
+
+fn usage() -> ! {
+    eprintln!("usage: netobjd [--listen HOST:PORT] [--lease MILLIS]");
+    eprintln!();
+    eprintln!("  --listen HOST:PORT  address to serve on (default {DEFAULT_ADDR})");
+    eprintln!("  --lease MILLIS      expire dirty entries not renewed within MILLIS");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut lease: Option<Duration> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listen" => match args.next() {
+                Some(v) => addr = v,
+                None => usage(),
+            },
+            "--lease" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => lease = Some(Duration::from_millis(ms)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let options = Options {
+        lease,
+        ..Options::default()
+    };
+    let space = match Space::builder()
+        .transport(Arc::new(Tcp))
+        .listen(Endpoint::tcp(addr))
+        .options(options)
+        .build()
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("netobjd: cannot listen: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = netobj_agent::serve(&space) {
+        eprintln!("netobjd: cannot start agent: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "netobjd: space {} serving at {}",
+        space.id().short(),
+        space.endpoint().expect("listening")
+    );
+
+    // Serve until killed, logging a heartbeat with table sizes.
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+        let stats = space.stats();
+        println!(
+            "netobjd: calls={} dirty={} clean={} exports={}",
+            stats.calls_served,
+            stats.dirty_received,
+            stats.clean_received,
+            space.exported_count()
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! The network object agent (`netobjd`).
+//!
+//! Network Objects bootstraps distributed computations through a per-host
+//! *agent*: a daemon owning a name table through which processes export
+//! their first object ("bind it to a name at the agent") and import their
+//! first reference ("look the name up at the agent"). Every further
+//! reference flows through ordinary method calls.
+//!
+//! The agent is itself a network object, exported at the reserved object
+//! index 1 of the space that runs it, so the full machinery (dirty calls,
+//! surrogates, marshaling) applies to it too — exactly as in the original
+//! system.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use netobj::{network_object, NetResult, Space};
+//! use netobj::transport::loopback::Loopback;
+//! use netobj::transport::Endpoint;
+//! use netobj_agent::Agent; // the agent's trait: put/get/remove/list
+//!
+//! network_object! {
+//!     /// A trivial service.
+//!     pub interface Echo ("demo.Echo"): client EchoClient, export EchoExport {
+//!         0 => fn echo(&self, s: String) -> String;
+//!     }
+//! }
+//! struct Impl;
+//! impl Echo for Impl {
+//!     fn echo(&self, s: String) -> NetResult<String> { Ok(s) }
+//! }
+//!
+//! let net = Loopback::new();
+//! // A space running an agent (in production, one per host).
+//! let host = Space::builder()
+//!     .transport(Arc::new(Arc::clone(&net)))
+//!     .listen(Endpoint::loopback("host"))
+//!     .build()
+//!     .unwrap();
+//! netobj_agent::serve(&host).unwrap();
+//!
+//! // A server registers its root object under a name.
+//! let server = Space::builder()
+//!     .transport(Arc::new(Arc::clone(&net)))
+//!     .listen(Endpoint::loopback("server"))
+//!     .build()
+//!     .unwrap();
+//! let agent = netobj_agent::connect(&server, &Endpoint::loopback("host")).unwrap();
+//! agent
+//!     .put("echo".into(), server.local(Arc::new(EchoExport(Arc::new(Impl)))))
+//!     .unwrap();
+//!
+//! // A client looks it up and calls.
+//! let client = Space::builder().transport(Arc::new(net)).build().unwrap();
+//! let agent = netobj_agent::connect(&client, &Endpoint::loopback("host")).unwrap();
+//! let echo = EchoClient::narrow(agent.get("echo".into()).unwrap().unwrap()).unwrap();
+//! assert_eq!(echo.echo("hi".into()).unwrap(), "hi");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use netobj::wire::ObjIx;
+use netobj::{network_object, Error, Handle, NetResult, Space};
+use netobj_transport::Endpoint;
+use parking_lot::Mutex;
+
+network_object! {
+    /// The agent's interface: a flat name → object table.
+    pub interface Agent ("netobj.Agent"): client AgentClient, export AgentExport {
+        /// Binds `name` to `obj`, replacing any previous binding.
+        0 => fn put(&self, name: String, obj: Handle) -> ();
+        /// Looks a name up.
+        1 => fn get(&self, name: String) -> Option<Handle>;
+        /// Removes a binding; true if it existed.
+        2 => fn remove(&self, name: String) -> bool;
+        /// All bound names, sorted.
+        3 => fn list(&self) -> Vec<String>;
+    }
+}
+
+/// The agent's owner-side implementation.
+pub struct AgentImpl {
+    names: Mutex<HashMap<String, Handle>>,
+}
+
+impl AgentImpl {
+    /// Creates an empty agent.
+    pub fn new() -> AgentImpl {
+        AgentImpl {
+            names: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl Default for AgentImpl {
+    fn default() -> Self {
+        AgentImpl::new()
+    }
+}
+
+impl Agent for AgentImpl {
+    fn put(&self, name: String, obj: Handle) -> NetResult<()> {
+        self.names.lock().insert(name, obj);
+        Ok(())
+    }
+
+    fn get(&self, name: String) -> NetResult<Option<Handle>> {
+        Ok(self.names.lock().get(&name).cloned())
+    }
+
+    fn remove(&self, name: String) -> NetResult<bool> {
+        Ok(self.names.lock().remove(&name).is_some())
+    }
+
+    fn list(&self) -> NetResult<Vec<String>> {
+        let mut names: Vec<String> = self.names.lock().keys().cloned().collect();
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// Starts an agent in `space`, exporting it at the reserved index 1.
+///
+/// The space must be listening (an agent that cannot be called is useless).
+pub fn serve(space: &Space) -> NetResult<AgentClient> {
+    if space.endpoint().is_none() {
+        return Err(Error::NotListening);
+    }
+    let handle = space.export_builtin(
+        ObjIx::AGENT,
+        Arc::new(AgentExport(Arc::new(AgentImpl::new()))),
+    )?;
+    AgentClient::narrow(handle)
+}
+
+/// Connects to the agent served by the space listening at `ep`.
+pub fn connect(space: &Space, ep: &Endpoint) -> NetResult<AgentClient> {
+    let handle = space.import_root(ep, ObjIx::AGENT)?;
+    AgentClient::narrow(handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netobj::Options;
+    use netobj_transport::sim::SimNet;
+
+    network_object! {
+        /// Counter for agent tests.
+        pub interface Counter ("agent-test.Counter"):
+            client CounterClient, export CounterExport
+        {
+            0 => fn add(&self, n: i64) -> i64;
+        }
+    }
+
+    struct CounterImpl(Mutex<i64>);
+    impl Counter for CounterImpl {
+        fn add(&self, n: i64) -> NetResult<i64> {
+            let mut v = self.0.lock();
+            *v += n;
+            Ok(*v)
+        }
+    }
+
+    fn counter() -> Arc<CounterExport<CounterImpl>> {
+        Arc::new(CounterExport(Arc::new(CounterImpl(Mutex::new(0)))))
+    }
+
+    fn space(net: &Arc<SimNet>, name: &str) -> Space {
+        Space::builder()
+            .transport(Arc::new(Arc::clone(net)))
+            .listen(Endpoint::sim(name))
+            .options(Options::fast())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bind_lookup_across_spaces() {
+        let net = SimNet::instant();
+        let host = space(&net, "host");
+        serve(&host).unwrap();
+
+        let server = space(&net, "server");
+        let agent = connect(&server, &Endpoint::sim("host")).unwrap();
+        agent
+            .put("counter".into(), server.local(counter()))
+            .unwrap();
+
+        let client = space(&net, "client");
+        let agent2 = connect(&client, &Endpoint::sim("host")).unwrap();
+        let h = agent2.get("counter".into()).unwrap().expect("bound");
+        let c = CounterClient::narrow(h).unwrap();
+        assert_eq!(c.add(2).unwrap(), 2);
+        assert_eq!(c.add(3).unwrap(), 5);
+    }
+
+    #[test]
+    fn lookup_missing_returns_none() {
+        let net = SimNet::instant();
+        let host = space(&net, "host");
+        serve(&host).unwrap();
+        let client = space(&net, "client");
+        let agent = connect(&client, &Endpoint::sim("host")).unwrap();
+        assert!(agent.get("nope".into()).unwrap().is_none());
+    }
+
+    #[test]
+    fn list_and_remove() {
+        let net = SimNet::instant();
+        let host = space(&net, "host");
+        serve(&host).unwrap();
+        let server = space(&net, "server");
+        let agent = connect(&server, &Endpoint::sim("host")).unwrap();
+        agent.put("b".into(), server.local(counter())).unwrap();
+        agent.put("a".into(), server.local(counter())).unwrap();
+        assert_eq!(agent.list().unwrap(), vec!["a".to_owned(), "b".to_owned()]);
+        assert!(agent.remove("a".into()).unwrap());
+        assert!(!agent.remove("a".into()).unwrap());
+        assert_eq!(agent.list().unwrap(), vec!["b".to_owned()]);
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let net = SimNet::instant();
+        let host = space(&net, "host");
+        serve(&host).unwrap();
+        let server = space(&net, "server");
+        let agent = connect(&server, &Endpoint::sim("host")).unwrap();
+        let c1 = counter();
+        let c2 = counter();
+        agent.put("c".into(), server.local(c1)).unwrap();
+        agent.put("c".into(), server.local(c2)).unwrap();
+        let client = space(&net, "client");
+        let agent2 = connect(&client, &Endpoint::sim("host")).unwrap();
+        let c = CounterClient::narrow(agent2.get("c".into()).unwrap().unwrap()).unwrap();
+        assert_eq!(c.add(1).unwrap(), 1, "fresh counter, not the first one");
+    }
+
+    #[test]
+    fn serve_requires_listening() {
+        let lone = Space::builder().options(Options::fast()).build().unwrap();
+        assert!(matches!(serve(&lone), Err(Error::NotListening)));
+    }
+
+    #[test]
+    fn agent_handle_keeps_registered_object_alive() {
+        let net = SimNet::instant();
+        let host = space(&net, "host");
+        serve(&host).unwrap();
+        let server = space(&net, "server");
+        let agent = connect(&server, &Endpoint::sim("host")).unwrap();
+        agent.put("c".into(), server.local(counter())).unwrap();
+        // The server-side table entry is protected by the agent's dirty
+        // entry even though the server kept no handle.
+        assert_eq!(server.exported_count(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Experiment T5 — control-message counts across collector algorithms.
+//!
+//! Not a timing benchmark in the usual sense: the quantity of interest is
+//! messages per workload, computed exactly by the model crate. Criterion
+//! times the computation (trivially fast) so the numbers appear in the
+//! bench run; the `report` binary prints the actual comparison table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netobj_dgc_model::baselines::{birrell, irc, lermen_maurer, wrc, Workload};
+use netobj_dgc_model::variants::{run as run_variant, OwnerOpts, Workload as VWorkload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T5_algo_messages");
+
+    g.bench_function("count_all_algorithms_fanout16", |b| {
+        b.iter(|| {
+            let w = Workload::Fanout(16);
+            criterion::black_box((
+                birrell::cost(w),
+                lermen_maurer::cost(w),
+                wrc::cost(w),
+                irc::cost(w),
+            ))
+        })
+    });
+
+    g.bench_function("fifo_machine_fanout16", |b| {
+        b.iter(|| run_variant(VWorkload::OwnerFanout(16), OwnerOpts::default()))
+    });
+
+    g.finish();
+
+    // Print the comparison table into the bench log (shape check).
+    println!("\nT5 control messages (fan-out 16 / chain 16 / 16x repeated):");
+    for w in [
+        Workload::Fanout(16),
+        Workload::Chain(16),
+        Workload::Repeated(16),
+    ] {
+        println!(
+            "  {:<22} birrell={:<4} lermen-maurer={:<4} wrc={:<4} irc={:<4} (zombies: irc={}, wrc={})",
+            w.label(),
+            birrell::cost(w).control_msgs,
+            lermen_maurer::cost(w).control_msgs,
+            wrc::cost(w).control_msgs,
+            irc::cost(w).control_msgs,
+            irc::cost(w).zombies,
+            wrc::cost(w).zombies,
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Experiment T2 — invocation latency by argument type.
+//!
+//! One row per argument shape of the paper's marshaling table, including
+//! the two network-object rows: first transmission (dirty-call round
+//! trip) vs. subsequent (object-table hit).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netobj::wire::pickle::Blob;
+use netobj_bench::{new_counter, BenchSvc, CounterClient, Rig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T2_arg_types");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(3));
+
+    let rig = Rig::new(Duration::ZERO);
+    let svc = &rig.svc;
+
+    g.bench_function("empty", |b| b.iter(|| svc.null().unwrap()));
+    g.bench_function("ten_ints", |b| {
+        b.iter(|| svc.ten_ints(1, 2, 3, 4, 5, 6, 7, 8, 9, 10).unwrap())
+    });
+    let text: String = "x".repeat(64);
+    g.bench_function("text_64B", |b| b.iter(|| svc.text(text.clone()).unwrap()));
+    for size in [1usize << 10, 10 << 10, 100 << 10] {
+        let blob = Blob(vec![7u8; size]);
+        g.bench_function(format!("bytes_{}K", size >> 10), |b| {
+            b.iter(|| svc.blob(blob.clone()).unwrap())
+        });
+    }
+    g.bench_function("record", |b| {
+        b.iter(|| svc.record((1, 2.0, "abc".into(), true)).unwrap())
+    });
+
+    // Network object argument, cached: the same reference every time, so
+    // only the first iteration pays the dirty call.
+    let cached = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+    svc.take_ref(cached.clone()).unwrap();
+    g.bench_function("netobj_ref_cached", |b| {
+        b.iter(|| svc.keep_ref(cached.clone()).unwrap())
+    });
+
+    // Network object argument, first transmission: a fresh object each
+    // call, so every iteration pays surrogate creation + dirty call.
+    g.bench_function("netobj_ref_first", |b| {
+        b.iter(|| {
+            let fresh = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+            svc.take_ref(fresh).unwrap();
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Experiment F2 — server throughput vs. concurrent clients.
+//!
+//! Measures aggregate completed calls with 1..16 client threads hammering
+//! one server. Expected shape: throughput scales with clients until the
+//! worker pool saturates, then flattens.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netobj_bench::{BenchSvc, Rig};
+
+fn total_calls(rig: &Rig, clients: usize, per_client: usize) -> Duration {
+    let t0 = Instant::now();
+    let mut joins = Vec::new();
+    for _ in 0..clients {
+        let svc = rig.svc.clone();
+        joins.push(std::thread::spawn(move || {
+            for _ in 0..per_client {
+                svc.null().unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    t0.elapsed()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F2_concurrency");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+
+    let rig = Arc::new(Rig::new(Duration::ZERO));
+    for clients in [1usize, 2, 4, 8, 16] {
+        let per_client = 200;
+        g.throughput(Throughput::Elements((clients * per_client) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |b, &clients| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += total_calls(&rig, clients, per_client);
+                    }
+                    total
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Experiment T4 — collector operation costs.
+//!
+//! The price of the distributed collector's primitives: marshaling a
+//! reference the first time (dirty-call round trip) vs. cached, the full
+//! import/drop cycle (dirty + clean), and the owner-side table
+//! operations.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netobj_bench::{new_counter, BenchSvc, CounterClient, Rig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T4_dgc_costs");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(3));
+
+    let rig = Rig::new(Duration::ZERO);
+
+    // Full first-transmission cost: export + transient pin + dirty RTT +
+    // surrogate creation at the server.
+    g.bench_function("ref_first_transmission", |b| {
+        b.iter(|| {
+            let fresh = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+            rig.svc.take_ref(fresh).unwrap();
+        })
+    });
+
+    // Cached transmission: table hit on both sides.
+    let cached = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+    rig.svc.keep_ref(cached.clone()).unwrap();
+    g.bench_function("ref_cached_transmission", |b| {
+        b.iter(|| rig.svc.keep_ref(cached.clone()).unwrap())
+    });
+
+    // Import + drop cycle measured from the receiving side: get a fresh
+    // remote ref each iteration and drop it (clean call happens in the
+    // background demon; we measure the foreground cost).
+    g.bench_function("import_remote_ref", |b| {
+        b.iter(|| {
+            let r = rig.svc.get_ref().unwrap();
+            drop(r);
+        })
+    });
+
+    // Owner-side table operation costs, via the exported counters of the
+    // local space (pure data-structure costs, no network).
+    g.bench_function("export_table_churn", |b| {
+        b.iter(|| {
+            let h = rig.server.local(new_counter());
+            // Exporting pins nothing: entry appears on marshal only; the
+            // local() call itself measures handle creation.
+            criterion::black_box(&h);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Experiment F4 — the FIFO-channel variant vs. the base algorithm.
+//!
+//! Measures the client-visible cost of a call that transmits a *fresh*
+//! reference, under link latency, with and without the §5.1 variant. In
+//! the base algorithm the server's unmarshal blocks for a dirty round
+//! trip before the method runs; in the FIFO variant the registration
+//! overlaps the method, so the call completes roughly one RTT sooner.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netobj::Options;
+use netobj_bench::{new_counter, BenchSvc, CounterClient, Rig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F4_fifo_variant");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+
+    let latency = Duration::from_millis(2);
+    for fifo in [false, true] {
+        let mut options = Options::fast();
+        options.fifo_variant = fifo;
+        let rig = Rig::with_options(latency, options);
+        let label = if fifo { "fifo_variant" } else { "base" };
+        // The method body takes ~one dirty round trip of work: the base
+        // algorithm pays registration *then* work (serial); the variant
+        // overlaps them.
+        let work_us = 2 * latency.as_micros() as u64;
+        g.bench_with_input(BenchmarkId::new("fresh_ref_call", label), &rig, |b, rig| {
+            b.iter(|| {
+                let fresh = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+                rig.svc.take_ref_work(fresh, work_us).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Experiment T1 — null invocation latency.
+//!
+//! Rows: direct local call (no runtime), local dispatch through the
+//! object layer, remote over an instantaneous link, remote over a 1 ms
+//! link, and raw RPC without the object layer. Expected shape: remote ≫
+//! local; the object layer adds modest overhead over raw RPC; link
+//! latency dominates everything once present.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netobj_bench::{new_counter, BenchSvc, Counter, CounterClient, RawRig, Rig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T1_null_call");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(3));
+
+    // Direct method call on the implementation: the "local object" row.
+    let direct = new_counter();
+    g.bench_function("direct_local", |b| {
+        b.iter(|| {
+            Counter::add(&*direct.0, 1).unwrap();
+        })
+    });
+
+    // Local handle through the uniform dispatch path.
+    let rig = Rig::new(Duration::ZERO);
+    let local = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+    g.bench_function("local_dispatch", |b| b.iter(|| local.add(1).unwrap()));
+
+    // Remote, zero-latency link: pure protocol cost.
+    g.bench_function("remote_instant", |b| b.iter(|| rig.svc.null().unwrap()));
+
+    // Raw RPC (no object layer) on the same kind of link.
+    let raw = RawRig::new(Duration::ZERO);
+    g.bench_function("raw_rpc_instant", |b| b.iter(|| raw.call(Vec::new())));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment F1 — throughput vs. payload size.
+//!
+//! Sweeps bulk-data calls from 16 B to 1 MiB; Criterion's throughput mode
+//! reports bytes/second. Expected shape: per-call overhead dominates
+//! small payloads; throughput rises with size and plateaus at the
+//! marshal/copy bandwidth.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netobj::wire::pickle::Blob;
+use netobj_bench::{BenchSvc, Rig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F1_payload_sweep");
+    g.sample_size(15);
+    g.measurement_time(Duration::from_secs(3));
+
+    let rig = Rig::new(Duration::ZERO);
+    for size in [16usize, 256, 4 << 10, 64 << 10, 1 << 20] {
+        let blob = Blob(vec![0x5a; size]);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("send", size), &blob, |b, blob| {
+            b.iter(|| rig.svc.blob(blob.clone()).unwrap())
+        });
+    }
+    for size in [16usize, 4 << 10, 1 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("receive", size), &size, |b, &size| {
+            b.iter(|| rig.svc.get_blob(size as u64).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

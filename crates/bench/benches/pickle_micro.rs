@@ -1,0 +1,65 @@
+//! Experiment T3 — pickle micro-costs by type.
+//!
+//! Encode and decode costs for each wire type, isolating the marshaling
+//! component of the invocation-latency tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netobj_wire::pickle::{Blob, Pickle, Value};
+use netobj_wire::{ObjIx, SpaceId, WireRep};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T3_pickle_micro");
+
+    g.bench_function("encode_i64", |b| {
+        b.iter(|| criterion::black_box(-123456789i64).to_pickle_bytes())
+    });
+    let int_bytes = (-123456789i64).to_pickle_bytes();
+    g.bench_function("decode_i64", |b| {
+        b.iter(|| i64::from_pickle_bytes(&int_bytes).unwrap())
+    });
+
+    let text = "the quick brown fox jumps over the lazy dog".to_string();
+    g.bench_function("encode_text_44B", |b| b.iter(|| text.to_pickle_bytes()));
+    let text_bytes = text.to_pickle_bytes();
+    g.bench_function("decode_text_44B", |b| {
+        b.iter(|| String::from_pickle_bytes(&text_bytes).unwrap())
+    });
+
+    let blob = Blob(vec![9u8; 4096]);
+    g.bench_function("encode_bytes_4K", |b| b.iter(|| blob.to_pickle_bytes()));
+    let blob_bytes = blob.to_pickle_bytes();
+    g.bench_function("decode_bytes_4K", |b| {
+        b.iter(|| Blob::from_pickle_bytes(&blob_bytes).unwrap())
+    });
+
+    let ints: Vec<i64> = (0..256).collect();
+    g.bench_function("encode_vec256_i64", |b| b.iter(|| ints.to_pickle_bytes()));
+    let ints_bytes = ints.to_pickle_bytes();
+    g.bench_function("decode_vec256_i64", |b| {
+        b.iter(|| Vec::<i64>::from_pickle_bytes(&ints_bytes).unwrap())
+    });
+
+    let wr = WireRep::new(SpaceId::from_raw(0xfeed_beef), ObjIx(42));
+    g.bench_function("encode_wirerep", |b| b.iter(|| wr.to_pickle_bytes()));
+    let wr_bytes = wr.to_pickle_bytes();
+    g.bench_function("decode_wirerep", |b| {
+        b.iter(|| WireRep::from_pickle_bytes(&wr_bytes).unwrap())
+    });
+
+    // Dynamic (schema-less) decode, the reference-scanner path.
+    let dynamic = Value::Record(vec![
+        Value::Int(1),
+        Value::Text("abc".into()),
+        Value::Ref(wr),
+        Value::Seq(vec![Value::Float(1.5); 8]),
+    ]);
+    let dyn_bytes = dynamic.to_pickle_bytes();
+    g.bench_function("decode_dynamic_value", |b| {
+        b.iter(|| Value::from_pickle_bytes(&dyn_bytes).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,741 @@
+//! The evaluation harness: regenerates every table and figure.
+//!
+//! Run with `cargo run --release -p netobj-bench --bin report` (optionally
+//! passing experiment ids, e.g. `report T1 F3`). Each section prints the
+//! rows/series of one experiment from EXPERIMENTS.md; absolute numbers
+//! depend on the machine, but the *shapes* are asserted in the
+//! integration tests and discussed in EXPERIMENTS.md.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netobj::wire::pickle::{Blob, Pickle};
+use netobj::wire::ObjIx;
+use netobj::{Options, Space};
+use netobj_bench::{
+    fmt_dur, fmt_rate, new_counter, print_table, time_per_call, BenchSvc, Counter, CounterClient,
+    RawRig, Rig,
+};
+use netobj_dgc_model::baselines::{birrell, irc, lermen_maurer, naive, wrc, Workload};
+use netobj_dgc_model::explore::{assert_drained, random_walk, WalkPolicy};
+use netobj_dgc_model::variants::{run as run_variant, OwnerOpts, Workload as VWorkload};
+use netobj_transport::sim::SimNet;
+use netobj_transport::Endpoint;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+
+    println!("# Network Objects — evaluation report");
+    println!("# (one section per table/figure; see EXPERIMENTS.md)");
+
+    if want("T1") {
+        t1_null_call();
+    }
+    if want("T2") {
+        t2_arg_types();
+    }
+    if want("F1") {
+        f1_payload_sweep();
+    }
+    if want("T3") {
+        t3_pickle_micro();
+    }
+    if want("T4") {
+        t4_dgc_costs();
+    }
+    if want("F2") {
+        f2_concurrency();
+    }
+    if want("F3") {
+        f3_naive_race();
+    }
+    if want("T5") {
+        t5_algo_comparison();
+    }
+    if want("F4") {
+        f4_fifo_variant();
+    }
+    if want("T6") {
+        t6_owner_optimisations();
+    }
+    if want("F5") {
+        f5_fault_tolerance();
+    }
+    if want("F6") {
+        f6_liveness();
+    }
+    if want("F7") {
+        f7_fault_model();
+    }
+    if want("T7") {
+        t7_batching();
+    }
+    println!("\n# report complete");
+}
+
+// ---------------------------------------------------------------------------
+
+fn t1_null_call() {
+    let n = 2_000;
+    let mut rows = Vec::new();
+
+    let direct = new_counter();
+    let d = time_per_call(n * 50, || {
+        Counter::add(&*direct.0, 1).unwrap();
+    });
+    rows.push(vec!["direct local call (no runtime)".into(), fmt_dur(d)]);
+
+    let rig = Rig::new(Duration::ZERO);
+    let local = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+    let d = time_per_call(n, || {
+        local.add(1).unwrap();
+    });
+    rows.push(vec!["local handle via dispatch".into(), fmt_dur(d)]);
+
+    let raw = RawRig::new(Duration::ZERO);
+    let d = time_per_call(n, || {
+        raw.call(Vec::new());
+    });
+    rows.push(vec!["raw RPC (no object layer)".into(), fmt_dur(d)]);
+
+    let d = time_per_call(n, || rig.svc.null().unwrap());
+    rows.push(vec!["remote network object, 0 ms link".into(), fmt_dur(d)]);
+
+    let rig_lat = Rig::new(Duration::from_millis(1));
+    let d = time_per_call(200, || rig_lat.svc.null().unwrap());
+    rows.push(vec!["remote network object, 1 ms link".into(), fmt_dur(d)]);
+
+    print_table(
+        "T1 — null invocation latency",
+        &["configuration", "per call"],
+        &rows,
+    );
+}
+
+fn t2_arg_types() {
+    let rig = Rig::new(Duration::ZERO);
+    let svc = &rig.svc;
+    let n = 1_000;
+    let mut rows = Vec::new();
+
+    rows.push(vec![
+        "no arguments".into(),
+        fmt_dur(time_per_call(n, || svc.null().unwrap())),
+    ]);
+    rows.push(vec![
+        "10 integers".into(),
+        fmt_dur(time_per_call(n, || {
+            svc.ten_ints(1, 2, 3, 4, 5, 6, 7, 8, 9, 10).unwrap()
+        })),
+    ]);
+    let text = "x".repeat(64);
+    rows.push(vec![
+        "text (64 B)".into(),
+        fmt_dur(time_per_call(n, || svc.text(text.clone()).unwrap())),
+    ]);
+    for (label, size) in [
+        ("1 KiB", 1usize << 10),
+        ("10 KiB", 10 << 10),
+        ("100 KiB", 100 << 10),
+    ] {
+        let blob = Blob(vec![7u8; size]);
+        rows.push(vec![
+            format!("bytes ({label})"),
+            fmt_dur(time_per_call(300, || {
+                svc.blob(blob.clone()).unwrap();
+            })),
+        ]);
+    }
+    rows.push(vec![
+        "small record".into(),
+        fmt_dur(time_per_call(n, || {
+            svc.record((1, 2.0, "abc".into(), true)).unwrap()
+        })),
+    ]);
+    let cached = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+    svc.keep_ref(cached.clone()).unwrap();
+    rows.push(vec![
+        "network object ref (cached)".into(),
+        fmt_dur(time_per_call(n, || svc.keep_ref(cached.clone()).unwrap())),
+    ]);
+    rows.push(vec![
+        "network object ref (first time)".into(),
+        fmt_dur(time_per_call(300, || {
+            let fresh = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+            svc.take_ref(fresh).unwrap();
+        })),
+    ]);
+
+    print_table(
+        "T2 — invocation latency by argument type (0 ms link)",
+        &["arguments", "per call"],
+        &rows,
+    );
+}
+
+fn f1_payload_sweep() {
+    let rig = Rig::new(Duration::ZERO);
+    let mut rows = Vec::new();
+    for size in [16usize, 256, 4 << 10, 64 << 10, 256 << 10, 1 << 20] {
+        let blob = Blob(vec![0x5a; size]);
+        let iters = if size >= 64 << 10 { 50 } else { 400 };
+        let d = time_per_call(iters, || {
+            rig.svc.blob(blob.clone()).unwrap();
+        });
+        rows.push(vec![
+            format!("{size} B"),
+            fmt_dur(d),
+            fmt_rate(size as u64, d),
+        ]);
+    }
+    print_table(
+        "F1 — throughput vs payload size (send direction)",
+        &["payload", "per call", "throughput"],
+        &rows,
+    );
+}
+
+fn t3_pickle_micro() {
+    let mut rows = Vec::new();
+    let n = 200_000;
+
+    let v = -123456789i64;
+    rows.push(vec![
+        "i64".into(),
+        fmt_dur(time_per_call(n, || {
+            std::hint::black_box(v.to_pickle_bytes());
+        })),
+        {
+            let bytes = v.to_pickle_bytes();
+            fmt_dur(time_per_call(n, || {
+                std::hint::black_box(i64::from_pickle_bytes(&bytes).unwrap());
+            }))
+        },
+    ]);
+    let text = "the quick brown fox jumps over the lazy dog".to_string();
+    rows.push(vec![
+        "text (44 B)".into(),
+        fmt_dur(time_per_call(n, || {
+            std::hint::black_box(text.to_pickle_bytes());
+        })),
+        {
+            let bytes = text.to_pickle_bytes();
+            fmt_dur(time_per_call(n, || {
+                std::hint::black_box(String::from_pickle_bytes(&bytes).unwrap());
+            }))
+        },
+    ]);
+    let blob = Blob(vec![9u8; 4096]);
+    rows.push(vec![
+        "bytes (4 KiB)".into(),
+        fmt_dur(time_per_call(50_000, || {
+            std::hint::black_box(blob.to_pickle_bytes());
+        })),
+        {
+            let bytes = blob.to_pickle_bytes();
+            fmt_dur(time_per_call(50_000, || {
+                std::hint::black_box(Blob::from_pickle_bytes(&bytes).unwrap());
+            }))
+        },
+    ]);
+    let ints: Vec<i64> = (0..256).collect();
+    rows.push(vec![
+        "vec of 256 i64".into(),
+        fmt_dur(time_per_call(50_000, || {
+            std::hint::black_box(ints.to_pickle_bytes());
+        })),
+        {
+            let bytes = ints.to_pickle_bytes();
+            fmt_dur(time_per_call(50_000, || {
+                std::hint::black_box(Vec::<i64>::from_pickle_bytes(&bytes).unwrap());
+            }))
+        },
+    ]);
+    let wr = netobj::wire::WireRep::new(netobj::wire::SpaceId::from_raw(7), ObjIx(42));
+    rows.push(vec![
+        "wireRep".into(),
+        fmt_dur(time_per_call(n, || {
+            std::hint::black_box(wr.to_pickle_bytes());
+        })),
+        {
+            let bytes = wr.to_pickle_bytes();
+            fmt_dur(time_per_call(n, || {
+                std::hint::black_box(netobj::wire::WireRep::from_pickle_bytes(&bytes).unwrap());
+            }))
+        },
+    ]);
+
+    print_table(
+        "T3 — pickle micro-costs",
+        &["type", "encode", "decode"],
+        &rows,
+    );
+}
+
+fn t4_dgc_costs() {
+    let rig = Rig::new(Duration::ZERO);
+    let mut rows = Vec::new();
+
+    rows.push(vec![
+        "ref transmission, first (dirty RTT)".into(),
+        fmt_dur(time_per_call(300, || {
+            let fresh = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+            rig.svc.take_ref(fresh).unwrap();
+        })),
+    ]);
+    let cached = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+    rig.svc.keep_ref(cached.clone()).unwrap();
+    rows.push(vec![
+        "ref transmission, cached".into(),
+        fmt_dur(time_per_call(1_000, || {
+            rig.svc.keep_ref(cached.clone()).unwrap()
+        })),
+    ]);
+    rows.push(vec![
+        "import remote ref + drop".into(),
+        fmt_dur(time_per_call(1_000, || {
+            drop(rig.svc.get_ref().unwrap());
+        })),
+    ]);
+
+    // Collector stats over a known workload: messages per first-time ref.
+    let before = rig.client.stats();
+    for _ in 0..100 {
+        let fresh = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+        rig.svc.take_ref(fresh).unwrap();
+    }
+    let after = rig.client.stats();
+    rows.push(vec![
+        "dirty calls per 100 fresh refs (recv side)".into(),
+        format!("{}", after.dirty_received - before.dirty_received),
+    ]);
+
+    print_table(
+        "T4 — collector operation costs (0 ms link)",
+        &["operation", "cost"],
+        &rows,
+    );
+}
+
+fn f2_concurrency() {
+    let rig = Rig::new(Duration::ZERO);
+    let mut rows = Vec::new();
+    for clients in [1usize, 2, 4, 8, 16] {
+        let per_client = 500;
+        let t0 = Instant::now();
+        let mut joins = Vec::new();
+        for _ in 0..clients {
+            let svc = rig.svc.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..per_client {
+                    svc.null().unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let elapsed = t0.elapsed();
+        let total = (clients * per_client) as f64;
+        rows.push(vec![
+            format!("{clients}"),
+            fmt_dur(elapsed.div_f64(total)),
+            format!("{:.0} calls/s", total / elapsed.as_secs_f64()),
+        ]);
+    }
+    print_table(
+        "F2 — throughput vs concurrent clients (4 workers)",
+        &["clients", "per call", "aggregate"],
+        &rows,
+    );
+}
+
+fn f3_naive_race() {
+    let mut rows = Vec::new();
+    for jitter in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let p = naive::race_probability(200_000, jitter, 42);
+        let p_chain = naive::race_probability_chain(200_000, jitter, 3, 42);
+        rows.push(vec![
+            format!("{jitter:.2}"),
+            format!("{:.3}%", p * 100.0),
+            format!("{:.3}%", p_chain * 100.0),
+        ]);
+    }
+    print_table(
+        "F3 — naive counting: premature-reclamation probability vs jitter",
+        &["jitter/latency ratio", "triangle race", "3-hop chain race"],
+        &rows,
+    );
+
+    // The same adversarial schedules against Birrell's algorithm: the
+    // model checks safety at every step of random walks.
+    let mut walks = 0u64;
+    let mut steps = 0u64;
+    for seed in 0..200 {
+        let (c, s) = random_walk(
+            WalkPolicy {
+                nprocs: 3,
+                nrefs: 1,
+                activity: 80,
+                ..WalkPolicy::default()
+            },
+            seed,
+        );
+        assert_drained(&c);
+        walks += 1;
+        steps += s.steps;
+    }
+    println!(
+        "  Birrell (reference listing): {walks} adversarial random walks, \
+         {steps} transitions, 0 safety violations (every invariant checked \
+         at every step)."
+    );
+}
+
+fn t5_algo_comparison() {
+    let mut rows = Vec::new();
+    for w in [
+        Workload::Fanout(16),
+        Workload::Chain(16),
+        Workload::Repeated(16),
+    ] {
+        let b = birrell::cost(w);
+        let lm = lermen_maurer::cost(w);
+        let wr = wrc::cost(w);
+        let ir = irc::cost(w);
+        rows.push(vec![
+            w.label(),
+            format!("{} (blk {})", b.control_msgs, b.blocking_rtts),
+            format!("{}", lm.control_msgs),
+            format!("{} (z {})", wr.control_msgs, wr.zombies),
+            format!("{} (z {})", ir.control_msgs, ir.zombies),
+        ]);
+    }
+    // The long-chain row where WRC underflows and IRC piles up zombies.
+    let w = Workload::Chain(48);
+    rows.push(vec![
+        w.label(),
+        format!("{}", birrell::cost(w).control_msgs),
+        format!("{}", lermen_maurer::cost(w).control_msgs),
+        format!("{} (z {})", wrc::cost(w).control_msgs, wrc::cost(w).zombies),
+        format!("{} (z {})", irc::cost(w).control_msgs, irc::cost(w).zombies),
+    ]);
+    print_table(
+        "T5 — control messages per workload (blk = blocking RTTs, z = zombies)",
+        &[
+            "workload",
+            "birrell",
+            "lermen-maurer",
+            "weighted",
+            "indirect",
+        ],
+        &rows,
+    );
+}
+
+fn f4_fifo_variant() {
+    let latency = Duration::from_millis(2);
+    let work_us = 2 * latency.as_micros() as u64;
+    let mut rows = Vec::new();
+    for fifo in [false, true] {
+        let mut options = Options::fast();
+        options.fifo_variant = fifo;
+        let rig = Rig::with_options(latency, options);
+        let d = time_per_call(50, || {
+            let fresh = CounterClient::narrow(rig.client.local(new_counter())).unwrap();
+            rig.svc.take_ref_work(fresh, work_us).unwrap();
+        });
+        let blocked = rig.server.stats().blocked();
+        rows.push(vec![
+            if fifo {
+                "FIFO variant (§5.1)"
+            } else {
+                "base algorithm"
+            }
+            .into(),
+            fmt_dur(d),
+            fmt_dur(blocked),
+        ]);
+    }
+    print_table(
+        "F4 — fresh-ref call with 2 ms links and 4 ms method work",
+        &["algorithm", "per call", "server unmarshal blocked (total)"],
+        &rows,
+    );
+}
+
+fn t6_owner_optimisations() {
+    let mut rows = Vec::new();
+    for (label, opts) in [
+        ("triangular (none)", OwnerOpts::default()),
+        (
+            "sender-is-owner opt",
+            OwnerOpts {
+                send: true,
+                recv: false,
+            },
+        ),
+        (
+            "receiver-is-owner opt",
+            OwnerOpts {
+                send: false,
+                recv: true,
+            },
+        ),
+        (
+            "both",
+            OwnerOpts {
+                send: true,
+                recv: true,
+            },
+        ),
+    ] {
+        let fanout = run_variant(VWorkload::OwnerFanout(8), opts);
+        let chain = run_variant(VWorkload::Chain(8), opts);
+        let back = run_variant(VWorkload::ReturnToOwner(8), opts);
+        rows.push(vec![
+            label.into(),
+            format!("{}", fanout.control()),
+            format!("{}", chain.control()),
+            format!("{}", back.control()),
+        ]);
+    }
+    print_table(
+        "T6 — owner optimisations: control messages (8-wide workloads)",
+        &["variant", "owner fan-out", "chain", "back-to-owner"],
+        &rows,
+    );
+}
+
+fn f5_fault_tolerance() {
+    let mut rows = Vec::new();
+    for lease_ms in [200u64, 400, 800] {
+        let net = SimNet::instant();
+        let mut opts = Options::fast();
+        opts.lease = Some(Duration::from_millis(lease_ms));
+        let owner = Space::builder()
+            .transport(Arc::new(Arc::clone(&net)))
+            .listen(Endpoint::sim("owner"))
+            .options(opts.clone())
+            .build()
+            .unwrap();
+        let counter = CounterClient::narrow(owner.local(new_counter())).unwrap();
+        let own_svc = netobj_bench::BenchImpl::new(counter);
+        owner
+            .export(Arc::new(netobj_bench::BenchExport(Arc::new(own_svc))))
+            .unwrap();
+
+        let client = Space::builder()
+            .transport(Arc::new(Arc::clone(&net)))
+            .listen(Endpoint::sim("client"))
+            .options(opts)
+            .build()
+            .unwrap();
+        let svc = netobj_bench::BenchClient::narrow(
+            client
+                .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+                .unwrap(),
+        )
+        .unwrap();
+        let held = svc.get_ref().unwrap();
+        let exported_with_client = owner.exported_count();
+
+        // Crash the client without cleaning.
+        let t0 = Instant::now();
+        client.crash();
+        net.set_down("client", true);
+        std::mem::forget(held);
+        std::mem::forget(svc);
+        while owner.exported_count() >= exported_with_client {
+            std::thread::sleep(Duration::from_millis(10));
+            if t0.elapsed() > Duration::from_secs(20) {
+                break;
+            }
+        }
+        rows.push(vec![
+            format!("lease {lease_ms} ms"),
+            fmt_dur(t0.elapsed()),
+            format!("{}", owner.stats().leases_expired),
+        ]);
+        owner.shutdown();
+    }
+    print_table(
+        "F5 — client crash: time until the owner reclaims (lease mode)",
+        &["configuration", "time to reclaim", "leases expired"],
+        &rows,
+    );
+
+    // Ping mode row.
+    {
+        let net = SimNet::instant();
+        let mut opts = Options::fast();
+        opts.ping_interval = Some(Duration::from_millis(100));
+        opts.ping_failures = 2;
+        opts.clean_timeout = Duration::from_millis(200);
+        let owner = Space::builder()
+            .transport(Arc::new(Arc::clone(&net)))
+            .listen(Endpoint::sim("owner"))
+            .options(opts.clone())
+            .build()
+            .unwrap();
+        let counter = CounterClient::narrow(owner.local(new_counter())).unwrap();
+        owner
+            .export(Arc::new(netobj_bench::BenchExport(Arc::new(
+                netobj_bench::BenchImpl::new(counter),
+            ))))
+            .unwrap();
+        let client = Space::builder()
+            .transport(Arc::new(Arc::clone(&net)))
+            .listen(Endpoint::sim("client"))
+            .options(Options::fast())
+            .build()
+            .unwrap();
+        let svc = netobj_bench::BenchClient::narrow(
+            client
+                .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+                .unwrap(),
+        )
+        .unwrap();
+        let held = svc.get_ref().unwrap();
+        let watermark = owner.exported_count();
+        let t0 = Instant::now();
+        client.crash();
+        net.set_down("client", true);
+        std::mem::forget(held);
+        std::mem::forget(svc);
+        while owner.exported_count() >= watermark && t0.elapsed() < Duration::from_secs(20) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        println!(
+            "  ping mode (100 ms interval, 2 failures): reclaimed in {}, \
+             {} pings sent, {} client(s) purged",
+            fmt_dur(t0.elapsed()),
+            owner.stats().pings_sent,
+            owner.stats().clients_purged
+        );
+        owner.shutdown();
+    }
+}
+
+fn f7_fault_model() {
+    use netobj_bench::model::faults;
+    let mut rows = Vec::new();
+    for (label, drops, premature) in [
+        ("lossless", 0u32, false),
+        ("≤4 drops, accurate timeouts", 4, false),
+        ("≤12 drops, accurate timeouts", 12, false),
+        ("≤4 drops, premature timeouts incl. transient pins", 4, true),
+    ] {
+        let mut ok = 0u32;
+        let mut unsafe_runs = 0u32;
+        let runs = 150;
+        for seed in 0..runs {
+            match faults::walk(4, 2, 200, drops, premature, seed) {
+                Ok(_) => ok += 1,
+                Err(e) if e.contains("SAFETY") => unsafe_runs += 1,
+                Err(_) => {}
+            }
+        }
+        rows.push(vec![
+            label.into(),
+            format!("{ok}/{runs}"),
+            format!("{unsafe_runs}"),
+        ]);
+    }
+    print_table(
+        "F7 — fault-tolerant model: adversarial message loss (150 runs each)",
+        &["scenario", "safe & fully drained", "safety violations"],
+        &rows,
+    );
+    println!(
+        "  The last row is the negative result: letting *transient pins* \
+         time out prematurely abandons in-flight copies and violates \
+         safety — premature *registration* timeouts alone remain safe \
+         (strong cleans outrank the lost dirty; verified by the model's \
+         unit tests). This is why the runtime's pin timeout is generous."
+    );
+}
+
+fn t7_batching() {
+    let mut rows = Vec::new();
+    for batch in [false, true] {
+        let mut opts = Options::fast();
+        opts.batch_cleans = batch;
+        let rig = Rig::with_options(Duration::ZERO, opts);
+        // Mint 24 distinct owner-side counters, then drop all handles at
+        // once: 24 clean entries, batched or not.
+        let mut imported = Vec::new();
+        for _ in 0..24 {
+            imported.push(rig.svc.mint().unwrap());
+        }
+        drop(imported);
+        let t0 = Instant::now();
+        while rig.client.stats().clean_sent < 24 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = rig.client.stats();
+        rows.push(vec![
+            if batch {
+                "batched cleans"
+            } else {
+                "individual cleans"
+            }
+            .into(),
+            format!("{}", stats.clean_sent),
+            format!(
+                "{}",
+                if batch {
+                    stats.clean_batches.to_string()
+                } else {
+                    "n/a".into()
+                }
+            ),
+        ]);
+    }
+    print_table(
+        "T7 — clean-call batching (24 refs dropped at once)",
+        &["mode", "clean entries", "batched RPCs"],
+        &rows,
+    );
+}
+
+fn f6_liveness() {
+    let mut rows = Vec::new();
+    for nprocs in [2usize, 3, 4, 6, 8] {
+        let mut total_steps = 0u64;
+        let mut total_drain = 0u64;
+        let runs = 30;
+        for seed in 0..runs {
+            let (c, stats) = random_walk(
+                WalkPolicy {
+                    nprocs,
+                    nrefs: 2,
+                    activity: 120,
+                    check_invariants: false,
+                    ..WalkPolicy::default()
+                },
+                seed,
+            );
+            assert_drained(&c);
+            total_steps += stats.steps;
+            total_drain += stats.drain_steps;
+        }
+        rows.push(vec![
+            format!("{nprocs}"),
+            format!("{}", total_steps / runs),
+            format!("{}", total_drain / runs),
+            "yes".into(),
+        ]);
+    }
+    print_table(
+        "F6 — liveness: drain cost after last drop (30 runs each)",
+        &[
+            "processes",
+            "mean transitions",
+            "mean drain transitions",
+            "dirty tables emptied",
+        ],
+        &rows,
+    );
+}

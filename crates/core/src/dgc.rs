@@ -1,0 +1,1060 @@
+//! The distributed reference-listing collector.
+//!
+//! Owner side: the dirty/clean/ping service answering at reserved object
+//! index 0, applying sequence-numbered operations to the object table's
+//! dirty sets, and the ping/lease demon detecting dead clients.
+//!
+//! Client side: reference import (surrogate life cycle: `⊥ → nil → OK →
+//! ccit → ⊥`, with the `ccitnil` resurrection path), the cleanup demon
+//! issuing clean calls when surrogates become unreachable, retry with
+//! *strong* cleans after ambiguous failures, and lease renewal.
+//!
+//! The life-cycle logic deliberately mirrors, transition for transition,
+//! the formal specification modelled in the `netobj-dgc-model` crate; the
+//! comments name the corresponding abstract states.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, RecvTimeoutError};
+use netobj_transport::Endpoint;
+use netobj_wire::pickle::Pickle;
+use netobj_wire::{ObjIx, SpaceId, TypeList, WireRep};
+
+use crate::error::{Error, NetResult};
+use crate::handle::{Handle, HandleKind, SurrogateCore};
+use crate::marshal::UnmarshalCx;
+use crate::space::{Space, SpaceInner};
+use crate::table::{CleanOutcome, DirtyOutcome, ImportSlot, ImportState};
+
+/// Method indices of the collector service object (index 0).
+pub mod methods {
+    /// `dirty(ix, seqno, client_endpoint?) -> TypeList`
+    pub const DIRTY: u32 = 0;
+    /// `clean(ix, seqno, strong) -> ()`
+    pub const CLEAN: u32 = 1;
+    /// `ping() -> ()`
+    pub const PING: u32 = 2;
+    /// `identify() -> (SpaceId, Option<Endpoint>)`
+    pub const IDENTIFY: u32 = 3;
+    /// `clean_batch(Vec<(ix, seqno, strong)>) -> ()` — several cleans in
+    /// one call (the batching optimisation).
+    pub const CLEAN_BATCH: u32 = 4;
+}
+
+/// Work items for the cleanup demon.
+pub(crate) enum GcJob {
+    /// A surrogate core was dropped: begin cleanup unless resurrected.
+    Unreachable { wirerep: WireRep, epoch: u64 },
+    /// Send (or retry) a clean call.
+    SendClean {
+        wirerep: WireRep,
+        owner_ep: Endpoint,
+        seqno: u64,
+        strong: bool,
+        attempts: u32,
+    },
+    /// FIFO variant: register a reference in the background.
+    AsyncDirty {
+        wirerep: WireRep,
+        owner_ep: Endpoint,
+        seqno: u64,
+        notify: crossbeam::channel::Sender<NetResult<()>>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Owner side: the GC service
+// ---------------------------------------------------------------------------
+
+/// Dispatches a call on the collector service object.
+pub(crate) fn dispatch_gc(
+    space: &Space,
+    caller: SpaceId,
+    method: u32,
+    args: &[u8],
+) -> NetResult<Vec<u8>> {
+    match method {
+        methods::DIRTY => {
+            let (ix, seqno, client_ep) = <(u64, u64, Option<Endpoint>)>::from_pickle_bytes(args)?;
+            let outcome = space.inner.table.exports.lock().apply_dirty(
+                ObjIx(ix),
+                caller,
+                seqno,
+                client_ep,
+                Instant::now(),
+            );
+            match outcome {
+                DirtyOutcome::Applied(types) => {
+                    space
+                        .inner
+                        .stats
+                        .dirty_received
+                        .fetch_add(1, Ordering::Relaxed);
+                    Ok(types.to_pickle_bytes())
+                }
+                DirtyOutcome::Stale => {
+                    // Out-of-sequence dirty: "an incoming operation will be
+                    // performed only if its sequence number exceeds this
+                    // value; otherwise it has no effect." The caller must
+                    // not believe it registered, so this is an error.
+                    space
+                        .inner
+                        .stats
+                        .dirty_stale
+                        .fetch_add(1, Ordering::Relaxed);
+                    Err(Error::ImportFailed("stale dirty call".into()))
+                }
+                DirtyOutcome::NoSuchObject => {
+                    Err(Error::NoSuchObject(WireRep::new(space.id(), ObjIx(ix))))
+                }
+            }
+        }
+        methods::CLEAN => {
+            let (ix, seqno, strong) = <(u64, u64, bool)>::from_pickle_bytes(args)?;
+            let outcome = space
+                .inner
+                .table
+                .exports
+                .lock()
+                .apply_clean(ObjIx(ix), caller, seqno);
+            space
+                .inner
+                .stats
+                .clean_received
+                .fetch_add(1, Ordering::Relaxed);
+            if outcome == CleanOutcome::Collected {
+                space
+                    .inner
+                    .stats
+                    .exports_collected
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = strong; // Strength only affects client bookkeeping; the
+                            // seqno floor already makes the clean final.
+            Ok(().to_pickle_bytes())
+        }
+        methods::CLEAN_BATCH => {
+            let entries = <Vec<(u64, u64, bool)>>::from_pickle_bytes(args)?;
+            let mut exports = space.inner.table.exports.lock();
+            let mut collected = 0u64;
+            for (ix, seqno, _strong) in &entries {
+                if exports.apply_clean(ObjIx(*ix), caller, *seqno) == CleanOutcome::Collected {
+                    collected += 1;
+                }
+            }
+            drop(exports);
+            space
+                .inner
+                .stats
+                .clean_received
+                .fetch_add(entries.len() as u64, Ordering::Relaxed);
+            space
+                .inner
+                .stats
+                .exports_collected
+                .fetch_add(collected, Ordering::Relaxed);
+            Ok(().to_pickle_bytes())
+        }
+        methods::PING => {
+            space
+                .inner
+                .stats
+                .pings_received
+                .fetch_add(1, Ordering::Relaxed);
+            Ok(().to_pickle_bytes())
+        }
+        methods::IDENTIFY => Ok((space.id(), space.endpoint()).to_pickle_bytes()),
+        _ => Err(Error::app(format!("gc service has no method {method}"))),
+    }
+}
+
+/// Asks the space listening at `ep` who it is.
+pub(crate) fn identify(space: &Space, ep: &Endpoint) -> NetResult<(SpaceId, Option<Endpoint>)> {
+    let client = space.rpc_client(ep)?;
+    let bytes = client.call_with_timeout(
+        WireRep::gc_service(SpaceId::from_raw(0)),
+        methods::IDENTIFY,
+        ().to_pickle_bytes(),
+        space.inner.options.dirty_timeout,
+    )?;
+    Ok(<(SpaceId, Option<Endpoint>)>::from_pickle_bytes(&bytes)?)
+}
+
+fn send_dirty(
+    space: &Space,
+    wirerep: WireRep,
+    owner_ep: &Endpoint,
+    seqno: u64,
+) -> NetResult<TypeList> {
+    space.inner.stats.dirty_sent.fetch_add(1, Ordering::Relaxed);
+    let client = space.rpc_client(owner_ep)?;
+    let args = (wirerep.ix.0, seqno, space.endpoint()).to_pickle_bytes();
+    let bytes = client.call_with_timeout(
+        WireRep::gc_service(wirerep.space),
+        methods::DIRTY,
+        args,
+        space.inner.options.dirty_timeout,
+    )?;
+    Ok(TypeList::from_pickle_bytes(&bytes)?)
+}
+
+fn send_clean(
+    space: &Space,
+    wirerep: WireRep,
+    owner_ep: &Endpoint,
+    seqno: u64,
+    strong: bool,
+) -> NetResult<()> {
+    if strong {
+        space
+            .inner
+            .stats
+            .strong_clean_sent
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        space.inner.stats.clean_sent.fetch_add(1, Ordering::Relaxed);
+    }
+    let client = space.rpc_client(owner_ep)?;
+    let args = (wirerep.ix.0, seqno, strong).to_pickle_bytes();
+    let bytes = client.call_with_timeout(
+        WireRep::gc_service(wirerep.space),
+        methods::CLEAN,
+        args,
+        space.inner.options.clean_timeout,
+    )?;
+    Ok(<()>::from_pickle_bytes(&bytes)?)
+}
+
+// ---------------------------------------------------------------------------
+// Client side: reference import (the life cycle)
+// ---------------------------------------------------------------------------
+
+/// Binds a received reference to a handle, registering it with the owner.
+///
+/// This is the runtime's `receive_copy`: depending on the slot state it
+/// creates the slot and performs the dirty call (`⊥ → nil → OK`), reuses
+/// the live surrogate (`OK`), resurrects a dying one (cancelling the
+/// pending cleanup), converts `ccit → ccitnil`, or blocks until a
+/// concurrent registration or cleanup completes.
+pub(crate) fn import_ref(
+    space: &Space,
+    wirerep: WireRep,
+    owner_ep: Endpoint,
+    types: TypeList,
+    cx: Option<&mut UnmarshalCx<'_, '_>>,
+) -> NetResult<Handle> {
+    space.ensure_running()?;
+    // The FIFO variant only applies to unmarshal paths (it exists to keep
+    // deserialisation non-blocking). Bootstrap imports have no carrying
+    // message whose acknowledgement could wait for the registration, and
+    // no authoritative type list yet, so they use the base blocking path.
+    if space.inner.options.fifo_variant && cx.is_some() {
+        return import_ref_fifo(space, wirerep, owner_ep, types, cx);
+    }
+    loop {
+        let mut imports = space.inner.table.imports.lock();
+        match imports.get_mut(&wirerep) {
+            None => {
+                // ⊥ → nil: create the slot, then register with the owner.
+                imports.insert(
+                    wirerep,
+                    ImportSlot {
+                        owner_ep: owner_ep.clone(),
+                        types: types.clone(),
+                        state: ImportState::Creating,
+                        epoch: 0,
+                        weak: Weak::new(),
+                        waiters: 0,
+                        failed: false,
+                    },
+                );
+                drop(imports);
+                let seqno = space.next_gc_seqno();
+                let t0 = Instant::now();
+                let result = send_dirty(space, wirerep, &owner_ep, seqno);
+                // The registering thread is "suspended deserialisation" for
+                // the dirty round-trip, exactly like the waiters behind it.
+                space.inner.stats.add_blocked(t0.elapsed());
+                let mut imports = space.inner.table.imports.lock();
+                let Some(slot) = imports.get_mut(&wirerep) else {
+                    // Space raced shutdown; nothing to clean locally.
+                    return Err(Error::SpaceStopped);
+                };
+                match result {
+                    Ok(owner_types) => {
+                        // nil → OK.
+                        slot.types = owner_types;
+                        slot.state = ImportState::Live;
+                        let core = Arc::new(SurrogateCore {
+                            space: space.clone(),
+                            wirerep,
+                            owner_ep,
+                            types: slot.types.clone(),
+                            epoch: slot.epoch,
+                        });
+                        slot.weak = Arc::downgrade(&core);
+                        space
+                            .inner
+                            .stats
+                            .surrogates_created
+                            .fetch_add(1, Ordering::Relaxed);
+                        space.inner.table.import_cv.notify_all();
+                        return Ok(Handle(HandleKind::Remote(core)));
+                    }
+                    Err(e) => {
+                        // Dirty failed: no surrogate is created. If the
+                        // call is ambiguous the owner may have registered
+                        // us, so schedule a *strong* clean that outranks
+                        // the possibly-delivered dirty.
+                        slot.failed = true;
+                        let drop_now = slot.waiters == 0;
+                        if drop_now {
+                            imports.remove(&wirerep);
+                        }
+                        space.inner.table.import_cv.notify_all();
+                        drop(imports);
+                        if e.is_ambiguous() {
+                            enqueue(
+                                space,
+                                GcJob::SendClean {
+                                    wirerep,
+                                    owner_ep: owner_ep.clone(),
+                                    seqno: space.next_gc_seqno(),
+                                    strong: true,
+                                    attempts: 0,
+                                },
+                            );
+                        }
+                        return Err(Error::ImportFailed(format!("dirty call failed: {e}")));
+                    }
+                }
+            }
+            Some(slot) => {
+                match slot.state {
+                    ImportState::Live => {
+                        if let Some(core) = slot.weak.upgrade() {
+                            return Ok(Handle(HandleKind::Remote(core)));
+                        }
+                        // The surrogate died but its cleanup has not been
+                        // sent yet: resurrect. Bumping the epoch cancels
+                        // the queued unreachability notice (the model's
+                        // removal of the scheduled clean call).
+                        slot.epoch += 1;
+                        let core = Arc::new(SurrogateCore {
+                            space: space.clone(),
+                            wirerep,
+                            owner_ep: slot.owner_ep.clone(),
+                            types: slot.types.clone(),
+                            epoch: slot.epoch,
+                        });
+                        slot.weak = Arc::downgrade(&core);
+                        space
+                            .inner
+                            .stats
+                            .surrogates_resurrected
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Ok(Handle(HandleKind::Remote(core)));
+                    }
+                    ImportState::Creating
+                    | ImportState::CleanWait
+                    | ImportState::CleanWaitResurrect => {
+                        if slot.failed {
+                            if slot.waiters == 0 {
+                                imports.remove(&wirerep);
+                                // Retry from scratch.
+                                continue;
+                            }
+                            return Err(Error::ImportFailed(
+                                "concurrent registration failed".into(),
+                            ));
+                        }
+                        if slot.state == ImportState::CleanWait {
+                            // ccit → ccitnil: a copy arrived while our
+                            // clean call is in transit. The dirty call must
+                            // wait for the clean acknowledgement.
+                            slot.state = ImportState::CleanWaitResurrect;
+                        }
+                        // Block the deserialisation thread until the slot
+                        // becomes usable (the paper suspends the
+                        // unmarshaling thread).
+                        slot.waiters += 1;
+                        let t0 = Instant::now();
+                        let deadline = t0 + space.inner.options.dirty_timeout * 2;
+                        let outcome = loop {
+                            let timeout = space
+                                .inner
+                                .table
+                                .import_cv
+                                .wait_until(&mut imports, deadline)
+                                .timed_out();
+                            match imports.get_mut(&wirerep) {
+                                None => break WaitOutcome::Gone,
+                                Some(slot) => {
+                                    if slot.failed {
+                                        break WaitOutcome::Failed;
+                                    }
+                                    if slot.state == ImportState::Live {
+                                        break WaitOutcome::Usable;
+                                    }
+                                    if timeout {
+                                        break WaitOutcome::TimedOut;
+                                    }
+                                }
+                            }
+                        };
+                        space.inner.stats.add_blocked(t0.elapsed());
+                        match outcome {
+                            WaitOutcome::Gone => {
+                                // Slot vanished (cleanup completed, or a
+                                // failed registration drained): start over.
+                                continue;
+                            }
+                            WaitOutcome::Usable => {
+                                let slot = imports.get_mut(&wirerep).expect("checked");
+                                slot.waiters -= 1;
+                                if let Some(core) = slot.weak.upgrade() {
+                                    return Ok(Handle(HandleKind::Remote(core)));
+                                }
+                                slot.epoch += 1;
+                                let core = Arc::new(SurrogateCore {
+                                    space: space.clone(),
+                                    wirerep,
+                                    owner_ep: slot.owner_ep.clone(),
+                                    types: slot.types.clone(),
+                                    epoch: slot.epoch,
+                                });
+                                slot.weak = Arc::downgrade(&core);
+                                space
+                                    .inner
+                                    .stats
+                                    .surrogates_created
+                                    .fetch_add(1, Ordering::Relaxed);
+                                return Ok(Handle(HandleKind::Remote(core)));
+                            }
+                            WaitOutcome::Failed => {
+                                let slot = imports.get_mut(&wirerep).expect("checked");
+                                slot.waiters -= 1;
+                                if slot.waiters == 0 {
+                                    imports.remove(&wirerep);
+                                }
+                                return Err(Error::ImportFailed(
+                                    "concurrent registration failed".into(),
+                                ));
+                            }
+                            WaitOutcome::TimedOut => {
+                                let slot = imports.get_mut(&wirerep).expect("checked");
+                                slot.waiters -= 1;
+                                leave_idle_slot(space, wirerep, slot);
+                                return Err(Error::ImportFailed(
+                                    "timed out waiting for reference registration".into(),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum WaitOutcome {
+    Gone,
+    Usable,
+    Failed,
+    TimedOut,
+}
+
+/// Called when the last waiter leaves a slot: if the slot ended up live
+/// with no surrogate and no one to claim it, the reference would leak the
+/// owner's dirty entry — schedule its cleanup.
+fn leave_idle_slot(space: &Space, wirerep: WireRep, slot: &mut ImportSlot) {
+    if slot.waiters == 0 && slot.state == ImportState::Live && slot.weak.upgrade().is_none() {
+        let epoch = slot.epoch;
+        enqueue(space, GcJob::Unreachable { wirerep, epoch });
+    }
+}
+
+/// §5.1 FIFO variant: the reference becomes usable immediately and the
+/// dirty call proceeds in the background over the (order-preserving)
+/// connection; acknowledgement of the carrying message waits on it.
+fn import_ref_fifo(
+    space: &Space,
+    wirerep: WireRep,
+    owner_ep: Endpoint,
+    types: TypeList,
+    cx: Option<&mut UnmarshalCx<'_, '_>>,
+) -> NetResult<Handle> {
+    let mut imports = space.inner.table.imports.lock();
+    let slot = imports.entry(wirerep).or_insert_with(|| ImportSlot {
+        owner_ep: owner_ep.clone(),
+        types: types.clone(),
+        state: ImportState::Creating,
+        epoch: 0,
+        weak: Weak::new(),
+        waiters: 0,
+        failed: false,
+    });
+    if let Some(core) = slot.weak.upgrade() {
+        return Ok(Handle(HandleKind::Remote(core)));
+    }
+    let needs_dirty = match slot.state {
+        // Fresh slot, or a reclaimed one: must (re)register.
+        ImportState::Creating => true,
+        // Live with a dead weak: the cleanup was not *sent* yet (the queued
+        // notice dies against the epoch bump); the owner still lists us.
+        ImportState::Live => false,
+        // Cleanup in flight: because the channel is FIFO, a new dirty
+        // queued now arrives after the clean — re-register, no blocking.
+        ImportState::CleanWait | ImportState::CleanWaitResurrect => true,
+    };
+    slot.epoch += 1;
+    slot.state = ImportState::Live;
+    slot.failed = false;
+    let core = Arc::new(SurrogateCore {
+        space: space.clone(),
+        wirerep,
+        owner_ep: owner_ep.clone(),
+        types: slot.types.clone(),
+        epoch: slot.epoch,
+    });
+    slot.weak = Arc::downgrade(&core);
+    space
+        .inner
+        .stats
+        .surrogates_created
+        .fetch_add(1, Ordering::Relaxed);
+    drop(imports);
+
+    if needs_dirty {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        enqueue(
+            space,
+            GcJob::AsyncDirty {
+                wirerep,
+                owner_ep,
+                seqno: space.next_gc_seqno(),
+                notify: tx,
+            },
+        );
+        match cx {
+            Some(cx) => cx.push_pending(rx),
+            None => {
+                // No unmarshal context (bootstrap import): wait here.
+                match rx.recv() {
+                    Ok(r) => r?,
+                    Err(_) => return Err(Error::SpaceStopped),
+                }
+            }
+        }
+    }
+    Ok(Handle(HandleKind::Remote(core)))
+}
+
+// ---------------------------------------------------------------------------
+// The cleanup demon
+// ---------------------------------------------------------------------------
+
+pub(crate) fn start_demons(space: &Space) {
+    let (tx, rx) = unbounded::<GcJob>();
+    *space.inner.gc_tx.lock() = Some(tx);
+    let weak = Arc::downgrade(&space.inner);
+    let demon = std::thread::Builder::new()
+        .name("netobj-cleanup".into())
+        .spawn(move || cleanup_loop(weak, rx))
+        .expect("spawn cleanup demon");
+    *space.inner.demon.lock() = Some(demon);
+
+    let needs_pinger =
+        space.inner.options.ping_interval.is_some() || space.inner.options.lease.is_some();
+    if needs_pinger {
+        let weak = Arc::downgrade(&space.inner);
+        let pinger = std::thread::Builder::new()
+            .name("netobj-pinger".into())
+            .spawn(move || ping_loop(weak))
+            .expect("spawn ping demon");
+        *space.inner.pinger.lock() = Some(pinger);
+    }
+}
+
+pub(crate) fn enqueue(space: &Space, job: GcJob) {
+    let tx = space.inner.gc_tx.lock().clone();
+    if let Some(tx) = tx {
+        let _ = tx.send(job);
+    }
+}
+
+/// One clean call the demon intends to send.
+struct CleanIntent {
+    wirerep: WireRep,
+    owner_ep: Endpoint,
+    seqno: u64,
+    strong: bool,
+    attempts: u32,
+}
+
+fn cleanup_loop(weak: Weak<SpaceInner>, rx: crossbeam::channel::Receiver<GcJob>) {
+    // Retry queue: (due time, intent).
+    let mut retries: VecDeque<(Instant, CleanIntent)> = VecDeque::new();
+    loop {
+        let step = retries
+            .front()
+            .map(|(due, _)| due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(100))
+            .min(Duration::from_millis(100));
+        let first = rx.recv_timeout(step);
+        let Some(inner) = weak.upgrade() else { return };
+        if inner.stopped.load(Ordering::Acquire) {
+            return;
+        }
+        let space = Space::from_inner(inner);
+
+        // Gather a burst of jobs so cleans destined for the same owner
+        // can travel together.
+        let mut jobs: Vec<GcJob> = Vec::new();
+        match first {
+            Ok(job) => {
+                jobs.push(job);
+                while jobs.len() < 64 {
+                    match rx.try_recv() {
+                        Ok(job) => jobs.push(job),
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+
+        let mut intents: Vec<CleanIntent> = Vec::new();
+        for job in jobs {
+            match job {
+                GcJob::Unreachable { wirerep, epoch } => {
+                    if let Some(intent) = begin_cleanup(&space, wirerep, epoch) {
+                        intents.push(intent);
+                    }
+                }
+                GcJob::SendClean {
+                    wirerep,
+                    owner_ep,
+                    seqno,
+                    strong,
+                    attempts,
+                } => intents.push(CleanIntent {
+                    wirerep,
+                    owner_ep,
+                    seqno,
+                    strong,
+                    attempts,
+                }),
+                GcJob::AsyncDirty {
+                    wirerep,
+                    owner_ep,
+                    seqno,
+                    notify,
+                } => do_async_dirty(&space, wirerep, owner_ep, seqno, notify),
+            }
+        }
+
+        // Due retries join the same dispatch round (and may batch).
+        let now = Instant::now();
+        let mut n = retries.len();
+        while n > 0 {
+            n -= 1;
+            if retries.front().is_some_and(|(due, _)| *due <= now) {
+                let (_, intent) = retries.pop_front().expect("checked");
+                intents.push(intent);
+            } else if let Some(item) = retries.pop_front() {
+                retries.push_back(item);
+            }
+        }
+
+        dispatch_cleans(&space, &mut retries, intents);
+    }
+}
+
+/// The `Unreachable` state transition (finalize + do_clean_call): returns
+/// the clean to send, or `None` for stale notices.
+fn begin_cleanup(space: &Space, wirerep: WireRep, epoch: u64) -> Option<CleanIntent> {
+    let owner_ep = {
+        let mut imports = space.inner.table.imports.lock();
+        match imports.get_mut(&wirerep) {
+            Some(slot)
+                if slot.epoch == epoch
+                    && slot.state == ImportState::Live
+                    && slot.weak.upgrade().is_none() =>
+            {
+                // OK → ccit.
+                slot.state = ImportState::CleanWait;
+                slot.owner_ep.clone()
+            }
+            // Stale notice: the reference was resurrected (epoch moved
+            // on) or is already being cleaned.
+            _ => return None,
+        }
+    };
+    Some(CleanIntent {
+        wirerep,
+        owner_ep,
+        seqno: space.next_gc_seqno(),
+        strong: false,
+        attempts: 0,
+    })
+}
+
+fn do_async_dirty(
+    space: &Space,
+    wirerep: WireRep,
+    owner_ep: Endpoint,
+    seqno: u64,
+    notify: crossbeam::channel::Sender<NetResult<()>>,
+) {
+    let result = send_dirty(space, wirerep, &owner_ep, seqno);
+    match result {
+        Ok(_types) => {
+            let _ = notify.send(Ok(()));
+        }
+        Err(e) => {
+            // Registration failed: the surrogate is unusable. Mark the
+            // slot failed so future imports retry, and send a strong
+            // clean if the dirty may have landed.
+            {
+                let mut imports = space.inner.table.imports.lock();
+                if let Some(slot) = imports.get_mut(&wirerep) {
+                    if slot.weak.upgrade().is_none() {
+                        imports.remove(&wirerep);
+                    } else {
+                        slot.failed = true;
+                    }
+                }
+            }
+            if e.is_ambiguous() {
+                enqueue(
+                    space,
+                    GcJob::SendClean {
+                        wirerep,
+                        owner_ep,
+                        seqno: space.next_gc_seqno(),
+                        strong: true,
+                        attempts: 0,
+                    },
+                );
+            }
+            let _ = notify.send(Err(e));
+        }
+    }
+}
+
+/// Sends a round of clean intents, batching per owner when enabled.
+fn dispatch_cleans(
+    space: &Space,
+    retries: &mut VecDeque<(Instant, CleanIntent)>,
+    intents: Vec<CleanIntent>,
+) {
+    if intents.is_empty() {
+        return;
+    }
+    if !space.inner.options.batch_cleans || intents.len() == 1 {
+        for intent in intents {
+            attempt_clean(space, retries, intent);
+        }
+        return;
+    }
+    // Group by (endpoint, owner space): one batch call per owner. The
+    // space id participates so that intents addressed to a restarted
+    // space at a reused endpoint are never mixed.
+    let mut groups: std::collections::BTreeMap<(Endpoint, u128), Vec<CleanIntent>> =
+        Default::default();
+    for intent in intents {
+        groups
+            .entry((intent.owner_ep.clone(), intent.wirerep.space.as_raw()))
+            .or_default()
+            .push(intent);
+    }
+    for ((owner_ep, _space), group) in groups {
+        if group.len() == 1 {
+            for intent in group {
+                attempt_clean(space, retries, intent);
+            }
+            continue;
+        }
+        match send_clean_batch(space, &owner_ep, &group) {
+            Ok(()) => {
+                for intent in &group {
+                    handle_clean_ack(space, intent.wirerep);
+                }
+            }
+            Err(_e) => {
+                for intent in group {
+                    clean_failed(space, retries, intent);
+                }
+            }
+        }
+    }
+}
+
+fn attempt_clean(
+    space: &Space,
+    retries: &mut VecDeque<(Instant, CleanIntent)>,
+    intent: CleanIntent,
+) {
+    match send_clean(
+        space,
+        intent.wirerep,
+        &intent.owner_ep,
+        intent.seqno,
+        intent.strong,
+    ) {
+        Ok(()) => handle_clean_ack(space, intent.wirerep),
+        Err(_e) => clean_failed(space, retries, intent),
+    }
+}
+
+fn clean_failed(
+    space: &Space,
+    retries: &mut VecDeque<(Instant, CleanIntent)>,
+    intent: CleanIntent,
+) {
+    if intent.attempts + 1 < space.inner.options.max_clean_retries {
+        // "When a clean call fails, the cleanup demon merely leaves the
+        // request on its queue, keeping the same sequence number."
+        space
+            .inner
+            .stats
+            .clean_retries
+            .fetch_add(1, Ordering::Relaxed);
+        retries.push_back((
+            Instant::now() + space.inner.options.clean_retry,
+            CleanIntent {
+                attempts: intent.attempts + 1,
+                ..intent
+            },
+        ));
+    } else {
+        // Owner presumed dead: abandon the reference entirely.
+        let mut imports = space.inner.table.imports.lock();
+        if let Some(slot) = imports.get_mut(&intent.wirerep) {
+            slot.failed = true;
+            let no_waiters = slot.waiters == 0;
+            if no_waiters {
+                imports.remove(&intent.wirerep);
+            }
+        }
+        space.inner.table.import_cv.notify_all();
+    }
+}
+
+/// Sends several cleans to one owner in a single RPC.
+fn send_clean_batch(space: &Space, owner_ep: &Endpoint, intents: &[CleanIntent]) -> NetResult<()> {
+    let owner_space = intents[0].wirerep.space;
+    debug_assert!(intents.iter().all(|i| i.wirerep.space == owner_space));
+    for intent in intents {
+        if intent.strong {
+            space
+                .inner
+                .stats
+                .strong_clean_sent
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            space.inner.stats.clean_sent.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    space
+        .inner
+        .stats
+        .clean_batches
+        .fetch_add(1, Ordering::Relaxed);
+    let entries: Vec<(u64, u64, bool)> = intents
+        .iter()
+        .map(|i| (i.wirerep.ix.0, i.seqno, i.strong))
+        .collect();
+    let client = space.rpc_client(owner_ep)?;
+    let bytes = client.call_with_timeout(
+        WireRep::gc_service(owner_space),
+        methods::CLEAN_BATCH,
+        entries.to_pickle_bytes(),
+        space.inner.options.clean_timeout,
+    )?;
+    Ok(<()>::from_pickle_bytes(&bytes)?)
+}
+
+/// Applies the client-side effect of a clean acknowledgement.
+fn handle_clean_ack(space: &Space, wirerep: WireRep) {
+    enum Next {
+        Nothing,
+        Redirty { owner_ep: Endpoint },
+    }
+    let next = {
+        let mut imports = space.inner.table.imports.lock();
+        match imports.get_mut(&wirerep) {
+            // ccit → ⊥: the reference's life ends here.
+            Some(slot) if slot.state == ImportState::CleanWait => {
+                imports.remove(&wirerep);
+                space.inner.table.import_cv.notify_all();
+                Next::Nothing
+            }
+            // ccitnil → nil: a copy arrived while the clean was in
+            // transit; a fresh registration starts now.
+            Some(slot) if slot.state == ImportState::CleanWaitResurrect => {
+                slot.state = ImportState::Creating;
+                Next::Redirty {
+                    owner_ep: slot.owner_ep.clone(),
+                }
+            }
+            // Resurrected (FIFO variant) or already gone: nothing to do.
+            _ => Next::Nothing,
+        }
+    };
+    if let Next::Redirty { owner_ep } = next {
+        let seqno = space.next_gc_seqno();
+        let result = send_dirty(space, wirerep, &owner_ep, seqno);
+        let mut imports = space.inner.table.imports.lock();
+        let Some(slot) = imports.get_mut(&wirerep) else {
+            return;
+        };
+        match result {
+            Ok(types) => {
+                // nil → OK; a blocked unmarshal thread will install the
+                // new surrogate core when it wakes.
+                slot.types = types;
+                slot.state = ImportState::Live;
+                slot.weak = Weak::new();
+                if slot.waiters == 0 {
+                    // Nobody to claim it: schedule its cleanup or the
+                    // owner's dirty entry would leak.
+                    let epoch = slot.epoch;
+                    drop(imports);
+                    enqueue(space, GcJob::Unreachable { wirerep, epoch });
+                    space.inner.table.import_cv.notify_all();
+                    return;
+                }
+            }
+            Err(e) => {
+                slot.failed = true;
+                if slot.waiters == 0 {
+                    imports.remove(&wirerep);
+                }
+                if e.is_ambiguous() {
+                    drop(imports);
+                    enqueue(
+                        space,
+                        GcJob::SendClean {
+                            wirerep,
+                            owner_ep,
+                            seqno: space.next_gc_seqno(),
+                            strong: true,
+                            attempts: 0,
+                        },
+                    );
+                    space.inner.table.import_cv.notify_all();
+                    return;
+                }
+            }
+        }
+        space.inner.table.import_cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Termination detection: pings and leases
+// ---------------------------------------------------------------------------
+
+fn ping_loop(weak: Weak<SpaceInner>) {
+    let mut fail_counts: std::collections::HashMap<SpaceId, u32> = std::collections::HashMap::new();
+    let mut last_ping = Instant::now();
+    let mut last_renew = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(25));
+        let Some(inner) = weak.upgrade() else { return };
+        if inner.stopped.load(Ordering::Acquire) {
+            return;
+        }
+        let space = Space::from_inner(inner);
+        let options = space.inner.options.clone();
+
+        // Owner role: ping clients holding dirty entries.
+        if let Some(interval) = options.ping_interval {
+            if last_ping.elapsed() >= interval {
+                last_ping = Instant::now();
+                let clients = space.inner.table.exports.lock().dirty_clients();
+                for (client, ep) in clients {
+                    let Some(ep) = ep else { continue };
+                    let ok = ping_client(&space, client, &ep);
+                    if ok {
+                        fail_counts.remove(&client);
+                    } else {
+                        let n = fail_counts.entry(client).or_insert(0);
+                        *n += 1;
+                        if *n >= options.ping_failures {
+                            // "The client is assumed to have died, and is
+                            // removed from all dirty sets at that owner."
+                            let collected = space.inner.table.exports.lock().purge_client(client);
+                            space
+                                .inner
+                                .stats
+                                .clients_purged
+                                .fetch_add(1, Ordering::Relaxed);
+                            space
+                                .inner
+                                .stats
+                                .exports_collected
+                                .fetch_add(collected, Ordering::Relaxed);
+                            fail_counts.remove(&client);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Lease mode.
+        if let Some(lease) = options.lease {
+            // Owner role: expire unrenewed entries.
+            let cutoff = Instant::now() - lease;
+            let (expired, collected) = space.inner.table.exports.lock().expire_leases(cutoff);
+            if expired > 0 {
+                space
+                    .inner
+                    .stats
+                    .leases_expired
+                    .fetch_add(expired, Ordering::Relaxed);
+                space
+                    .inner
+                    .stats
+                    .exports_collected
+                    .fetch_add(collected, Ordering::Relaxed);
+            }
+            // Client role: renew live surrogates.
+            if last_renew.elapsed() >= lease / 3 {
+                last_renew = Instant::now();
+                let live: Vec<(WireRep, Endpoint)> = {
+                    let imports = space.inner.table.imports.lock();
+                    imports
+                        .iter()
+                        .filter(|(_, s)| s.state == ImportState::Live && s.weak.upgrade().is_some())
+                        .map(|(w, s)| (*w, s.owner_ep.clone()))
+                        .collect()
+                };
+                for (wirerep, ep) in live {
+                    let seqno = space.next_gc_seqno();
+                    let _ = send_dirty(&space, wirerep, &ep, seqno);
+                }
+            }
+        }
+    }
+}
+
+fn ping_client(space: &Space, client: SpaceId, ep: &Endpoint) -> bool {
+    space.inner.stats.pings_sent.fetch_add(1, Ordering::Relaxed);
+    let Ok(rpc) = space.rpc_client(ep) else {
+        return false;
+    };
+    rpc.call_with_timeout(
+        WireRep::gc_service(client),
+        methods::PING,
+        ().to_pickle_bytes(),
+        space.inner.options.clean_timeout,
+    )
+    .is_ok()
+}

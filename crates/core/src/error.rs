@@ -1,0 +1,136 @@
+//! The runtime's error type.
+
+use std::fmt;
+
+use netobj_rpc::{RemoteError, RemoteErrorKind, RpcError};
+use netobj_transport::TransportError;
+use netobj_wire::{WireError, WireRep};
+
+/// Result alias for application-visible network object operations.
+pub type NetResult<T> = Result<T, Error>;
+
+/// Any error surfaced by the network objects runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A remote invocation failed at the RPC level.
+    Rpc(RpcError),
+    /// Encoding or decoding failed.
+    Wire(WireError),
+    /// A transport operation failed.
+    Transport(TransportError),
+    /// The remote method reported an application-level failure.
+    App(String),
+    /// A handle was narrowed to an interface its type list does not include.
+    WrongType {
+        /// The interface name requested.
+        wanted: &'static str,
+    },
+    /// The wireRep names no object exported here (owner side), or the
+    /// object was released before the call arrived.
+    NoSuchObject(WireRep),
+    /// The operation requires this space to listen, and it does not.
+    NotListening,
+    /// Importing a reference failed (e.g. the dirty call did not succeed).
+    ImportFailed(String),
+    /// The space has been shut down.
+    SpaceStopped,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Rpc(e) => write!(f, "rpc: {e}"),
+            Error::Wire(e) => write!(f, "wire: {e}"),
+            Error::Transport(e) => write!(f, "transport: {e}"),
+            Error::App(m) => write!(f, "application error: {m}"),
+            Error::WrongType { wanted } => write!(f, "handle cannot be narrowed to {wanted}"),
+            Error::NoSuchObject(w) => write!(f, "no such object: {w}"),
+            Error::NotListening => write!(f, "space has no listening endpoint"),
+            Error::ImportFailed(m) => write!(f, "import failed: {m}"),
+            Error::SpaceStopped => write!(f, "space has been shut down"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Builds an application-level error (what server method bodies return).
+    pub fn app(msg: impl Into<String>) -> Error {
+        Error::App(msg.into())
+    }
+
+    /// True if the failed operation may nonetheless have executed remotely.
+    pub fn is_ambiguous(&self) -> bool {
+        matches!(self, Error::Rpc(e) if e.is_ambiguous())
+    }
+}
+
+impl From<RpcError> for Error {
+    fn from(e: RpcError) -> Error {
+        match e {
+            RpcError::Remote(re) if re.kind == RemoteErrorKind::Application => {
+                Error::App(re.message)
+            }
+            other => Error::Rpc(other),
+        }
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Error {
+        Error::Wire(e)
+    }
+}
+
+impl From<TransportError> for Error {
+    fn from(e: TransportError) -> Error {
+        Error::Transport(e)
+    }
+}
+
+/// Converts a runtime error into the structured form shipped in replies.
+pub(crate) fn to_remote_error(e: &Error) -> RemoteError {
+    match e {
+        Error::App(m) => RemoteError::new(RemoteErrorKind::Application, m.clone()),
+        Error::NoSuchObject(w) => RemoteError::new(RemoteErrorKind::NoSuchObject, format!("{w}")),
+        Error::Wire(we) => RemoteError::new(RemoteErrorKind::BadArguments, we.to_string()),
+        other => RemoteError::new(RemoteErrorKind::Runtime, other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_application_error_becomes_app() {
+        let e: Error = RpcError::Remote(RemoteError::app("boom")).into();
+        assert_eq!(e, Error::App("boom".into()));
+    }
+
+    #[test]
+    fn other_remote_errors_stay_rpc() {
+        let e: Error =
+            RpcError::Remote(RemoteError::new(RemoteErrorKind::NoSuchMethod, "m")).into();
+        assert!(matches!(e, Error::Rpc(RpcError::Remote(_))));
+    }
+
+    #[test]
+    fn ambiguity_passthrough() {
+        assert!(Error::Rpc(RpcError::Timeout).is_ambiguous());
+        assert!(!Error::App("x".into()).is_ambiguous());
+    }
+
+    #[test]
+    fn to_remote_roundtrip_kinds() {
+        assert_eq!(
+            to_remote_error(&Error::app("z")).kind,
+            RemoteErrorKind::Application
+        );
+        assert_eq!(
+            to_remote_error(&Error::NotListening).kind,
+            RemoteErrorKind::Runtime
+        );
+    }
+}

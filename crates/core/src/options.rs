@@ -1,0 +1,101 @@
+//! Tunable runtime options.
+
+use std::time::Duration;
+
+/// Configuration for a [`crate::Space`].
+///
+/// The defaults implement the paper's base algorithm: blocking unmarshal of
+/// new references (a dirty call completes before the reference becomes
+/// usable), owner-side ping-based termination detection, and clean-call
+/// retry with strong cleans after ambiguous dirty failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Worker threads serving incoming calls.
+    pub workers: usize,
+    /// Deadline for application-level remote calls.
+    pub call_timeout: Duration,
+    /// Deadline for dirty calls (blocking unmarshal waits this long).
+    pub dirty_timeout: Duration,
+    /// Deadline for clean calls issued by the cleanup demon.
+    pub clean_timeout: Duration,
+    /// Delay before a failed clean call is retried.
+    pub clean_retry: Duration,
+    /// Give up on a reference's cleanup after this many failed clean calls
+    /// and assume the owner is dead.
+    pub max_clean_retries: u32,
+    /// Owner-side ping period for clients holding dirty entries.
+    /// `None` disables termination detection by ping.
+    pub ping_interval: Option<Duration>,
+    /// Consecutive ping failures after which a client is presumed dead and
+    /// removed from every dirty set.
+    pub ping_failures: u32,
+    /// Lease mode (the Java RMI variant): when set, dirty entries expire
+    /// unless renewed within this duration, and client spaces renew their
+    /// live surrogates at a third of it. `None` uses pure reference
+    /// listing with ping-based termination detection.
+    pub lease: Option<Duration>,
+    /// The §5.1 FIFO-channels variant: unmarshal does not block on dirty
+    /// calls; instead the dirty call is issued in the background over the
+    /// (FIFO) connection and the reply/acknowledgement is withheld until
+    /// it completes. Requires transports that preserve frame order (all of
+    /// ours except a reordering `SimNet`).
+    pub fifo_variant: bool,
+    /// Batch clean calls: the cleanup demon coalesces cleans queued for
+    /// the same owner into one RPC (the paper's batching optimisation for
+    /// collector traffic). Semantics are unchanged — each entry still
+    /// carries its own sequence number.
+    pub batch_cleans: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            workers: 4,
+            call_timeout: Duration::from_secs(30),
+            dirty_timeout: Duration::from_secs(10),
+            clean_timeout: Duration::from_secs(5),
+            clean_retry: Duration::from_millis(500),
+            max_clean_retries: 8,
+            ping_interval: None,
+            ping_failures: 3,
+            lease: None,
+            fifo_variant: false,
+            batch_cleans: true,
+        }
+    }
+}
+
+impl Options {
+    /// Fast-failing settings for tests.
+    pub fn fast() -> Options {
+        Options {
+            call_timeout: Duration::from_secs(5),
+            dirty_timeout: Duration::from_secs(2),
+            clean_timeout: Duration::from_millis(500),
+            clean_retry: Duration::from_millis(50),
+            max_clean_retries: 3,
+            ..Options::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_base_algorithm() {
+        let o = Options::default();
+        assert!(!o.fifo_variant);
+        assert!(o.lease.is_none());
+        assert!(o.ping_interval.is_none());
+        assert!(o.workers >= 1);
+    }
+
+    #[test]
+    fn fast_options_shrink_deadlines() {
+        let f = Options::fast();
+        assert!(f.clean_timeout < Options::default().clean_timeout);
+        assert!(f.dirty_timeout < Options::default().dirty_timeout);
+    }
+}

@@ -1,0 +1,486 @@
+//! Spaces: the processes of the network objects world.
+//!
+//! A [`Space`] owns an object table, a set of transports, an RPC server
+//! (when listening), cached RPC clients to peer spaces, and the collector
+//! machinery (sequence numbers, cleanup demon, ping/lease demons). The
+//! original system had exactly one of these per address space; tests and
+//! simulations here create many in one process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use crossbeam::channel::Sender;
+use netobj_rpc::{CallClient, CallReply, Dispatch, Dispatcher, RpcServer};
+use netobj_transport::{Endpoint, TransportRegistry};
+use netobj_wire::{ObjIx, SpaceId, TypeList, WireRep};
+use parking_lot::Mutex;
+
+use crate::dgc::{self, GcJob};
+use crate::error::{to_remote_error, Error, NetResult};
+use crate::handle::{Handle, HandleKind, PinKind, SurrogateCore, TransientPin};
+use crate::marshal::UnmarshalCx;
+use crate::obj::NetObject;
+use crate::options::Options;
+use crate::stats::{Stats, StatsSnapshot};
+use crate::table::ObjectTable;
+
+pub(crate) struct SpaceInner {
+    pub(crate) id: SpaceId,
+    pub(crate) options: Options,
+    pub(crate) registry: TransportRegistry,
+    pub(crate) clients: Mutex<HashMap<Endpoint, Arc<CallClient>>>,
+    pub(crate) server: Mutex<Option<RpcServer>>,
+    pub(crate) local_ep: Mutex<Option<Endpoint>>,
+    pub(crate) table: ObjectTable,
+    pub(crate) stats: Stats,
+    pub(crate) gc_seqno: AtomicU64,
+    pub(crate) gc_tx: Mutex<Option<Sender<GcJob>>>,
+    pub(crate) demon: Mutex<Option<std::thread::JoinHandle<()>>>,
+    pub(crate) pinger: Mutex<Option<std::thread::JoinHandle<()>>>,
+    pub(crate) stopped: AtomicBool,
+}
+
+/// A participating process: the unit of ownership in Network Objects.
+///
+/// Cheap to clone; all clones share the same underlying space. See the
+/// crate docs for the lifecycle of objects and references.
+#[derive(Clone)]
+pub struct Space {
+    pub(crate) inner: Arc<SpaceInner>,
+}
+
+/// Builder for [`Space`].
+pub struct SpaceBuilder {
+    registry: TransportRegistry,
+    listen: Option<Endpoint>,
+    options: Options,
+}
+
+impl Default for SpaceBuilder {
+    fn default() -> Self {
+        SpaceBuilder {
+            registry: TransportRegistry::new(),
+            listen: None,
+            options: Options::default(),
+        }
+    }
+}
+
+impl SpaceBuilder {
+    /// Uses an existing transport registry (share one per test/simulation).
+    pub fn transports(mut self, registry: TransportRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Registers one transport.
+    pub fn transport(self, t: Arc<dyn netobj_transport::Transport>) -> Self {
+        self.registry.register(t);
+        self
+    }
+
+    /// Makes the space listen at `ep` (required to own callable objects).
+    pub fn listen(mut self, ep: Endpoint) -> Self {
+        self.listen = Some(ep);
+        self
+    }
+
+    /// Overrides the default options.
+    pub fn options(mut self, options: Options) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Creates the space, starting its server (if listening) and demons.
+    pub fn build(self) -> NetResult<Space> {
+        let inner = Arc::new(SpaceInner {
+            id: SpaceId::fresh(),
+            options: self.options,
+            registry: self.registry,
+            clients: Mutex::new(HashMap::new()),
+            server: Mutex::new(None),
+            local_ep: Mutex::new(None),
+            table: ObjectTable::new(),
+            stats: Stats::default(),
+            gc_seqno: AtomicU64::new(1),
+            gc_tx: Mutex::new(None),
+            demon: Mutex::new(None),
+            pinger: Mutex::new(None),
+            stopped: AtomicBool::new(false),
+        });
+        let space = Space { inner };
+
+        if let Some(ep) = self.listen {
+            let listener = space.inner.registry.listen(&ep)?;
+            let local = listener.local_endpoint();
+            let dispatcher: Arc<dyn Dispatcher> =
+                Arc::new(SpaceDispatcher(Arc::downgrade(&space.inner)));
+            let server = RpcServer::start(listener, dispatcher, space.inner.options.workers);
+            *space.inner.local_ep.lock() = Some(local);
+            *space.inner.server.lock() = Some(server);
+        }
+
+        dgc::start_demons(&space);
+        Ok(space)
+    }
+}
+
+impl Space {
+    /// Starts building a space.
+    pub fn builder() -> SpaceBuilder {
+        SpaceBuilder::default()
+    }
+
+    /// This space's globally unique identifier.
+    pub fn id(&self) -> SpaceId {
+        self.inner.id
+    }
+
+    /// The endpoint this space listens on, if any.
+    pub fn endpoint(&self) -> Option<Endpoint> {
+        self.inner.local_ep.lock().clone()
+    }
+
+    /// The space's options.
+    pub fn options(&self) -> &Options {
+        &self.inner.options
+    }
+
+    /// A snapshot of the space's activity counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Number of concrete objects currently held in the object table.
+    pub fn exported_count(&self) -> usize {
+        self.inner.table.exports.lock().len()
+    }
+
+    /// Number of import slots (surrogate life cycles) currently tracked.
+    pub fn imported_count(&self) -> usize {
+        self.inner.table.imports.lock().len()
+    }
+
+    /// True after [`Space::shutdown`] or [`Space::crash`].
+    pub fn is_stopped(&self) -> bool {
+        self.inner.stopped.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn from_inner(inner: Arc<SpaceInner>) -> Space {
+        Space { inner }
+    }
+
+    // -- export / handles ----------------------------------------------------
+
+    /// Exports `obj`, pinning it in the object table, and returns a local
+    /// handle. Pinned exports survive empty dirty sets — use this for
+    /// roots that will be registered with the agent or served forever.
+    pub fn export(&self, obj: Arc<dyn NetObject>) -> NetResult<Handle> {
+        self.ensure_running()?;
+        self.inner.table.exports.lock().export(&obj, true);
+        Ok(Handle(HandleKind::Local {
+            space: self.clone(),
+            obj,
+        }))
+    }
+
+    /// Wraps `obj` in a local handle without pinning it: the object enters
+    /// the table only when first marshaled, and leaves it when no remote
+    /// references remain.
+    pub fn local(&self, obj: Arc<dyn NetObject>) -> Handle {
+        Handle(HandleKind::Local {
+            space: self.clone(),
+            obj,
+        })
+    }
+
+    /// Releases the pin of an explicit export; the entry is collected once
+    /// no dirty or transient entries protect it.
+    pub fn unexport(&self, handle: &Handle) -> NetResult<()> {
+        let HandleKind::Local { obj, .. } = &handle.0 else {
+            return Err(Error::app("unexport requires a local handle"));
+        };
+        let mut exports = self.inner.table.exports.lock();
+        if let Some(ix) = exports.lookup(obj) {
+            if exports.unpin(ix) {
+                self.inner
+                    .stats
+                    .exports_collected
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs `obj` at a reserved index (used by the agent, index 1).
+    pub fn export_builtin(&self, ix: ObjIx, obj: Arc<dyn NetObject>) -> NetResult<Handle> {
+        self.ensure_running()?;
+        self.inner
+            .table
+            .exports
+            .lock()
+            .export_at(ix, Arc::clone(&obj));
+        Ok(Handle(HandleKind::Local {
+            space: self.clone(),
+            obj,
+        }))
+    }
+
+    /// Bootstrap import: obtains a handle to the object exported at `ix`
+    /// by whatever space listens at `ep` (used to reach an agent).
+    pub fn import_root(&self, ep: &Endpoint, ix: ObjIx) -> NetResult<Handle> {
+        self.ensure_running()?;
+        let (owner_id, _owner_ep) = dgc::identify(self, ep)?;
+        let wirerep = WireRep::new(owner_id, ix);
+        if owner_id == self.id() {
+            let got = self.inner.table.exports.lock().get(ix);
+            let (obj, _types) = got.ok_or(Error::NoSuchObject(wirerep))?;
+            return Ok(Handle(HandleKind::Local {
+                space: self.clone(),
+                obj,
+            }));
+        }
+        dgc::import_ref(self, wirerep, ep.clone(), TypeList::root_only(), None)
+    }
+
+    // -- marshal/unmarshal hooks ----------------------------------------------
+
+    pub(crate) fn lookup_export(&self, obj: &Arc<dyn NetObject>) -> Option<WireRep> {
+        self.inner
+            .table
+            .exports
+            .lock()
+            .lookup(obj)
+            .map(|ix| WireRep::new(self.id(), ix))
+    }
+
+    pub(crate) fn prepare_send(&self, handle: &Handle) -> NetResult<SentRef> {
+        self.inner.stats.refs_sent.fetch_add(1, Ordering::Relaxed);
+        match &handle.0 {
+            HandleKind::Local { space, obj } => {
+                if !Arc::ptr_eq(&space.inner, &self.inner) {
+                    return Err(Error::app("handle belongs to a different space"));
+                }
+                let owner_ep = self.endpoint().ok_or(Error::NotListening)?;
+                let mut exports = self.inner.table.exports.lock();
+                let (ix, types) = exports.export(obj, false);
+                let pin = exports.add_transient(ix).expect("entry just ensured");
+                Ok(SentRef {
+                    wirerep: WireRep::new(self.id(), ix),
+                    owner_ep,
+                    types,
+                    pin: Some(TransientPin(PinKind::Owner {
+                        space: self.clone(),
+                        ix,
+                        pin,
+                    })),
+                })
+            }
+            HandleKind::Remote(core) => Ok(SentRef {
+                wirerep: core.wirerep,
+                owner_ep: core.owner_ep.clone(),
+                types: core.types.clone(),
+                pin: Some(TransientPin(PinKind::Client(Arc::clone(core)))),
+            }),
+        }
+    }
+
+    pub(crate) fn receive_ref(
+        &self,
+        cx: &mut UnmarshalCx<'_, '_>,
+        wirerep: WireRep,
+        owner_ep: Endpoint,
+        types: TypeList,
+    ) -> NetResult<Handle> {
+        self.inner
+            .stats
+            .refs_received
+            .fetch_add(1, Ordering::Relaxed);
+        if wirerep.space == self.id() {
+            // "If a client transmits a network object back to its owner,
+            // the object table causes the owner to access the concrete
+            // object; no surrogate is created."
+            let got = self.inner.table.exports.lock().get(wirerep.ix);
+            let (obj, _types) = got.ok_or(Error::NoSuchObject(wirerep))?;
+            return Ok(Handle(HandleKind::Local {
+                space: self.clone(),
+                obj,
+            }));
+        }
+        dgc::import_ref(self, wirerep, owner_ep, types, Some(cx))
+    }
+
+    pub(crate) fn release_transient(&self, ix: ObjIx, pin: u64) {
+        let collected = self.inner.table.exports.lock().remove_transient(ix, pin);
+        if collected {
+            self.inner
+                .stats
+                .exports_collected
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn notify_surrogate_unreachable(&self, wirerep: WireRep, epoch: u64) {
+        if self.is_stopped() {
+            return;
+        }
+        let tx = self.inner.gc_tx.lock().clone();
+        if let Some(tx) = tx {
+            let _ = tx.send(GcJob::Unreachable { wirerep, epoch });
+        }
+    }
+
+    pub(crate) fn next_gc_seqno(&self) -> u64 {
+        self.inner.gc_seqno.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // -- RPC plumbing -----------------------------------------------------------
+
+    /// Returns a cached (or fresh) RPC client to `ep`.
+    pub(crate) fn rpc_client(&self, ep: &Endpoint) -> NetResult<Arc<CallClient>> {
+        self.ensure_running()?;
+        {
+            let clients = self.inner.clients.lock();
+            if let Some(c) = clients.get(ep) {
+                if !c.is_closed() {
+                    return Ok(Arc::clone(c));
+                }
+            }
+        }
+        let conn = self.inner.registry.connect(ep)?;
+        let fresh = CallClient::new(Arc::from(conn), self.id());
+        let mut clients = self.inner.clients.lock();
+        match clients.get(ep) {
+            Some(c) if !c.is_closed() => Ok(Arc::clone(c)),
+            _ => {
+                clients.insert(ep.clone(), Arc::clone(&fresh));
+                Ok(fresh)
+            }
+        }
+    }
+
+    pub(crate) fn remote_call(
+        &self,
+        core: &SurrogateCore,
+        method: u32,
+        args: Vec<u8>,
+    ) -> NetResult<CallReply> {
+        self.inner.stats.calls_sent.fetch_add(1, Ordering::Relaxed);
+        let client = self.rpc_client(&core.owner_ep)?;
+        client
+            .call_raw(core.wirerep, method, args, self.inner.options.call_timeout)
+            .map_err(Error::from)
+    }
+
+    pub(crate) fn ensure_running(&self) -> NetResult<()> {
+        if self.is_stopped() {
+            Err(Error::SpaceStopped)
+        } else {
+            Ok(())
+        }
+    }
+
+    // -- lifecycle -------------------------------------------------------------
+
+    /// Gracefully stops the space: the server stops accepting, demons
+    /// exit, cached connections close. Outstanding handles in other spaces
+    /// are *not* cleaned; peers discover the death by ping/lease, exactly
+    /// as for a process exit.
+    pub fn shutdown(&self) {
+        if self.inner.stopped.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        *self.inner.gc_tx.lock() = None;
+        if let Some(mut server) = self.inner.server.lock().take() {
+            server.stop();
+        }
+        for (_, c) in self.inner.clients.lock().drain() {
+            c.close();
+        }
+        if let Some(h) = self.inner.demon.lock().take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.inner.pinger.lock().take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Abrupt termination for fault experiments: identical to
+    /// [`Space::shutdown`] (a crashed process sends no goodbyes either),
+    /// provided separately so call sites document intent.
+    pub fn crash(&self) {
+        self.shutdown();
+    }
+}
+
+impl Drop for SpaceInner {
+    fn drop(&mut self) {
+        // Demons hold only Weak references and their channel sender lives
+        // in `gc_tx`, so dropping the inner naturally stops them; join
+        // handles are detached here (threads exit on channel disconnect).
+        self.stopped.store(true, Ordering::Release);
+        *self.gc_tx.lock() = None;
+        if let Some(mut server) = self.server.lock().take() {
+            server.stop();
+        }
+        for (_, c) in self.clients.lock().drain() {
+            c.close();
+        }
+    }
+}
+
+/// What `prepare_send` produced for one transmitted reference.
+pub(crate) struct SentRef {
+    pub wirerep: WireRep,
+    pub owner_ep: Endpoint,
+    pub types: TypeList,
+    pub pin: Option<TransientPin>,
+}
+
+/// Routes incoming RPC requests into the space.
+struct SpaceDispatcher(Weak<SpaceInner>);
+
+impl Dispatcher for SpaceDispatcher {
+    fn dispatch(&self, caller: SpaceId, target: WireRep, method: u32, args: &[u8]) -> Dispatch {
+        let Some(inner) = self.0.upgrade() else {
+            return Dispatch::plain(Err(to_remote_error(&Error::SpaceStopped)));
+        };
+        let space = Space::from_inner(inner);
+        space
+            .inner
+            .stats
+            .calls_served
+            .fetch_add(1, Ordering::Relaxed);
+
+        // The collector service answers at index 0 under *any* space id:
+        // bootstrap callers do not yet know this space's identity.
+        if target.ix == ObjIx::GC_SERVICE {
+            return Dispatch::plain(
+                dgc::dispatch_gc(&space, caller, method, args).map_err(|e| to_remote_error(&e)),
+            );
+        }
+        if target.space != space.id() {
+            return Dispatch::plain(Err(to_remote_error(&Error::NoSuchObject(target))));
+        }
+        let got = space.inner.table.exports.lock().get(target.ix);
+        let Some((obj, _types)) = got else {
+            return Dispatch::plain(Err(to_remote_error(&Error::NoSuchObject(target))));
+        };
+        match obj.dispatch(&space, method, args) {
+            Ok(result) => {
+                let completion: Option<Box<dyn FnOnce() + Send>> = if result.pins.is_empty() {
+                    None
+                } else {
+                    let pins = result.pins;
+                    Some(Box::new(move || drop(pins)))
+                };
+                Dispatch {
+                    outcome: Ok(result.bytes),
+                    completion,
+                }
+            }
+            Err(e) => Dispatch::plain(Err(to_remote_error(&e))),
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Runtime counters.
+//!
+//! Every space keeps cheap atomic counters describing protocol activity.
+//! The benchmark harness reads these to report collector message counts,
+//! blocking times and reclamation figures for the experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic activity counters for one space.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Remote invocations issued by this space.
+    pub calls_sent: AtomicU64,
+    /// Invocations dispatched by this space's server.
+    pub calls_served: AtomicU64,
+    /// Dirty calls sent (including lease renewals).
+    pub dirty_sent: AtomicU64,
+    /// Dirty calls received and applied.
+    pub dirty_received: AtomicU64,
+    /// Stale (out-of-sequence) dirty calls ignored.
+    pub dirty_stale: AtomicU64,
+    /// Clean calls sent.
+    pub clean_sent: AtomicU64,
+    /// Clean calls received (no-ops included).
+    pub clean_received: AtomicU64,
+    /// Strong clean calls sent after ambiguous dirty failures.
+    pub strong_clean_sent: AtomicU64,
+    /// Clean call attempts that failed and were scheduled for retry.
+    pub clean_retries: AtomicU64,
+    /// Batched clean RPCs sent (each carrying several clean entries).
+    pub clean_batches: AtomicU64,
+    /// Pings sent by the owner-side termination detector.
+    pub pings_sent: AtomicU64,
+    /// Pings answered by this space.
+    pub pings_received: AtomicU64,
+    /// Clients presumed dead and purged from all dirty sets.
+    pub clients_purged: AtomicU64,
+    /// Object references marshaled out (copies sent).
+    pub refs_sent: AtomicU64,
+    /// Object references unmarshaled (copies received).
+    pub refs_received: AtomicU64,
+    /// Surrogates created.
+    pub surrogates_created: AtomicU64,
+    /// Surrogates resurrected (copy received while cleanup was pending).
+    pub surrogates_resurrected: AtomicU64,
+    /// Concrete-object table entries reclaimed (dirty set emptied).
+    pub exports_collected: AtomicU64,
+    /// Dirty-set entries expired by the lease sweeper.
+    pub leases_expired: AtomicU64,
+    /// Total nanoseconds unmarshal threads spent blocked waiting for
+    /// reference registration (dirty round-trips).
+    pub blocked_ns: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn add_blocked(&self, d: Duration) {
+        self.blocked_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            calls_sent: self.calls_sent.load(Ordering::Relaxed),
+            calls_served: self.calls_served.load(Ordering::Relaxed),
+            dirty_sent: self.dirty_sent.load(Ordering::Relaxed),
+            dirty_received: self.dirty_received.load(Ordering::Relaxed),
+            dirty_stale: self.dirty_stale.load(Ordering::Relaxed),
+            clean_sent: self.clean_sent.load(Ordering::Relaxed),
+            clean_received: self.clean_received.load(Ordering::Relaxed),
+            strong_clean_sent: self.strong_clean_sent.load(Ordering::Relaxed),
+            clean_retries: self.clean_retries.load(Ordering::Relaxed),
+            clean_batches: self.clean_batches.load(Ordering::Relaxed),
+            pings_sent: self.pings_sent.load(Ordering::Relaxed),
+            pings_received: self.pings_received.load(Ordering::Relaxed),
+            clients_purged: self.clients_purged.load(Ordering::Relaxed),
+            refs_sent: self.refs_sent.load(Ordering::Relaxed),
+            refs_received: self.refs_received.load(Ordering::Relaxed),
+            surrogates_created: self.surrogates_created.load(Ordering::Relaxed),
+            surrogates_resurrected: self.surrogates_resurrected.load(Ordering::Relaxed),
+            exports_collected: self.exports_collected.load(Ordering::Relaxed),
+            leases_expired: self.leases_expired.load(Ordering::Relaxed),
+            blocked_ns: self.blocked_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a space's [`Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub calls_sent: u64,
+    pub calls_served: u64,
+    pub dirty_sent: u64,
+    pub dirty_received: u64,
+    pub dirty_stale: u64,
+    pub clean_sent: u64,
+    pub clean_received: u64,
+    pub strong_clean_sent: u64,
+    pub clean_retries: u64,
+    pub clean_batches: u64,
+    pub pings_sent: u64,
+    pub pings_received: u64,
+    pub clients_purged: u64,
+    pub refs_sent: u64,
+    pub refs_received: u64,
+    pub surrogates_created: u64,
+    pub surrogates_resurrected: u64,
+    pub exports_collected: u64,
+    pub leases_expired: u64,
+    pub blocked_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Total collector control messages sent by this space (dirty + clean
+    /// + strong clean + pings).
+    pub fn gc_messages_sent(&self) -> u64 {
+        self.dirty_sent + self.clean_sent + self.strong_clean_sent + self.pings_sent
+    }
+
+    /// Time unmarshal threads spent blocked.
+    pub fn blocked(&self) -> Duration {
+        Duration::from_nanos(self.blocked_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = Stats::default();
+        s.dirty_sent.store(3, Ordering::Relaxed);
+        s.clean_sent.store(2, Ordering::Relaxed);
+        s.pings_sent.store(1, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.dirty_sent, 3);
+        assert_eq!(snap.gc_messages_sent(), 6);
+    }
+
+    #[test]
+    fn blocked_time_accumulates() {
+        let s = Stats::default();
+        s.add_blocked(Duration::from_micros(5));
+        s.add_blocked(Duration::from_micros(7));
+        assert_eq!(s.snapshot().blocked(), Duration::from_micros(12));
+    }
+}

@@ -1,0 +1,569 @@
+//! The object table.
+//!
+//! Every space has one: it maps wireReps to the local instance of the
+//! corresponding network object. For objects this space owns, the entry is
+//! a *concrete entry* holding a strong reference (the object table is a
+//! root for the local collector while remote references exist) together
+//! with the object's **dirty set** and **transient set**. For objects owned
+//! elsewhere, the entry is an *import slot* tracking the surrogate's life
+//! cycle — the `⊥ / nil / OK / ccit / ccitnil` states of the collector's
+//! formal specification.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Weak};
+use std::time::Instant;
+
+use netobj_transport::Endpoint;
+use netobj_wire::{ObjIx, SpaceId, TypeList, WireRep};
+use parking_lot::{Condvar, Mutex};
+
+use crate::handle::SurrogateCore;
+use crate::obj::NetObject;
+
+/// What the owner knows about one client's claim on an object.
+#[derive(Debug, Clone)]
+pub(crate) struct DirtyInfo {
+    /// Highest sequence number seen from this client for this object.
+    pub last_seqno: u64,
+    /// Where the client can be pinged, if it told us.
+    pub client_ep: Option<Endpoint>,
+    /// Last time the entry was created or renewed (lease mode).
+    pub renewed: Instant,
+}
+
+/// Owner-side entry: a concrete object plus its reference listing.
+pub(crate) struct ConcreteEntry {
+    /// Strong reference pinning the object while remotely referenced.
+    pub obj: Arc<dyn NetObject>,
+    /// Interface ancestry sent with marshaled references.
+    pub types: TypeList,
+    /// Explicitly exported entries are never auto-removed (bootstrap roots
+    /// registered with the agent must survive empty dirty sets).
+    pub pinned: bool,
+    /// The dirty set: clients known to hold surrogates.
+    pub dirty: HashMap<SpaceId, DirtyInfo>,
+    /// The paper's `seqno(O, P)`: the largest sequence number seen from
+    /// each client on a dirty *or clean* call. Kept independently of dirty
+    /// membership so that a clean (in particular a *strong* clean after an
+    /// ambiguous dirty failure) permanently outranks any delayed dirty
+    /// still in flight.
+    pub seqno_floor: HashMap<SpaceId, u64>,
+    /// Transient dirty entries: in-flight transmissions of this reference.
+    pub transient: HashSet<u64>,
+}
+
+impl ConcreteEntry {
+    /// True when nothing protects the entry: it may leave the table.
+    fn removable(&self) -> bool {
+        !self.pinned && self.dirty.is_empty() && self.transient.is_empty()
+    }
+}
+
+/// Client-side surrogate life-cycle state (the formal model's `rec_T`).
+///
+/// `⊥` (pre-existence / reclaimed) is represented by the slot's absence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ImportState {
+    /// `nil`: reference received, dirty call not yet acknowledged.
+    Creating,
+    /// `OK`: registered with the owner; usable.
+    Live,
+    /// `ccit`: clean call in transit.
+    CleanWait,
+    /// `ccitnil`: clean in transit but a new copy arrived — resurrect once
+    /// the clean acknowledgement lands.
+    CleanWaitResurrect,
+}
+
+/// Client-side entry for an imported reference.
+pub(crate) struct ImportSlot {
+    pub owner_ep: Endpoint,
+    pub types: TypeList,
+    pub state: ImportState,
+    /// Bumped whenever a new surrogate core is installed; unreachability
+    /// notices carrying an older epoch are stale and ignored.
+    pub epoch: u64,
+    /// Live surrogate core, if any handle still holds it.
+    pub weak: Weak<SurrogateCore>,
+    /// Threads blocked waiting for this slot to become usable.
+    pub waiters: u32,
+    /// Set when registration failed; waiters give up instead of retrying.
+    pub failed: bool,
+}
+
+/// The two halves of a space's object table.
+pub(crate) struct ObjectTable {
+    pub exports: Mutex<Exports>,
+    pub imports: Mutex<HashMap<WireRep, ImportSlot>>,
+    /// Signals import-slot state changes to blocked unmarshal threads.
+    pub import_cv: Condvar,
+}
+
+/// Owner-side table state.
+pub(crate) struct Exports {
+    next_ix: u64,
+    next_pin: u64,
+    pub by_ix: HashMap<u64, ConcreteEntry>,
+    /// Reverse map from object identity to index, so re-marshaling the
+    /// same object reuses its wireRep ("there is at most one entry per
+    /// concrete object").
+    by_ptr: HashMap<usize, u64>,
+}
+
+fn ptr_key(obj: &Arc<dyn NetObject>) -> usize {
+    Arc::as_ptr(obj) as *const () as usize
+}
+
+impl ObjectTable {
+    pub fn new() -> ObjectTable {
+        ObjectTable {
+            exports: Mutex::new(Exports {
+                next_ix: ObjIx::FIRST_USER.0,
+                next_pin: 1,
+                by_ix: HashMap::new(),
+                by_ptr: HashMap::new(),
+            }),
+            imports: Mutex::new(HashMap::new()),
+            import_cv: Condvar::new(),
+        }
+    }
+}
+
+impl Exports {
+    /// Finds or creates the entry for `obj`, returning its index.
+    pub fn export(&mut self, obj: &Arc<dyn NetObject>, pinned: bool) -> (ObjIx, TypeList) {
+        let key = ptr_key(obj);
+        if let Some(&ix) = self.by_ptr.get(&key) {
+            let entry = self.by_ix.get_mut(&ix).expect("by_ptr/by_ix consistent");
+            entry.pinned |= pinned;
+            return (ObjIx(ix), entry.types.clone());
+        }
+        let ix = self.next_ix;
+        self.next_ix += 1;
+        let types = obj.type_list();
+        self.by_ix.insert(
+            ix,
+            ConcreteEntry {
+                obj: Arc::clone(obj),
+                types: types.clone(),
+                pinned,
+                dirty: HashMap::new(),
+                seqno_floor: HashMap::new(),
+                transient: HashSet::new(),
+            },
+        );
+        self.by_ptr.insert(key, ix);
+        (ObjIx(ix), types)
+    }
+
+    /// Installs an object at a reserved index (agent bootstrap).
+    pub fn export_at(&mut self, ix: ObjIx, obj: Arc<dyn NetObject>) {
+        let types = obj.type_list();
+        self.by_ptr.insert(ptr_key(&obj), ix.0);
+        self.by_ix.insert(
+            ix.0,
+            ConcreteEntry {
+                obj,
+                types,
+                pinned: true,
+                dirty: HashMap::new(),
+                seqno_floor: HashMap::new(),
+                transient: HashSet::new(),
+            },
+        );
+    }
+
+    /// Looks up the index for an already-exported object.
+    pub fn lookup(&self, obj: &Arc<dyn NetObject>) -> Option<ObjIx> {
+        self.by_ptr.get(&ptr_key(obj)).map(|&ix| ObjIx(ix))
+    }
+
+    /// Returns the concrete object at `ix`, if present.
+    pub fn get(&self, ix: ObjIx) -> Option<(Arc<dyn NetObject>, TypeList)> {
+        self.by_ix
+            .get(&ix.0)
+            .map(|e| (Arc::clone(&e.obj), e.types.clone()))
+    }
+
+    /// Adds a transient pin to `ix`, returning the pin id.
+    ///
+    /// Returns `None` if no entry exists (callers export first, so this
+    /// indicates a logic error upstream).
+    pub fn add_transient(&mut self, ix: ObjIx) -> Option<u64> {
+        let entry = self.by_ix.get_mut(&ix.0)?;
+        let pin = self.next_pin;
+        self.next_pin += 1;
+        entry.transient.insert(pin);
+        Some(pin)
+    }
+
+    /// Releases a transient pin; returns true if the entry was collected.
+    pub fn remove_transient(&mut self, ix: ObjIx, pin: u64) -> bool {
+        let Some(entry) = self.by_ix.get_mut(&ix.0) else {
+            return false;
+        };
+        entry.transient.remove(&pin);
+        self.maybe_collect(ix)
+    }
+
+    /// Applies a dirty call from `client` with `seqno`.
+    ///
+    /// Returns the object's type list, or `None` for a vanished object or a
+    /// stale sequence number (`Some` ⇒ the entry now lists the client).
+    pub fn apply_dirty(
+        &mut self,
+        ix: ObjIx,
+        client: SpaceId,
+        seqno: u64,
+        client_ep: Option<Endpoint>,
+        now: Instant,
+    ) -> DirtyOutcome {
+        let Some(entry) = self.by_ix.get_mut(&ix.0) else {
+            return DirtyOutcome::NoSuchObject;
+        };
+        let floor = entry.seqno_floor.entry(client).or_insert(0);
+        if seqno <= *floor {
+            return DirtyOutcome::Stale;
+        }
+        *floor = seqno;
+        match entry.dirty.get_mut(&client) {
+            Some(info) => {
+                info.last_seqno = seqno;
+                info.renewed = now;
+                if client_ep.is_some() {
+                    info.client_ep = client_ep;
+                }
+            }
+            None => {
+                entry.dirty.insert(
+                    client,
+                    DirtyInfo {
+                        last_seqno: seqno,
+                        client_ep,
+                        renewed: now,
+                    },
+                );
+            }
+        }
+        DirtyOutcome::Applied(entry.types.clone())
+    }
+
+    /// Applies a clean call; returns true if the table entry was collected.
+    ///
+    /// A clean for an unknown object or an absent client is a no-op (the
+    /// paper: "if it is not in the set, the clean call is a no-op"). A
+    /// stale sequence number is likewise a no-op, but a clean records its
+    /// seqno so that a *delayed* dirty it raced past cannot re-add the
+    /// client afterwards — this is what makes strong cleans final.
+    pub fn apply_clean(&mut self, ix: ObjIx, client: SpaceId, seqno: u64) -> CleanOutcome {
+        let Some(entry) = self.by_ix.get_mut(&ix.0) else {
+            return CleanOutcome::NoOp;
+        };
+        let floor = entry.seqno_floor.entry(client).or_insert(0);
+        if seqno <= *floor {
+            return CleanOutcome::Stale;
+        }
+        *floor = seqno;
+        if entry.dirty.remove(&client).is_none() {
+            // Unknown client: a no-op, but the floor update above still
+            // blocks any delayed dirty with a lower seqno.
+            return CleanOutcome::NoOp;
+        }
+        if self.maybe_collect(ix) {
+            CleanOutcome::Collected
+        } else {
+            CleanOutcome::Removed
+        }
+    }
+
+    /// Removes `client` from every dirty set (presumed-dead client).
+    /// Returns the number of entries collected as a result.
+    pub fn purge_client(&mut self, client: SpaceId) -> u64 {
+        let affected: Vec<u64> = self
+            .by_ix
+            .iter_mut()
+            .filter_map(|(&ix, e)| e.dirty.remove(&client).map(|_| ix))
+            .collect();
+        let mut collected = 0;
+        for ix in affected {
+            if self.maybe_collect(ObjIx(ix)) {
+                collected += 1;
+            }
+        }
+        collected
+    }
+
+    /// Removes dirty entries older than `expiry`; returns (expired entries,
+    /// collected objects). Lease mode only.
+    pub fn expire_leases(&mut self, expiry: Instant) -> (u64, u64) {
+        let mut expired = 0;
+        let mut affected = Vec::new();
+        for (&ix, e) in self.by_ix.iter_mut() {
+            let before = e.dirty.len();
+            e.dirty.retain(|_, info| info.renewed >= expiry);
+            let removed = before - e.dirty.len();
+            if removed > 0 {
+                expired += removed as u64;
+                affected.push(ix);
+            }
+        }
+        let mut collected = 0;
+        for ix in affected {
+            if self.maybe_collect(ObjIx(ix)) {
+                collected += 1;
+            }
+        }
+        (expired, collected)
+    }
+
+    /// Every (client, endpoint) pair present in some dirty set; the ping
+    /// demon's worklist.
+    pub fn dirty_clients(&self) -> Vec<(SpaceId, Option<Endpoint>)> {
+        let mut seen: HashMap<SpaceId, Option<Endpoint>> = HashMap::new();
+        for e in self.by_ix.values() {
+            for (&client, info) in &e.dirty {
+                let slot = seen.entry(client).or_insert(None);
+                if slot.is_none() {
+                    *slot = info.client_ep.clone();
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Marks an explicit export removable again; returns true if collected.
+    pub fn unpin(&mut self, ix: ObjIx) -> bool {
+        if let Some(e) = self.by_ix.get_mut(&ix.0) {
+            e.pinned = false;
+        }
+        self.maybe_collect(ix)
+    }
+
+    /// Number of live concrete entries.
+    pub fn len(&self) -> usize {
+        self.by_ix.len()
+    }
+
+    /// Removes the entry if nothing protects it; true if removed.
+    fn maybe_collect(&mut self, ix: ObjIx) -> bool {
+        let removable = self.by_ix.get(&ix.0).is_some_and(|e| e.removable());
+        if removable {
+            let entry = self.by_ix.remove(&ix.0).expect("checked present");
+            self.by_ptr.remove(&ptr_key(&entry.obj));
+        }
+        removable
+    }
+}
+
+/// Result of applying a dirty call at the owner.
+pub(crate) enum DirtyOutcome {
+    /// The client is now listed; carries the object's type list.
+    Applied(TypeList),
+    /// Sequence number not newer than the last seen: ignored.
+    Stale,
+    /// The object is gone from the table.
+    NoSuchObject,
+}
+
+/// Result of applying a clean call at the owner.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum CleanOutcome {
+    /// Client removed; entry survives (other claims remain).
+    Removed,
+    /// Client removed and the entry left the table.
+    Collected,
+    /// Nothing to do (unknown object or client not listed).
+    NoOp,
+    /// Sequence number not newer than the last seen: ignored.
+    Stale,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::NetResult;
+    use crate::obj::MarshaledResult;
+    use crate::space::Space;
+
+    struct Dummy;
+    impl NetObject for Dummy {
+        fn type_list(&self) -> TypeList {
+            TypeList::from_names(&["test.Dummy"])
+        }
+        fn dispatch(&self, _s: &Space, _m: u32, _a: &[u8]) -> NetResult<MarshaledResult> {
+            Ok(MarshaledResult::plain(Vec::new()))
+        }
+    }
+
+    fn dummy() -> Arc<dyn NetObject> {
+        Arc::new(Dummy)
+    }
+
+    fn fresh() -> Exports {
+        Exports {
+            next_ix: ObjIx::FIRST_USER.0,
+            next_pin: 1,
+            by_ix: HashMap::new(),
+            by_ptr: HashMap::new(),
+        }
+    }
+
+    fn client(n: u128) -> SpaceId {
+        SpaceId::from_raw(n)
+    }
+
+    #[test]
+    fn export_reuses_index_for_same_object() {
+        let mut e = fresh();
+        let obj = dummy();
+        let (ix1, _) = e.export(&obj, false);
+        let (ix2, _) = e.export(&obj, false);
+        assert_eq!(ix1, ix2);
+        assert_eq!(e.len(), 1);
+        let other = dummy();
+        let (ix3, _) = e.export(&other, false);
+        assert_ne!(ix1, ix3);
+    }
+
+    #[test]
+    fn unprotected_entry_collects_on_transient_release() {
+        let mut e = fresh();
+        let obj = dummy();
+        let (ix, _) = e.export(&obj, false);
+        let pin = e.add_transient(ix).unwrap();
+        assert_eq!(e.len(), 1);
+        assert!(e.remove_transient(ix, pin));
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn pinned_entry_survives_until_unpinned() {
+        let mut e = fresh();
+        let obj = dummy();
+        let (ix, _) = e.export(&obj, true);
+        let pin = e.add_transient(ix).unwrap();
+        assert!(!e.remove_transient(ix, pin));
+        assert_eq!(e.len(), 1);
+        assert!(e.unpin(ix));
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn dirty_then_clean_collects() {
+        let mut e = fresh();
+        let obj = dummy();
+        let (ix, _) = e.export(&obj, false);
+        let pin = e.add_transient(ix).unwrap();
+        let now = Instant::now();
+        assert!(matches!(
+            e.apply_dirty(ix, client(1), 1, None, now),
+            DirtyOutcome::Applied(_)
+        ));
+        // Transient released: dirty entry still protects.
+        assert!(!e.remove_transient(ix, pin));
+        assert_eq!(e.apply_clean(ix, client(1), 2), CleanOutcome::Collected);
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn stale_dirty_ignored() {
+        let mut e = fresh();
+        let obj = dummy();
+        let (ix, _) = e.export(&obj, true);
+        let now = Instant::now();
+        assert!(matches!(
+            e.apply_dirty(ix, client(1), 5, None, now),
+            DirtyOutcome::Applied(_)
+        ));
+        assert!(matches!(
+            e.apply_dirty(ix, client(1), 5, None, now),
+            DirtyOutcome::Stale
+        ));
+        assert!(matches!(
+            e.apply_dirty(ix, client(1), 4, None, now),
+            DirtyOutcome::Stale
+        ));
+        assert!(matches!(
+            e.apply_dirty(ix, client(1), 6, None, now),
+            DirtyOutcome::Applied(_)
+        ));
+    }
+
+    #[test]
+    fn delayed_dirty_after_strong_clean_is_stale() {
+        // The failure-handling scenario: dirty(7) is delayed in the
+        // network; the client gives up and sends strong clean(8); the
+        // dirty finally arrives and must NOT resurrect the entry.
+        let mut e = fresh();
+        let obj = dummy();
+        let (ix, _) = e.export(&obj, true);
+        let now = Instant::now();
+        assert!(matches!(
+            e.apply_dirty(ix, client(1), 5, None, now),
+            DirtyOutcome::Applied(_)
+        ));
+        assert_eq!(e.apply_clean(ix, client(1), 8), CleanOutcome::Removed);
+        // The delayed dirty(7) finally arrives: the seqno floor left by the
+        // strong clean(8) must block it.
+        assert!(matches!(
+            e.apply_dirty(ix, client(1), 7, None, now),
+            DirtyOutcome::Stale
+        ));
+        // And a genuinely newer dirty (a fresh import) is accepted.
+        assert!(matches!(
+            e.apply_dirty(ix, client(1), 9, None, now),
+            DirtyOutcome::Applied(_)
+        ));
+    }
+
+    #[test]
+    fn clean_for_unknown_is_noop() {
+        let mut e = fresh();
+        assert_eq!(e.apply_clean(ObjIx(99), client(1), 1), CleanOutcome::NoOp);
+        let obj = dummy();
+        let (ix, _) = e.export(&obj, true);
+        assert_eq!(e.apply_clean(ix, client(1), 1), CleanOutcome::NoOp);
+    }
+
+    #[test]
+    fn purge_client_empties_all_sets() {
+        let mut e = fresh();
+        let a = dummy();
+        let b = dummy();
+        let (ia, _) = e.export(&a, false);
+        let (ib, _) = e.export(&b, false);
+        let now = Instant::now();
+        e.apply_dirty(ia, client(1), 1, None, now);
+        e.apply_dirty(ib, client(1), 2, None, now);
+        e.apply_dirty(ib, client(2), 3, None, now);
+        assert_eq!(e.purge_client(client(1)), 1); // a collected, b survives
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn lease_expiry() {
+        let mut e = fresh();
+        let obj = dummy();
+        let (ix, _) = e.export(&obj, false);
+        let old = Instant::now() - std::time::Duration::from_secs(100);
+        e.apply_dirty(ix, client(1), 1, None, old);
+        let (expired, collected) =
+            e.expire_leases(Instant::now() - std::time::Duration::from_secs(10));
+        assert_eq!((expired, collected), (1, 1));
+    }
+
+    #[test]
+    fn dirty_clients_lists_endpoints() {
+        let mut e = fresh();
+        let obj = dummy();
+        let (ix, _) = e.export(&obj, true);
+        let now = Instant::now();
+        e.apply_dirty(ix, client(1), 1, Some(Endpoint::sim("c1")), now);
+        e.apply_dirty(ix, client(2), 2, None, now);
+        let mut clients = e.dirty_clients();
+        clients.sort_by_key(|(s, _)| *s);
+        assert_eq!(clients.len(), 2);
+        assert_eq!(clients[0].1, Some(Endpoint::sim("c1")));
+        assert_eq!(clients[1].1, None);
+    }
+}

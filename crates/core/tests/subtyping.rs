@@ -1,0 +1,150 @@
+//! The narrowest-surrogate mechanism: an exported object's type list
+//! carries its whole interface ancestry; an importer narrows the handle
+//! to the most derived interface it has a stub for, falling back to wider
+//! supertypes — Network Objects' subtyping story.
+
+use std::sync::Arc;
+
+use netobj::wire::{ObjIx, TypeCode};
+use netobj::{network_object, NetResult, Options, Space};
+use netobj_transport::sim::SimNet;
+use netobj_transport::Endpoint;
+use parking_lot::Mutex;
+
+network_object! {
+    /// The base interface: methods 0..=0.
+    pub interface Animal ("sub.Animal"): client AnimalClient, export AnimalExport {
+        0 => fn name(&self) -> String;
+    }
+}
+
+network_object! {
+    /// Derived interface: base methods re-declared at the same indices,
+    /// new methods after (the numbering contract a stub compiler keeps).
+    pub interface Dog ("sub.Dog" extends "sub.Animal"):
+        client DogClient, export DogExport
+    {
+        0 => fn name(&self) -> String;
+        1 => fn fetch(&self, what: String) -> String;
+    }
+}
+
+struct DogImpl {
+    fetched: Mutex<Vec<String>>,
+}
+
+impl Dog for DogImpl {
+    fn name(&self) -> NetResult<String> {
+        Ok("rex".into())
+    }
+    fn fetch(&self, what: String) -> NetResult<String> {
+        self.fetched.lock().push(what.clone());
+        Ok(format!("fetched {what}"))
+    }
+}
+
+fn rig() -> (Space, Space) {
+    let net = SimNet::instant();
+    let owner = Space::builder()
+        .transport(Arc::new(Arc::clone(&net)))
+        .listen(Endpoint::sim("owner"))
+        .options(Options::fast())
+        .build()
+        .unwrap();
+    owner
+        .export(Arc::new(DogExport(Arc::new(DogImpl {
+            fetched: Mutex::new(Vec::new()),
+        }))))
+        .unwrap();
+    let client = Space::builder()
+        .transport(Arc::new(net))
+        .options(Options::fast())
+        .build()
+        .unwrap();
+    (owner, client)
+}
+
+#[test]
+fn type_list_carries_ancestry() {
+    let (owner, client) = rig();
+    let _ = owner;
+    let h = client
+        .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+        .unwrap();
+    let types = h.types();
+    assert_eq!(types.narrowest(), TypeCode::of_name("sub.Dog"));
+    assert!(types.includes(TypeCode::of_name("sub.Animal")));
+    assert!(types.includes(TypeCode::ROOT));
+    assert_eq!(types.codes().len(), 3);
+}
+
+#[test]
+fn narrow_to_derived_and_base() {
+    let (_owner, client) = rig();
+    let h = client
+        .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+        .unwrap();
+
+    // Narrow to the exact type.
+    let dog = DogClient::narrow(h.clone()).unwrap();
+    assert_eq!(dog.name().unwrap(), "rex");
+    assert_eq!(dog.fetch("ball".into()).unwrap(), "fetched ball");
+
+    // A space that only knows the base interface narrows to it and uses
+    // the shared method prefix.
+    let animal = AnimalClient::narrow(h).unwrap();
+    assert_eq!(animal.name().unwrap(), "rex");
+}
+
+#[test]
+fn narrow_to_unrelated_interface_fails() {
+    network_object! {
+        /// Unrelated interface.
+        pub interface Rock ("sub.Rock"): client RockClient, export RockExport {
+            0 => fn weight(&self) -> i64;
+        }
+    }
+    let (_owner, client) = rig();
+    let h = client
+        .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+        .unwrap();
+    assert!(RockClient::narrow(h).is_err());
+}
+
+#[test]
+fn base_and_derived_stubs_share_the_surrogate() {
+    let (_owner, client) = rig();
+    let h = client
+        .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+        .unwrap();
+    let dog = DogClient::narrow(h.clone()).unwrap();
+    let animal = AnimalClient::narrow(h).unwrap();
+    assert!(dog.handle().same_object(animal.handle()));
+    // Both views used a single registration.
+    assert_eq!(client.stats().dirty_sent, 1);
+    assert_eq!(client.stats().surrogates_created, 1);
+}
+
+#[test]
+fn narrowest_known_selection() {
+    // The wire-level selection helper the importer uses when it has a
+    // registry of known stubs.
+    let (_owner, client) = rig();
+    let h = client
+        .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+        .unwrap();
+    let mut known = std::collections::HashSet::new();
+    known.insert(TypeCode::ROOT);
+    known.insert(TypeCode::of_name("sub.Animal"));
+    assert_eq!(
+        h.types().narrowest_known(&known),
+        Some(TypeCode::of_name("sub.Animal")),
+        "falls back to the widest known supertype"
+    );
+    known.insert(TypeCode::of_name("sub.Dog"));
+    assert_eq!(
+        h.types().narrowest_known(&known),
+        Some(TypeCode::of_name("sub.Dog")),
+        "prefers the most derived known type"
+    );
+}

@@ -1,0 +1,310 @@
+//! Baseline algorithms for the comparison experiments.
+//!
+//! - [`naive`]: the broken straw-man — naive distributed reference
+//!   counting with unsynchronised increment/decrement messages — whose
+//!   race (Figure 1 of the algorithm's formal treatment) motivates the
+//!   whole design. We measure how often the race actually reclaims a live
+//!   object as a function of network jitter.
+//! - [`lermen_maurer`]: the earliest safe algorithm; the *sender* notifies
+//!   the owner and the receiver defers decrements until increments are
+//!   acknowledged.
+//! - [`wrc`]: weighted reference counting — copies carry weight, so no
+//!   message is needed on copy; discards send the weight back; weight
+//!   underflow costs extra traffic.
+//! - [`irc`]: indirect reference counting — a diffusion tree; discards
+//!   decrement the parent; interior nodes must persist as *zombies* until
+//!   their children die.
+//!
+//! These are message-accounting models (per-workload totals), not full
+//! state machines: the comparison experiments report message counts and
+//! zombie counts, which these compute exactly.
+
+/// Message/space cost of one workload under one algorithm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Application copies performed (same for every algorithm).
+    pub copies: u64,
+    /// Control messages: everything the collector sends.
+    pub control_msgs: u64,
+    /// Round trips on the critical path of a first-time copy (latency
+    /// the mutator can observe).
+    pub blocking_rtts: u64,
+    /// Zombie records retained after all drops (IRC/WRC indirections).
+    pub zombies: u64,
+}
+
+/// The comparison workloads (mirrors `variants::Workload`, but baselines
+/// have no owner/third-party distinction beyond who holds the reference).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Owner hands the reference to `n` clients directly; all drop.
+    Fanout(usize),
+    /// Owner → 1 → 2 → … → n, then all drop (drop order: upstream first,
+    /// the worst case for diffusion trees).
+    Chain(usize),
+    /// `n` copies all to the same client, who then drops once.
+    Repeated(usize),
+}
+
+impl Workload {
+    /// A short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Workload::Fanout(n) => format!("fan-out to {n}"),
+            Workload::Chain(n) => format!("chain of {n}"),
+            Workload::Repeated(n) => format!("{n}× to same client"),
+        }
+    }
+}
+
+/// Birrell's algorithm (reference listing, dirty/clean calls).
+pub mod birrell {
+    use super::{Cost, Workload};
+
+    /// Exact per-workload costs of the base algorithm.
+    ///
+    /// First receipt: dirty + dirty_ack before usable (1 blocking RTT),
+    /// copy_ack after. Re-receipt while held: copy_ack only. Last drop:
+    /// clean + clean_ack.
+    pub fn cost(w: Workload) -> Cost {
+        match w {
+            Workload::Fanout(n) | Workload::Chain(n) => Cost {
+                copies: n as u64,
+                // Per process: dirty, dirty_ack, copy_ack, clean,
+                // clean_ack.
+                control_msgs: 5 * n as u64,
+                blocking_rtts: n as u64,
+                zombies: 0,
+            },
+            Workload::Repeated(n) => Cost {
+                copies: n as u64,
+                // First copy registers (dirty/dirty_ack/copy_ack), the
+                // remaining n−1 need only copy_acks; one clean pair at
+                // the end.
+                control_msgs: 3 + (n as u64 - 1) + 2,
+                blocking_rtts: 1,
+                zombies: 0,
+            },
+        }
+    }
+}
+
+/// Lermen–Maurer (1986): sender-initiated increments with acks.
+pub mod lermen_maurer {
+    use super::{Cost, Workload};
+
+    /// Per copy: INC (sender→owner) + ACK (owner→receiver). Per discard:
+    /// DEC once the receiver has matched acks to receipts. The receiver
+    /// never blocks (the ack arrives independently), but a discard may be
+    /// deferred — we charge no blocking RTTs.
+    pub fn cost(w: Workload) -> Cost {
+        let n = match w {
+            Workload::Fanout(n) | Workload::Chain(n) | Workload::Repeated(n) => n as u64,
+        };
+        match w {
+            Workload::Fanout(_) | Workload::Chain(_) => Cost {
+                copies: n,
+                // Per copy: inc + ack; per process: one dec.
+                control_msgs: 2 * n + n,
+                blocking_rtts: 0,
+                zombies: 0,
+            },
+            Workload::Repeated(_) => Cost {
+                copies: n,
+                // Every copy still costs inc + ack; single dec at the end.
+                control_msgs: 2 * n + 1,
+                blocking_rtts: 0,
+                zombies: 0,
+            },
+        }
+    }
+}
+
+/// Weighted reference counting (Bevan / Watson & Watson 1987).
+pub mod wrc {
+    use super::{Cost, Workload};
+
+    /// Total weight carried by a fresh object (2^32 in our accounting).
+    pub const INITIAL_WEIGHT_LOG2: u32 = 32;
+
+    /// Per copy: zero messages (weight splits). Per discard: one DEC
+    /// carrying the weight home. A chain halves weight per hop: beyond
+    /// `INITIAL_WEIGHT_LOG2` hops each further copy needs an indirection
+    /// cell (zombie) or a "more weight" round trip; we model the
+    /// indirection choice.
+    pub fn cost(w: Workload) -> Cost {
+        match w {
+            Workload::Fanout(n) | Workload::Repeated(n) => Cost {
+                copies: n as u64,
+                control_msgs: match w {
+                    Workload::Fanout(_) => n as u64, // one dec per client
+                    _ => 1,                          // single holder, one dec
+                },
+                blocking_rtts: 0,
+                zombies: 0,
+            },
+            Workload::Chain(n) => {
+                let overflow_hops = (n as u64).saturating_sub(INITIAL_WEIGHT_LOG2 as u64);
+                Cost {
+                    copies: n as u64,
+                    control_msgs: n as u64, // one dec per process on drop
+                    blocking_rtts: 0,
+                    zombies: overflow_hops, // indirection cells past 2^32
+                }
+            }
+        }
+    }
+}
+
+/// Indirect reference counting (Piquer 1991): diffusion trees.
+pub mod irc {
+    use super::{Cost, Workload};
+
+    /// Per copy: zero messages (the copy itself carries the parent
+    /// pointer; the sender increments a local counter). Per discard: one
+    /// DEC to the parent — but an interior node whose children survive
+    /// becomes a zombie until they die.
+    pub fn cost(w: Workload) -> Cost {
+        match w {
+            Workload::Fanout(n) => Cost {
+                copies: n as u64,
+                control_msgs: n as u64, // each leaf decs the owner
+                blocking_rtts: 0,
+                zombies: 0,
+            },
+            Workload::Chain(n) => Cost {
+                copies: n as u64,
+                control_msgs: n as u64, // each node eventually decs parent
+                blocking_rtts: 0,
+                // Dropping upstream-first leaves every interior node a
+                // zombie until its child dies: n−1 zombies at peak.
+                zombies: (n as u64).saturating_sub(1),
+            },
+            Workload::Repeated(n) => Cost {
+                copies: n as u64,
+                // The receiver counts n receipts from the same parent and
+                // sends one dec carrying the count (Piquer batches).
+                control_msgs: 1,
+                blocking_rtts: 0,
+                zombies: 0,
+            },
+        }
+    }
+}
+
+/// The naive-counting race (Figure 1): a timing simulation.
+pub mod naive {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// One trial of the triangular scenario: P2 holds the only listed
+    /// reference to an object owned by P1 (count = 1). P2 sends the
+    /// reference to P3 and posts INC to P1; P3, on receipt, immediately
+    /// discards and posts DEC to P1. If the DEC arrives first, the count
+    /// dips to zero and P1 reclaims a live object.
+    ///
+    /// `jitter` is the ratio of random per-message latency spread to the
+    /// base latency: with zero jitter the INC (posted earlier) always
+    /// wins; as jitter grows, the race flips more often.
+    pub fn race_probability(trials: u32, jitter: f64, seed: u64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut premature = 0u32;
+        let base = 1.0;
+        for _ in 0..trials {
+            let lat = |rng: &mut SmallRng| base * (1.0 + jitter * rng.gen::<f64>());
+            // INC leaves P2 at t=0.
+            let inc_arrival = lat(&mut rng);
+            // The copy leaves P2 at t=0; P3 discards immediately on
+            // receipt and the DEC then travels to P1.
+            let copy_arrival = lat(&mut rng);
+            let dec_arrival = copy_arrival + lat(&mut rng);
+            if dec_arrival < inc_arrival {
+                premature += 1;
+            }
+        }
+        f64::from(premature) / f64::from(trials)
+    }
+
+    /// The same scenario with both P2→P3 and the discard happening after
+    /// the object was *already* transferred once (deeper pipelines make
+    /// the race more likely): `hops` extra forwarding steps.
+    pub fn race_probability_chain(trials: u32, jitter: f64, hops: u32, seed: u64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut premature = 0u32;
+        for _ in 0..trials {
+            let lat = |rng: &mut SmallRng| 1.0 + jitter * rng.gen::<f64>();
+            // The INC from the *last* forwarder.
+            let mut t = 0.0;
+            for _ in 0..hops {
+                t += lat(&mut rng); // forwarding chain
+            }
+            let inc_arrival = t + lat(&mut rng);
+            let dec_arrival = t + lat(&mut rng) + lat(&mut rng);
+            if dec_arrival < inc_arrival {
+                premature += 1;
+            }
+        }
+        f64::from(premature) / f64::from(trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_race_grows_with_jitter() {
+        let low = naive::race_probability(20_000, 0.1, 7);
+        let high = naive::race_probability(20_000, 4.0, 7);
+        assert!(low < high, "low={low} high={high}");
+        assert_eq!(naive::race_probability(20_000, 0.0, 7), 0.0);
+        assert!(high > 0.05, "high jitter must exhibit the race: {high}");
+    }
+
+    #[test]
+    fn naive_race_is_reproducible() {
+        assert_eq!(
+            naive::race_probability(1000, 2.0, 1),
+            naive::race_probability(1000, 2.0, 1)
+        );
+    }
+
+    #[test]
+    fn birrell_repeated_copies_avoid_reregistration() {
+        let c = birrell::cost(Workload::Repeated(10));
+        assert_eq!(c.blocking_rtts, 1, "only the first copy blocks");
+        let lm = lermen_maurer::cost(Workload::Repeated(10));
+        assert!(
+            c.control_msgs < lm.control_msgs,
+            "reference listing beats per-copy INC/ACK on repeats"
+        );
+    }
+
+    #[test]
+    fn wrc_copies_are_free_until_underflow() {
+        let short = wrc::cost(Workload::Chain(8));
+        assert_eq!(short.zombies, 0);
+        let long = wrc::cost(Workload::Chain(40));
+        assert_eq!(long.zombies, 8, "hops past 2^32 need indirections");
+    }
+
+    #[test]
+    fn irc_chains_leave_zombies() {
+        let c = irc::cost(Workload::Chain(10));
+        assert_eq!(c.zombies, 9);
+        let b = birrell::cost(Workload::Chain(10));
+        assert_eq!(b.zombies, 0, "reference listing has no zombies");
+    }
+
+    #[test]
+    fn fanout_control_ordering() {
+        // On fan-out, WRC/IRC send the least control traffic, LM sits in
+        // the middle, Birrell pays for its acks — matching the paper's
+        // trade-off discussion (Birrell buys fault tolerance and
+        // exactness with those messages).
+        let n = Workload::Fanout(16);
+        assert!(wrc::cost(n).control_msgs <= irc::cost(n).control_msgs);
+        assert!(irc::cost(n).control_msgs < lermen_maurer::cost(n).control_msgs);
+        assert!(lermen_maurer::cost(n).control_msgs < birrell::cost(n).control_msgs);
+    }
+}

@@ -1,0 +1,757 @@
+//! The fault-tolerant extension: lossy channels, timeouts, sequence
+//! numbers, strong cleans — the "outer cube".
+//!
+//! The failure-free specification assumes reliable channels. The original
+//! system tolerated message loss with three mechanisms, which this module
+//! formalises and explores:
+//!
+//! 1. **Sequence numbers.** Every dirty/clean carries a client-assigned,
+//!    strictly increasing number; the owner keeps `seqno(O, P)` — the
+//!    largest seen — and applies only newer operations.
+//! 2. **Strong cleans.** When a dirty call's acknowledgement does not
+//!    arrive, the client cannot know whether the owner heard it. The
+//!    remedial action posts a *strong clean* with a fresh (higher) number:
+//!    whether the lost dirty arrives before or after, the clean outranks
+//!    it. The reference meanwhile sits in the resurrection state
+//!    (`ccitnil`): once the clean is acknowledged, registration restarts.
+//! 3. **Clean retry.** A clean whose acknowledgement is lost is re-sent
+//!    with the *same* number; duplicates are no-ops at the owner.
+//!
+//! Timeouts are modelled as explicit transitions. With an **accurate**
+//! failure detector (a timeout may fire only if the awaited message or
+//! its trigger really was dropped), safety is preserved — the exploration
+//! tests check the safety predicate at every step of adversarial
+//! schedules that drop arbitrary messages. With a **premature** detector
+//! (timeouts any time), registration timeouts remain safe (the strong
+//! clean makes them so), but *transient-entry* timeouts can violate
+//! safety — which is exactly why the runtime bounds sender pins with
+//! generous timeouts rather than aggressive ones, and the tests
+//! demonstrate the violation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::state::{CopyId, Proc, Ref};
+
+/// Messages of the fault-tolerant protocol (dirty/clean carry seqnos).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum FtMsg {
+    /// A reference copy.
+    Copy(Ref, CopyId),
+    /// Acknowledges a copy (after registration).
+    CopyAck(Ref, CopyId),
+    /// Registration with sequence number.
+    Dirty(Ref, u64),
+    /// Acknowledges `Dirty` with the same number.
+    DirtyAck(Ref, u64),
+    /// Unregistration; `bool` marks a strong clean.
+    Clean(Ref, u64, bool),
+    /// Acknowledges `Clean` with the same number.
+    CleanAck(Ref, u64),
+}
+
+/// Client-side life-cycle states (inner cube; the detected-failure outer
+/// states collapse into these after their remedial action, which is how
+/// the paper's own analysis recommends reading them).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FtState {
+    /// `⊥`.
+    #[default]
+    Bot,
+    /// `nil`: dirty outstanding.
+    Nil,
+    /// `OK`.
+    Ok,
+    /// `ccit`: clean outstanding.
+    Ccit,
+    /// `ccitnil`: clean outstanding, resurrection wanted.
+    CcitNil,
+}
+
+/// Per-(process, reference) client slot.
+#[derive(Clone, Debug, Default)]
+pub struct FtSlot {
+    /// Life-cycle state.
+    pub state: FtState,
+    /// Sequence number of the outstanding dirty (when `Nil`).
+    pub await_dirty: Option<u64>,
+    /// Sequence number (and strength) of the outstanding clean.
+    pub await_clean: Option<(u64, bool)>,
+    /// Copy acknowledgements owed once registration completes.
+    pub blocked: BTreeSet<(CopyId, Proc)>,
+    /// Transient entries for copies this process sent: (receiver, id).
+    pub tdirty: BTreeSet<(Proc, CopyId)>,
+}
+
+/// A schedulable step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FtStep {
+    /// The mutator copies a held reference.
+    Copy(Proc, Proc, Ref),
+    /// The local collector drops an unreachable reference.
+    Finalize(Proc, Ref),
+    /// Deliver channel `(from, to)` message at `idx`.
+    Deliver(Proc, Proc, usize),
+    /// The adversary loses channel `(from, to)` message at `idx`.
+    Drop(Proc, Proc, usize),
+    /// Registration timeout: remedial strong clean (`nil → ccitnil`).
+    TimeoutDirty(Proc, Ref),
+    /// Cleanup timeout: re-send the clean with the same number.
+    TimeoutClean(Proc, Ref),
+    /// Transmission timeout: the sender abandons a transient entry.
+    /// Only safe with an accurate detector; see module docs.
+    TimeoutTransient(Proc, Ref, Proc, CopyId),
+}
+
+/// The fault-tolerant machine.
+#[derive(Clone, Debug)]
+pub struct FtConfig {
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Owner per reference.
+    pub owner: Vec<Proc>,
+    /// Channels (unordered bags; loss via [`FtStep::Drop`]).
+    pub channels: BTreeMap<(Proc, Proc), Vec<FtMsg>>,
+    /// Client slots.
+    pub slots: BTreeMap<(Proc, Ref), FtSlot>,
+    /// Owner dirty sets.
+    pub pdirty: BTreeMap<(Proc, Ref), BTreeSet<Proc>>,
+    /// The owner's `seqno(O, P)` floors.
+    pub floor: BTreeMap<(Ref, Proc), u64>,
+    /// Mutator reachability.
+    pub live: BTreeSet<(Proc, Ref)>,
+    /// Per-process sequence counters.
+    pub next_seq: Vec<u64>,
+    /// Fresh copy ids.
+    pub next_id: CopyId,
+    /// Records which awaited exchanges were hit by a drop, enabling
+    /// *accurate* timeout transitions: (process, ref) pairs whose dirty
+    /// exchange lost a message…
+    pub dirty_broken: BTreeSet<(Proc, Ref)>,
+    /// …whose clean exchange lost a message…
+    pub clean_broken: BTreeSet<(Proc, Ref)>,
+    /// …and transient entries whose copy/copy-ack was lost.
+    pub transient_broken: BTreeSet<(Proc, Ref, Proc, CopyId)>,
+    /// If true, timeout transitions are enabled even without a recorded
+    /// loss (a premature / inaccurate failure detector).
+    pub premature_timeouts: bool,
+}
+
+impl FtConfig {
+    /// Initial configuration (references usable and live at their owner).
+    pub fn new(nprocs: usize, owners: &[usize]) -> FtConfig {
+        let owner: Vec<Proc> = owners.iter().map(|&o| Proc(o)).collect();
+        let mut slots: BTreeMap<(Proc, Ref), FtSlot> = BTreeMap::new();
+        let mut live = BTreeSet::new();
+        for (i, &o) in owner.iter().enumerate() {
+            slots.insert(
+                (o, Ref(i)),
+                FtSlot {
+                    state: FtState::Ok,
+                    ..FtSlot::default()
+                },
+            );
+            live.insert((o, Ref(i)));
+        }
+        FtConfig {
+            nprocs,
+            owner,
+            channels: BTreeMap::new(),
+            slots,
+            pdirty: BTreeMap::new(),
+            floor: BTreeMap::new(),
+            live,
+            next_seq: vec![1; nprocs],
+            next_id: 0,
+            dirty_broken: BTreeSet::new(),
+            clean_broken: BTreeSet::new(),
+            transient_broken: BTreeSet::new(),
+            premature_timeouts: false,
+        }
+    }
+
+    /// The owner of `r`.
+    pub fn owner(&self, r: Ref) -> Proc {
+        self.owner[r.0]
+    }
+
+    fn slot(&mut self, p: Proc, r: Ref) -> &mut FtSlot {
+        self.slots.entry((p, r)).or_default()
+    }
+
+    fn seq(&mut self, p: Proc) -> u64 {
+        let s = self.next_seq[p.0];
+        self.next_seq[p.0] += 1;
+        s
+    }
+
+    fn post(&mut self, from: Proc, to: Proc, m: FtMsg) {
+        self.channels.entry((from, to)).or_default().push(m);
+    }
+
+    /// Enumerates the enabled steps (mutator copies are driver-chosen and
+    /// not listed; everything else is).
+    pub fn steps(&self) -> Vec<FtStep> {
+        let mut out = Vec::new();
+        for (&(from, to), msgs) in &self.channels {
+            for idx in 0..msgs.len() {
+                out.push(FtStep::Deliver(from, to, idx));
+                out.push(FtStep::Drop(from, to, idx));
+            }
+        }
+        for (&(p, r), slot) in &self.slots {
+            match slot.state {
+                FtState::Nil => {
+                    if self.premature_timeouts || self.dirty_broken.contains(&(p, r)) {
+                        out.push(FtStep::TimeoutDirty(p, r));
+                    }
+                }
+                FtState::Ccit | FtState::CcitNil => {
+                    if self.premature_timeouts || self.clean_broken.contains(&(p, r)) {
+                        out.push(FtStep::TimeoutClean(p, r));
+                    }
+                }
+                FtState::Ok => {
+                    if p != self.owner(r) && !self.live.contains(&(p, r)) && slot.tdirty.is_empty()
+                    {
+                        out.push(FtStep::Finalize(p, r));
+                    }
+                }
+                FtState::Bot => {}
+            }
+            for &(to, id) in &slot.tdirty {
+                if self.premature_timeouts || self.transient_broken.contains(&(p, r, to, id)) {
+                    out.push(FtStep::TimeoutTransient(p, r, to, id));
+                }
+            }
+        }
+        out
+    }
+
+    /// Executes one step.
+    pub fn step(&mut self, s: FtStep) {
+        match s {
+            FtStep::Copy(p1, p2, r) => {
+                assert!(self
+                    .slots
+                    .get(&(p1, r))
+                    .is_some_and(|s| s.state == FtState::Ok));
+                assert!(self.live.contains(&(p1, r)));
+                let id = self.next_id;
+                self.next_id += 1;
+                self.slot(p1, r).tdirty.insert((p2, id));
+                self.post(p1, p2, FtMsg::Copy(r, id));
+            }
+            FtStep::Finalize(p, r) => {
+                let owner = self.owner(r);
+                assert_ne!(p, owner);
+                let seq = self.seq(p);
+                let slot = self.slot(p, r);
+                assert_eq!(slot.state, FtState::Ok);
+                assert!(slot.tdirty.is_empty());
+                slot.state = FtState::Ccit;
+                slot.await_clean = Some((seq, false));
+                self.post(p, owner, FtMsg::Clean(r, seq, false));
+            }
+            FtStep::Drop(from, to, idx) => {
+                let chan = self.channels.get_mut(&(from, to)).expect("channel");
+                let m = chan.swap_remove(idx);
+                if chan.is_empty() {
+                    self.channels.remove(&(from, to));
+                }
+                // Record which exchange broke, for accurate timeouts.
+                match m {
+                    FtMsg::Dirty(r, seq) => {
+                        if self
+                            .slots
+                            .get(&(from, r))
+                            .is_some_and(|s| s.await_dirty == Some(seq))
+                        {
+                            self.dirty_broken.insert((from, r));
+                        }
+                    }
+                    FtMsg::DirtyAck(r, seq) => {
+                        if self
+                            .slots
+                            .get(&(to, r))
+                            .is_some_and(|s| s.await_dirty == Some(seq))
+                        {
+                            self.dirty_broken.insert((to, r));
+                        }
+                    }
+                    FtMsg::Clean(r, seq, _) => {
+                        if self
+                            .slots
+                            .get(&(from, r))
+                            .is_some_and(|s| s.await_clean.map(|(q, _)| q) == Some(seq))
+                        {
+                            self.clean_broken.insert((from, r));
+                        }
+                    }
+                    FtMsg::CleanAck(r, seq) => {
+                        if self
+                            .slots
+                            .get(&(to, r))
+                            .is_some_and(|s| s.await_clean.map(|(q, _)| q) == Some(seq))
+                        {
+                            self.clean_broken.insert((to, r));
+                        }
+                    }
+                    FtMsg::Copy(r, id) => {
+                        self.transient_broken.insert((from, r, to, id));
+                    }
+                    FtMsg::CopyAck(r, id) => {
+                        self.transient_broken.insert((to, r, from, id));
+                    }
+                }
+            }
+            FtStep::Deliver(from, to, idx) => {
+                let chan = self.channels.get_mut(&(from, to)).expect("channel");
+                let m = chan.swap_remove(idx);
+                if chan.is_empty() {
+                    self.channels.remove(&(from, to));
+                }
+                self.deliver(from, to, m);
+            }
+            FtStep::TimeoutDirty(p, r) => {
+                // The remedial action from a suspected-failed dirty: a
+                // strong clean with a fresh number, then (via ccitnil)
+                // re-registration once it is acknowledged.
+                self.dirty_broken.remove(&(p, r));
+                let owner = self.owner(r);
+                let seq = self.seq(p);
+                let slot = self.slot(p, r);
+                assert_eq!(slot.state, FtState::Nil);
+                slot.state = FtState::CcitNil;
+                slot.await_dirty = None;
+                slot.await_clean = Some((seq, true));
+                self.post(p, owner, FtMsg::Clean(r, seq, true));
+            }
+            FtStep::TimeoutClean(p, r) => {
+                // Re-send the clean with the SAME number ("keeping the
+                // same sequence number"); duplicates are no-ops.
+                self.clean_broken.remove(&(p, r));
+                let owner = self.owner(r);
+                let (seq, strong) = self
+                    .slots
+                    .get(&(p, r))
+                    .and_then(|s| s.await_clean)
+                    .expect("clean outstanding");
+                self.post(p, owner, FtMsg::Clean(r, seq, strong));
+            }
+            FtStep::TimeoutTransient(p, r, to, id) => {
+                self.transient_broken.remove(&(p, r, to, id));
+                let slot = self.slot(p, r);
+                slot.tdirty.remove(&(to, id));
+            }
+        }
+    }
+
+    fn deliver(&mut self, from: Proc, to: Proc, m: FtMsg) {
+        match m {
+            FtMsg::Copy(r, id) => {
+                let owner = self.owner(r);
+                self.live.insert((to, r));
+                if to == owner {
+                    self.post(to, from, FtMsg::CopyAck(r, id));
+                    return;
+                }
+                let state = self.slot(to, r).state;
+                match state {
+                    FtState::Bot => {
+                        let seq = self.seq(to);
+                        let slot = self.slot(to, r);
+                        slot.state = FtState::Nil;
+                        slot.await_dirty = Some(seq);
+                        slot.blocked.insert((id, from));
+                        self.post(to, owner, FtMsg::Dirty(r, seq));
+                    }
+                    FtState::Nil | FtState::CcitNil => {
+                        self.slot(to, r).blocked.insert((id, from));
+                    }
+                    FtState::Ccit => {
+                        let slot = self.slot(to, r);
+                        slot.state = FtState::CcitNil;
+                        slot.blocked.insert((id, from));
+                    }
+                    FtState::Ok => {
+                        self.post(to, from, FtMsg::CopyAck(r, id));
+                    }
+                }
+            }
+            FtMsg::CopyAck(r, id) => {
+                self.slot(to, r).tdirty.remove(&(from, id));
+            }
+            FtMsg::Dirty(r, seq) => {
+                debug_assert_eq!(self.owner(r), to);
+                let floor = self.floor.entry((r, from)).or_insert(0);
+                if seq > *floor {
+                    *floor = seq;
+                    self.pdirty.entry((to, r)).or_default().insert(from);
+                }
+                // The acknowledgement echoes the number either way; the
+                // client ignores stale acks.
+                self.post(to, from, FtMsg::DirtyAck(r, seq));
+            }
+            FtMsg::DirtyAck(r, seq) => {
+                let owner = from;
+                let released: Vec<(CopyId, Proc)> = {
+                    let slot = self.slot(to, r);
+                    if slot.await_dirty != Some(seq) {
+                        return; // Stale ack for an abandoned exchange.
+                    }
+                    slot.await_dirty = None;
+                    slot.state = FtState::Ok;
+                    let b = slot.blocked.iter().copied().collect();
+                    slot.blocked.clear();
+                    b
+                };
+                let _ = owner;
+                for (id, sender) in released {
+                    self.post(to, sender, FtMsg::CopyAck(r, id));
+                }
+            }
+            FtMsg::Clean(r, seq, _strong) => {
+                debug_assert_eq!(self.owner(r), to);
+                let floor = self.floor.entry((r, from)).or_insert(0);
+                if seq > *floor {
+                    *floor = seq;
+                    if let Some(set) = self.pdirty.get_mut(&(to, r)) {
+                        set.remove(&from);
+                        if set.is_empty() {
+                            self.pdirty.remove(&(to, r));
+                        }
+                    }
+                }
+                self.post(to, from, FtMsg::CleanAck(r, seq));
+            }
+            FtMsg::CleanAck(r, seq) => {
+                enum After {
+                    Nothing,
+                    Redirty,
+                }
+                let after = {
+                    let slot = self.slot(to, r);
+                    if slot.await_clean.map(|(q, _)| q) != Some(seq) {
+                        After::Nothing // stale ack (e.g. of a retried clean)
+                    } else {
+                        slot.await_clean = None;
+                        match slot.state {
+                            FtState::Ccit => {
+                                slot.state = FtState::Bot;
+                                slot.blocked.clear();
+                                After::Nothing
+                            }
+                            FtState::CcitNil => After::Redirty,
+                            _ => After::Nothing,
+                        }
+                    }
+                };
+                if let After::Redirty = after {
+                    let owner = self.owner(r);
+                    let newseq = self.seq(to);
+                    let slot = self.slot(to, r);
+                    slot.state = FtState::Nil;
+                    slot.await_dirty = Some(newseq);
+                    self.post(to, owner, FtMsg::Dirty(r, newseq));
+                }
+            }
+        }
+    }
+
+    /// The safety predicate: a usable reference at a non-owner, or a copy
+    /// in transit, implies the owner's tables still protect the object
+    /// (a permanent entry for someone, or an owner-side transient entry).
+    pub fn check_safety(&self) -> Result<(), String> {
+        for (i, &owner) in self.owner.iter().enumerate() {
+            let r = Ref(i);
+            let mut threatened = false;
+            for (&(p, rr), slot) in &self.slots {
+                if rr == r && p != owner && slot.state == FtState::Ok {
+                    threatened = true;
+                }
+            }
+            for chan in self.channels.values() {
+                if chan
+                    .iter()
+                    .any(|m| matches!(m, FtMsg::Copy(rr, _) if *rr == r))
+                {
+                    threatened = true;
+                }
+            }
+            if threatened {
+                let pdirty_ok = self.pdirty.get(&(owner, r)).is_some_and(|s| !s.is_empty());
+                let towner = self
+                    .slots
+                    .get(&(owner, r))
+                    .is_some_and(|s| !s.tdirty.is_empty());
+                if !pdirty_ok && !towner {
+                    return Err(format!(
+                        "FT SAFETY VIOLATION: {r:?} usable/in transit with empty owner tables"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Liveness check: quiescent (no messages, no pending exchanges) and
+    /// all dirty sets empty.
+    pub fn check_drained(&self) -> Result<(), String> {
+        if self.channels.values().any(|c| !c.is_empty()) {
+            return Err("messages in transit".into());
+        }
+        for (&(p, r), set) in &self.pdirty {
+            if !set.is_empty() {
+                return Err(format!("leak: pdirty({p:?},{r:?}) = {set:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Adversarial random walk: interleaves mutator activity, deliveries,
+/// drops (up to `max_drops`) and timeouts, then stops dropping and drains.
+/// Returns `Err` on a safety violation or failed drain.
+pub fn walk(
+    nprocs: usize,
+    nrefs: usize,
+    activity: u64,
+    max_drops: u32,
+    premature: bool,
+    seed: u64,
+) -> Result<FtConfig, String> {
+    let owners: Vec<usize> = (0..nrefs).map(|i| i % nprocs).collect();
+    let mut c = FtConfig::new(nprocs, &owners);
+    c.premature_timeouts = premature;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut drops = 0u32;
+
+    for _ in 0..activity {
+        if rng.gen_bool(0.3) {
+            let holders: Vec<(Proc, Ref)> = c
+                .slots
+                .iter()
+                .filter(|(&(p, r), s)| s.state == FtState::Ok && c.live.contains(&(p, r)))
+                .map(|(&k, _)| k)
+                .collect();
+            if let Some(&(p, r)) = holders.as_slice().choose(&mut rng) {
+                let others: Vec<Proc> = (0..nprocs).map(Proc).filter(|&q| q != p).collect();
+                if let Some(&q) = others.as_slice().choose(&mut rng) {
+                    c.step(FtStep::Copy(p, q, r));
+                }
+            }
+        }
+        if rng.gen_bool(0.2) {
+            let holders: Vec<(Proc, Ref)> = c
+                .live
+                .iter()
+                .copied()
+                .filter(|&(p, r)| p != c.owner(r))
+                .collect();
+            if let Some(&(p, r)) = holders.as_slice().choose(&mut rng) {
+                c.live.remove(&(p, r));
+            }
+        }
+        let steps: Vec<FtStep> = c
+            .steps()
+            .into_iter()
+            .filter(|s| !matches!(s, FtStep::Drop(..)) || drops < max_drops)
+            .collect();
+        if let Some(&s) = steps.as_slice().choose(&mut rng) {
+            if matches!(s, FtStep::Drop(..)) {
+                drops += 1;
+            }
+            c.step(s);
+        }
+        c.check_safety()?;
+    }
+
+    // Drain: no more drops, keep dropping mutator liveness, run to
+    // quiescence (timeouts handle whatever the adversary broke).
+    let mut fuel = 1_000_000u64;
+    loop {
+        let relive: Vec<(Proc, Ref)> = c
+            .live
+            .iter()
+            .copied()
+            .filter(|&(p, r)| p != c.owner(r))
+            .collect();
+        for (p, r) in relive {
+            c.live.remove(&(p, r));
+        }
+        let steps: Vec<FtStep> = c
+            .steps()
+            .into_iter()
+            .filter(|s| !matches!(s, FtStep::Drop(..)))
+            .collect();
+        let Some(&s) = steps.as_slice().choose(&mut rng) else {
+            break;
+        };
+        c.step(s);
+        c.check_safety()?;
+        fuel -= 1;
+        if fuel == 0 {
+            return Err("drain did not terminate".into());
+        }
+    }
+    c.check_drained()?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_walks_match_base_behaviour() {
+        for seed in 0..30 {
+            walk(4, 2, 150, 0, false, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn lossy_walks_with_accurate_timeouts_are_safe_and_drain() {
+        for seed in 0..100 {
+            walk(4, 2, 200, 8, false, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn premature_registration_timeouts_are_still_safe() {
+        // Strong cleans make even spurious dirty-timeouts safe: disable
+        // transient timeouts by keeping drops at zero (so only the
+        // premature dirty/clean timeouts can fire — transients never
+        // break), and verify safety plus drain.
+        for seed in 0..60 {
+            let owners = [0usize];
+            let mut c = FtConfig::new(3, &owners);
+            c.premature_timeouts = true;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..200 {
+                if rng.gen_bool(0.3) {
+                    let holders: Vec<(Proc, Ref)> = c
+                        .slots
+                        .iter()
+                        .filter(|(&(p, r), s)| s.state == FtState::Ok && c.live.contains(&(p, r)))
+                        .map(|(&k, _)| k)
+                        .collect();
+                    if let Some(&(p, r)) = holders.as_slice().choose(&mut rng) {
+                        let others: Vec<Proc> = (0..3).map(Proc).filter(|&q| q != p).collect();
+                        if let Some(&q) = others.as_slice().choose(&mut rng) {
+                            c.step(FtStep::Copy(p, q, r));
+                        }
+                    }
+                }
+                let steps: Vec<FtStep> = c
+                    .steps()
+                    .into_iter()
+                    .filter(|s| !matches!(s, FtStep::Drop(..) | FtStep::TimeoutTransient(..)))
+                    .collect();
+                if let Some(&s) = steps.as_slice().choose(&mut rng) {
+                    c.step(s);
+                }
+                c.check_safety()
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn premature_transient_timeouts_can_violate_safety() {
+        // The documented danger: abandoning a transient entry while the
+        // copy is still in transit removes the last protection. Construct
+        // it directly.
+        let mut c = FtConfig::new(2, &[0]);
+        c.premature_timeouts = true;
+        let (owner, client, r) = (Proc(0), Proc(1), Ref(0));
+        c.step(FtStep::Copy(owner, client, r));
+        // Copy is in transit; the owner's transient entry protects it.
+        c.check_safety().unwrap();
+        // A premature transient timeout fires.
+        c.step(FtStep::TimeoutTransient(owner, r, client, 0));
+        assert!(
+            c.check_safety().is_err(),
+            "dropping the pin while the copy is in transit must be flagged"
+        );
+    }
+
+    #[test]
+    fn strong_clean_outranks_delayed_dirty() {
+        let mut c = FtConfig::new(2, &[0]);
+        let (owner, client, r) = (Proc(0), Proc(1), Ref(0));
+        // Owner sends the reference; client receives and posts dirty(1).
+        c.step(FtStep::Copy(owner, client, r));
+        c.step(FtStep::Deliver(owner, client, 0));
+        assert_eq!(c.slots[&(client, r)].state, FtState::Nil);
+
+        // The dirty's ACK will be lost: deliver dirty, then drop the ack.
+        c.step(FtStep::Deliver(client, owner, 0)); // dirty applied
+        assert!(c.pdirty[&(owner, r)].contains(&client));
+        c.step(FtStep::Drop(owner, client, 0)); // ack lost
+        assert!(c.dirty_broken.contains(&(client, r)));
+
+        // Timeout: strong clean(2) goes out; state ccitnil.
+        c.step(FtStep::TimeoutDirty(client, r));
+        assert_eq!(c.slots[&(client, r)].state, FtState::CcitNil);
+        c.step(FtStep::Deliver(client, owner, 0)); // strong clean applied
+        assert!(c.pdirty.get(&(owner, r)).is_none(), "listing removed");
+
+        // Clean ack returns; the client re-registers with dirty(3).
+        c.step(FtStep::Deliver(owner, client, 0));
+        assert_eq!(c.slots[&(client, r)].state, FtState::Nil);
+        c.step(FtStep::Deliver(client, owner, 0)); // dirty(3)
+        assert!(c.pdirty[&(owner, r)].contains(&client));
+        c.step(FtStep::Deliver(owner, client, 0)); // ack(3)
+        assert_eq!(c.slots[&(client, r)].state, FtState::Ok);
+        // The ack released the deferred copy acknowledgement; flush it so
+        // the next delivery below is the clean call.
+        c.step(FtStep::Deliver(client, owner, 0));
+
+        // Now a *delayed duplicate* of the old dirty(1) shows up (e.g.
+        // a retransmission); the floor (3) must reject it — and, after
+        // the client finally drops, the entry must not resurrect.
+        c.live.remove(&(client, r));
+        c.step(FtStep::Finalize(client, r)); // clean(4)
+        c.step(FtStep::Deliver(client, owner, 0));
+        assert!(c.pdirty.get(&(owner, r)).is_none());
+        // Forge the delayed dirty(1).
+        c.post(client, owner, FtMsg::Dirty(r, 1));
+        c.step(FtStep::Deliver(client, owner, 0));
+        assert!(
+            c.pdirty.get(&(owner, r)).is_none(),
+            "stale dirty must not resurrect the entry"
+        );
+    }
+
+    #[test]
+    fn retried_clean_is_idempotent() {
+        let mut c = FtConfig::new(2, &[0]);
+        let (owner, client, r) = (Proc(0), Proc(1), Ref(0));
+        // Register the client.
+        c.step(FtStep::Copy(owner, client, r));
+        c.step(FtStep::Deliver(owner, client, 0));
+        c.step(FtStep::Deliver(client, owner, 0));
+        c.step(FtStep::Deliver(owner, client, 0));
+        // Flush the copy ack.
+        c.step(FtStep::Deliver(client, owner, 0));
+        // Drop + retry the clean twice; the owner must handle all copies.
+        c.live.remove(&(client, r));
+        c.step(FtStep::Finalize(client, r));
+        c.step(FtStep::Drop(client, owner, 0));
+        c.step(FtStep::TimeoutClean(client, r)); // resend, same seq
+        c.step(FtStep::Deliver(client, owner, 0)); // applied
+        c.step(FtStep::TimeoutClean(client, r)); // paranoid resend
+        c.step(FtStep::Deliver(client, owner, 0)); // duplicate: no-op
+        assert!(c.pdirty.get(&(owner, r)).is_none());
+        // Both acks return; the first finishes the slot, the second is
+        // stale and ignored.
+        c.step(FtStep::Deliver(owner, client, 0));
+        c.step(FtStep::Deliver(owner, client, 0));
+        assert_eq!(c.slots[&(client, r)].state, FtState::Bot);
+        c.check_drained().unwrap();
+    }
+}

@@ -1,0 +1,563 @@
+//! The §5.1 variant: reliable FIFO channels.
+//!
+//! With order-preserving channels, clean calls cannot overtake dirty calls
+//! between the same pair of processes, so:
+//!
+//! - unmarshaling never blocks — a received reference is immediately
+//!   usable and its dirty call proceeds in the background;
+//! - clean acknowledgements become unnecessary — the receive table needs
+//!   only two states, usable (`OK`) and not (`⊥`);
+//! - a copy acknowledgement is still withheld until the dirty call that
+//!   the copy triggered is acknowledged (otherwise the naive race
+//!   reappears).
+//!
+//! The model also carries the §5.2 *owner optimisations* as flags:
+//! an owner sending its own reference may add the permanent entry
+//! directly (no transient entry, no dirty, no copy-ack from the
+//! receiver); a client sending a reference *to* its owner may skip the
+//! transient entry entirely.
+//!
+//! Setting `ordered: false` delivers messages in arbitrary order instead —
+//! running the same two-state protocol on unordered channels — which the
+//! tests use to demonstrate that the FIFO hypothesis is load-bearing.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::state::{CopyId, Msg, Proc, Ref};
+
+/// Per-(process, reference) client state in the FIFO variant.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct FifoSlot {
+    /// Usable (`OK`)? Absent slot or false = `⊥`.
+    pub usable: bool,
+    /// Has the owner acknowledged our registration?
+    pub registered: bool,
+    /// Copy acks owed once the registration completes: (id, sender).
+    pub blocked: BTreeSet<(CopyId, Proc)>,
+    /// Transient entries for copies we sent: (receiver, id).
+    pub tdirty: BTreeSet<(Proc, CopyId)>,
+}
+
+/// Configuration of the FIFO-variant machine.
+#[derive(Clone, Debug)]
+pub struct FifoConfig {
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Owner per reference.
+    pub owner: Vec<Proc>,
+    /// FIFO channels (per ordered pair).
+    pub channels: BTreeMap<(Proc, Proc), VecDeque<Msg>>,
+    /// Client-side slots.
+    pub slots: BTreeMap<(Proc, Ref), FifoSlot>,
+    /// Owner-side dirty sets.
+    pub pdirty: BTreeMap<(Proc, Ref), BTreeSet<Proc>>,
+    /// Mutator reachability.
+    pub live: BTreeSet<(Proc, Ref)>,
+    /// Deliver in order (the variant's hypothesis) or arbitrarily.
+    pub ordered: bool,
+    /// §5.2.1: owner sends create permanent entries directly.
+    pub owner_send_opt: bool,
+    /// §5.2.2: sends to the owner need no transient entry.
+    pub owner_recv_opt: bool,
+    /// Fresh copy ids.
+    pub next_id: CopyId,
+    /// Message counters by kind, for the experiments.
+    pub sent: MsgCounts,
+}
+
+/// Counts of messages sent, by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgCounts {
+    /// Mutator copies.
+    pub copies: u64,
+    /// Copy acknowledgements.
+    pub copy_acks: u64,
+    /// Dirty calls.
+    pub dirties: u64,
+    /// Dirty acknowledgements.
+    pub dirty_acks: u64,
+    /// Clean calls.
+    pub cleans: u64,
+}
+
+impl MsgCounts {
+    /// Control messages (everything except the mutator copies).
+    pub fn control(&self) -> u64 {
+        self.copy_acks + self.dirties + self.dirty_acks + self.cleans
+    }
+}
+
+/// A schedulable step of the FIFO machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FifoStep {
+    /// Deliver the message at position `idx` of channel `(from, to)`
+    /// (always 0 when ordered).
+    Deliver(Proc, Proc, usize),
+    /// The mutator copies `r` from `p1` to `p2`.
+    Copy(Proc, Proc, Ref),
+    /// The local collector finalizes `r` at `p` (posting the clean call).
+    Finalize(Proc, Ref),
+}
+
+impl FifoConfig {
+    /// Initial configuration; references usable (and live) at their owner.
+    pub fn new(nprocs: usize, owners: &[usize], ordered: bool) -> FifoConfig {
+        let owner: Vec<Proc> = owners.iter().map(|&o| Proc(o)).collect();
+        let mut slots = BTreeMap::new();
+        let mut live = BTreeSet::new();
+        for (i, &o) in owner.iter().enumerate() {
+            slots.insert(
+                (o, Ref(i)),
+                FifoSlot {
+                    usable: true,
+                    registered: true,
+                    ..FifoSlot::default()
+                },
+            );
+            live.insert((o, Ref(i)));
+        }
+        FifoConfig {
+            nprocs,
+            owner,
+            channels: BTreeMap::new(),
+            slots,
+            pdirty: BTreeMap::new(),
+            live,
+            ordered,
+            owner_send_opt: false,
+            owner_recv_opt: false,
+            next_id: 0,
+            sent: MsgCounts::default(),
+        }
+    }
+
+    /// The owner of `r`.
+    pub fn owner(&self, r: Ref) -> Proc {
+        self.owner[r.0]
+    }
+
+    fn slot(&mut self, p: Proc, r: Ref) -> &mut FifoSlot {
+        self.slots.entry((p, r)).or_default()
+    }
+
+    fn post(&mut self, from: Proc, to: Proc, m: Msg) {
+        match m {
+            Msg::Copy(..) => self.sent.copies += 1,
+            Msg::CopyAck(..) => self.sent.copy_acks += 1,
+            Msg::Dirty(..) => self.sent.dirties += 1,
+            Msg::DirtyAck(..) => self.sent.dirty_acks += 1,
+            Msg::Clean(..) => self.sent.cleans += 1,
+            Msg::CleanAck(..) => unreachable!("the FIFO variant has no clean acks"),
+        }
+        self.channels.entry((from, to)).or_default().push_back(m);
+    }
+
+    /// Enumerates schedulable steps (message deliveries plus enabled
+    /// finalizes; mutator copies are driver-initiated, not enumerated).
+    pub fn deliveries(&self) -> Vec<FifoStep> {
+        let mut out = Vec::new();
+        for (&(from, to), chan) in &self.channels {
+            if chan.is_empty() {
+                continue;
+            }
+            if self.ordered {
+                out.push(FifoStep::Deliver(from, to, 0));
+            } else {
+                for idx in 0..chan.len() {
+                    out.push(FifoStep::Deliver(from, to, idx));
+                }
+            }
+        }
+        for (&(p, r), slot) in &self.slots {
+            if slot.usable
+                && p != self.owner(r)
+                && !self.live.contains(&(p, r))
+                && slot.tdirty.is_empty()
+            {
+                out.push(FifoStep::Finalize(p, r));
+            }
+        }
+        out
+    }
+
+    /// Executes one step.
+    pub fn step(&mut self, s: FifoStep) {
+        match s {
+            FifoStep::Copy(p1, p2, r) => self.do_copy(p1, p2, r),
+            FifoStep::Finalize(p, r) => self.do_finalize(p, r),
+            FifoStep::Deliver(from, to, idx) => {
+                let chan = self.channels.get_mut(&(from, to)).expect("channel");
+                let m = chan.remove(idx).expect("index in range");
+                if chan.is_empty() {
+                    self.channels.remove(&(from, to));
+                }
+                self.deliver(from, to, m);
+            }
+        }
+    }
+
+    fn do_copy(&mut self, p1: Proc, p2: Proc, r: Ref) {
+        assert_ne!(p1, p2);
+        assert!(self.slots.get(&(p1, r)).is_some_and(|s| s.usable));
+        let id = self.next_id;
+        self.next_id += 1;
+        let owner = self.owner(r);
+        if p1 == owner && self.owner_send_opt {
+            // §5.2.1: the owner lists the receiver directly; the copy
+            // message carries an "already registered" mark (modelled by
+            // the receiver checking the sender).
+            self.pdirty.entry((owner, r)).or_default().insert(p2);
+            self.post(p1, p2, Msg::Copy(r, id));
+            return;
+        }
+        if p2 == owner && self.owner_recv_opt {
+            // §5.2.2: no transient entry needed; the owner's own entry
+            // for the *sender* already protects the object.
+            self.post(p1, p2, Msg::Copy(r, id));
+            return;
+        }
+        self.slot(p1, r).tdirty.insert((p2, id));
+        self.post(p1, p2, Msg::Copy(r, id));
+    }
+
+    fn do_finalize(&mut self, p: Proc, r: Ref) {
+        let owner = self.owner(r);
+        assert_ne!(p, owner);
+        let slot = self.slot(p, r);
+        assert!(slot.usable && slot.tdirty.is_empty());
+        // The two-state life cycle: OK → ⊥ immediately; the clean call
+        // follows any dirty call already posted on the same channel.
+        let was_registered = slot.registered;
+        slot.usable = false;
+        slot.registered = false;
+        let _ = was_registered;
+        self.post(p, owner, Msg::Clean(r));
+    }
+
+    fn deliver(&mut self, from: Proc, to: Proc, m: Msg) {
+        match m {
+            Msg::Copy(r, id) => {
+                let owner = self.owner(r);
+                self.live.insert((to, r));
+                if to == owner {
+                    // Back at the owner: concrete object, nothing to do.
+                    // (Without the owner-recv optimisation the sender
+                    // still expects an ack to release its transient.)
+                    if !self.owner_recv_opt {
+                        self.post(to, from, Msg::CopyAck(r, id));
+                    }
+                    return;
+                }
+                if from == owner && self.owner_send_opt {
+                    // Already registered by the sender.
+                    let slot = self.slot(to, r);
+                    slot.usable = true;
+                    slot.registered = true;
+                    return;
+                }
+                let needs_dirty = {
+                    let slot = self.slot(to, r);
+                    if slot.usable {
+                        false
+                    } else {
+                        slot.usable = true;
+                        slot.registered = false;
+                        true
+                    }
+                };
+                if needs_dirty {
+                    self.post(to, owner, Msg::Dirty(r));
+                    self.slot(to, r).blocked.insert((id, from));
+                } else {
+                    let registered = self.slot(to, r).registered;
+                    if registered {
+                        self.post(to, from, Msg::CopyAck(r, id));
+                    } else {
+                        self.slot(to, r).blocked.insert((id, from));
+                    }
+                }
+            }
+            Msg::CopyAck(r, id) => {
+                self.slot(to, r).tdirty.remove(&(from, id));
+            }
+            Msg::Dirty(r) => {
+                assert_eq!(self.owner(r), to);
+                self.pdirty.entry((to, r)).or_default().insert(from);
+                self.post(to, from, Msg::DirtyAck(r));
+            }
+            Msg::DirtyAck(r) => {
+                let blocked: Vec<(CopyId, Proc)> = {
+                    let slot = self.slot(to, r);
+                    slot.registered = true;
+                    let b = slot.blocked.iter().copied().collect();
+                    slot.blocked.clear();
+                    b
+                };
+                for (id, sender) in blocked {
+                    self.post(to, sender, Msg::CopyAck(r, id));
+                }
+            }
+            Msg::Clean(r) => {
+                assert_eq!(self.owner(r), to);
+                if let Some(set) = self.pdirty.get_mut(&(to, r)) {
+                    set.remove(&from);
+                    if set.is_empty() {
+                        self.pdirty.remove(&(to, r));
+                    }
+                }
+            }
+            Msg::CleanAck(_) => unreachable!("no clean acks in the FIFO variant"),
+        }
+    }
+
+    /// The safety requirement, adapted: a usable reference at a non-owner
+    /// (or a copy in transit) implies a protecting entry at the owner —
+    /// permanent, or a transient entry at the owner for its own sends.
+    pub fn check_safety(&self) -> Result<(), String> {
+        for (i, &owner) in self.owner.iter().enumerate() {
+            let r = Ref(i);
+            let mut threatened = false;
+            for (&(p, rr), slot) in &self.slots {
+                if rr == r && p != owner && slot.usable {
+                    threatened = true;
+                }
+            }
+            for chan in self.channels.values() {
+                if chan
+                    .iter()
+                    .any(|m| matches!(m, Msg::Copy(rr, _) if *rr == r))
+                {
+                    threatened = true;
+                }
+            }
+            if threatened {
+                let pdirty_ok = self.pdirty.get(&(owner, r)).is_some_and(|s| !s.is_empty());
+                let tdirty_ok = self
+                    .slots
+                    .get(&(owner, r))
+                    .is_some_and(|s| !s.tdirty.is_empty());
+                // Under the owner-send optimisation the permanent entry is
+                // created before the copy leaves, so the same check holds.
+                if !pdirty_ok && !tdirty_ok {
+                    // Exception: with owner_recv_opt, a copy travelling
+                    // *to* the owner is protected by the sender's own
+                    // permanent entry; verify that instead.
+                    let to_owner_only = self.channels.iter().all(|(&(_f, t), chan)| {
+                        chan.iter()
+                            .all(|m| !matches!(m, Msg::Copy(rr, _) if *rr == r) || t == owner)
+                    });
+                    let any_usable = self
+                        .slots
+                        .iter()
+                        .any(|(&(p, rr), s)| rr == r && p != owner && s.usable);
+                    if self.owner_recv_opt && to_owner_only && !any_usable {
+                        continue;
+                    }
+                    return Err(format!(
+                        "FIFO-variant SAFETY VIOLATION for {r:?}: usable remotely, \
+                         owner tables empty"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Liveness check after a drain: all dirty sets empty, no messages.
+    pub fn check_drained(&self) -> Result<(), String> {
+        if self.channels.values().any(|c| !c.is_empty()) {
+            return Err("messages still in transit".into());
+        }
+        for (&(p, r), set) in &self.pdirty {
+            if !set.is_empty() {
+                return Err(format!("leak: pdirty({p:?},{r:?}) = {set:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a randomised FIFO-variant run.
+#[derive(Debug)]
+pub struct FifoRun {
+    /// Final configuration.
+    pub config: FifoConfig,
+    /// Steps executed.
+    pub steps: u64,
+}
+
+/// Random walk on the FIFO machine: activity phase (copies, drops,
+/// deliveries), then drain. Returns `Err` with the violation if safety
+/// fails at any step or liveness fails at the end.
+pub fn walk(
+    nprocs: usize,
+    nrefs: usize,
+    activity: u64,
+    ordered: bool,
+    seed: u64,
+) -> Result<FifoRun, String> {
+    let owners: Vec<usize> = (0..nrefs).map(|i| i % nprocs).collect();
+    let mut c = FifoConfig::new(nprocs, &owners, ordered);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut steps = 0u64;
+
+    for _ in 0..activity {
+        // Mutator: maybe copy, maybe drop.
+        if rng.gen_bool(0.3) {
+            let holders: Vec<(Proc, Ref)> = c
+                .slots
+                .iter()
+                .filter(|(&(p, r), s)| s.usable && c.live.contains(&(p, r)))
+                .map(|(&k, _)| k)
+                .collect();
+            if let Some(&(p, r)) = holders.as_slice().choose(&mut rng) {
+                let others: Vec<Proc> = (0..nprocs).map(Proc).filter(|&q| q != p).collect();
+                if let Some(&q) = others.as_slice().choose(&mut rng) {
+                    c.step(FifoStep::Copy(p, q, r));
+                    steps += 1;
+                }
+            }
+        }
+        if rng.gen_bool(0.2) {
+            let holders: Vec<(Proc, Ref)> = c
+                .live
+                .iter()
+                .copied()
+                .filter(|&(p, r)| p != c.owner(r))
+                .collect();
+            if let Some(&(p, r)) = holders.as_slice().choose(&mut rng) {
+                c.live.remove(&(p, r));
+            }
+        }
+        let steps_avail = c.deliveries();
+        if let Some(&s) = steps_avail.as_slice().choose(&mut rng) {
+            c.step(s);
+            steps += 1;
+        }
+        c.check_safety()?;
+    }
+
+    // Drain.
+    let holders: Vec<(Proc, Ref)> = c
+        .live
+        .iter()
+        .copied()
+        .filter(|&(p, r)| p != c.owner(r))
+        .collect();
+    for (p, r) in holders {
+        c.live.remove(&(p, r));
+    }
+    let mut fuel = 1_000_000u64;
+    loop {
+        // Copies delivered during the drain re-mark references live;
+        // keep dropping them.
+        let relive: Vec<(Proc, Ref)> = c
+            .live
+            .iter()
+            .copied()
+            .filter(|&(p, r)| p != c.owner(r))
+            .collect();
+        for (p, r) in relive {
+            c.live.remove(&(p, r));
+        }
+        let avail = c.deliveries();
+        let Some(&s) = avail.as_slice().choose(&mut rng) else {
+            break;
+        };
+        c.step(s);
+        steps += 1;
+        c.check_safety()?;
+        fuel -= 1;
+        if fuel == 0 {
+            return Err("drain did not terminate".into());
+        }
+    }
+    c.check_drained()?;
+    Ok(FifoRun { config: c, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_walks_are_safe_and_live() {
+        for seed in 0..50 {
+            walk(4, 2, 150, true, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unordered_channels_break_the_variant() {
+        // The §5.1 simplification is only sound on FIFO channels: with
+        // arbitrary delivery order some schedule must violate safety or
+        // leak. This is the paper's justification for the hypothesis.
+        let mut violations = 0;
+        for seed in 0..300 {
+            if walk(4, 2, 150, false, seed).is_err() {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations > 0,
+            "expected the unordered runs to exhibit at least one violation"
+        );
+    }
+
+    #[test]
+    fn no_blocking_states_exist() {
+        // The FIFO variant's point: a delivered copy is immediately
+        // usable.
+        let mut c = FifoConfig::new(2, &[0], true);
+        c.step(FifoStep::Copy(Proc(0), Proc(1), Ref(0)));
+        c.step(FifoStep::Deliver(Proc(0), Proc(1), 0));
+        assert!(c.slots[&(Proc(1), Ref(0))].usable);
+        assert!(
+            !c.slots[&(Proc(1), Ref(0))].registered,
+            "dirty still in flight"
+        );
+    }
+
+    #[test]
+    fn copy_ack_still_waits_for_dirty_ack() {
+        let mut c = FifoConfig::new(2, &[0], true);
+        c.step(FifoStep::Copy(Proc(0), Proc(1), Ref(0)));
+        c.step(FifoStep::Deliver(Proc(0), Proc(1), 0)); // copy → dirty posted
+        assert_eq!(c.sent.copy_acks, 0);
+        c.step(FifoStep::Deliver(Proc(1), Proc(0), 0)); // dirty at owner
+        c.step(FifoStep::Deliver(Proc(0), Proc(1), 0)); // dirty_ack
+        assert_eq!(c.sent.copy_acks, 1, "ack released only after dirty_ack");
+        c.step(FifoStep::Deliver(Proc(1), Proc(0), 0)); // copy_ack
+        assert!(c.slots[&(Proc(0), Ref(0))].tdirty.is_empty());
+    }
+
+    #[test]
+    fn owner_send_optimisation_skips_registration_traffic() {
+        let mut base = FifoConfig::new(2, &[0], true);
+        base.step(FifoStep::Copy(Proc(0), Proc(1), Ref(0)));
+        while let Some(&s) = base.deliveries().first() {
+            if matches!(s, FifoStep::Finalize(..)) {
+                break;
+            }
+            base.step(s);
+        }
+        let mut opt = FifoConfig::new(2, &[0], true);
+        opt.owner_send_opt = true;
+        opt.step(FifoStep::Copy(Proc(0), Proc(1), Ref(0)));
+        while let Some(&s) = opt.deliveries().first() {
+            if matches!(s, FifoStep::Finalize(..)) {
+                break;
+            }
+            opt.step(s);
+        }
+        assert_eq!(base.sent.control(), 3, "dirty + dirty_ack + copy_ack");
+        assert_eq!(opt.sent.control(), 0, "no control traffic at all");
+        // Both end with the client registered.
+        assert!(opt.pdirty[&(Proc(0), Ref(0))].contains(&Proc(1)));
+        opt.check_safety().unwrap();
+    }
+}

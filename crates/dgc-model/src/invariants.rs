@@ -1,0 +1,467 @@
+//! Invariant checkers: every lemma of the correctness proof, executable.
+//!
+//! Each checker returns `Err(description)` when its property is violated.
+//! [`check_all`] runs the full battery; the exploration drivers call it
+//! after every transition, turning the paper's inductive proof into a
+//! machine-checked property over millions of reachable states.
+
+use crate::state::{Config, Msg, Proc, RecState, Ref};
+
+/// Result of an invariant check.
+pub type Check = Result<(), String>;
+
+fn fail(args: std::fmt::Arguments<'_>) -> Check {
+    Err(args.to_string())
+}
+
+/// Lemma 1: `rec(p, r) = ccitnil ⇒ r ∈ dirty_call_todo(p)`.
+pub fn lemma1(c: &Config) -> Check {
+    for (&(p, r), &s) in &c.rec {
+        if s == RecState::CcitNil
+            && !c
+                .dirty_call_todo
+                .get(&p)
+                .is_some_and(|set| set.contains(&r))
+        {
+            return fail(format_args!(
+                "lemma1: {p:?} has {r:?} in ccitnil without a scheduled dirty call"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 2: `r ∈ clean_call_todo(p) ⇒ rec(p, r) = OK`.
+pub fn lemma2(c: &Config) -> Check {
+    for (&p, set) in &c.clean_call_todo {
+        for &r in set {
+            if c.rec(p, r) != RecState::Ok {
+                return fail(format_args!(
+                    "lemma2: {p:?} scheduled clean for {r:?} in state {}",
+                    c.rec(p, r)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The four mutually exclusive witnesses of a transient dirty entry
+/// (Invariant 1 / Lemma 3).
+fn transient_witnesses(c: &Config, p1: Proc, p2: Proc, r: Ref, id: u64) -> Vec<&'static str> {
+    let mut w = Vec::new();
+    if c.channels
+        .get(&(p1, p2))
+        .is_some_and(|ch| ch.contains(&Msg::Copy(r, id)))
+    {
+        w.push("copy in transit");
+    }
+    if c.blocked
+        .get(&(p2, r))
+        .is_some_and(|set| set.contains(&(id, p1)))
+    {
+        w.push("blocked entry");
+    }
+    if c.channels
+        .get(&(p2, p1))
+        .is_some_and(|ch| ch.contains(&Msg::CopyAck(r, id)))
+    {
+        w.push("copy_ack in transit");
+    }
+    if c.copy_ack_todo
+        .get(&p2)
+        .is_some_and(|set| set.contains(&(id, p1, r)))
+    {
+        w.push("copy_ack scheduled");
+    }
+    w
+}
+
+/// Invariant 1 (Lemma 3): a transient dirty entry `(p1, p2, id)` in
+/// `tdirty(p1, r)` exists iff exactly one of the four witnesses holds.
+pub fn invariant1(c: &Config) -> Check {
+    // Direction 1: every transient entry has exactly one witness.
+    for (&(p1, r), set) in &c.tdirty {
+        for &(sp, p2, id) in set {
+            if sp != p1 {
+                return fail(format_args!(
+                    "invariant1: entry {sp:?} stored under {p1:?} for {r:?}"
+                ));
+            }
+            let w = transient_witnesses(c, p1, p2, r, id);
+            if w.len() != 1 {
+                return fail(format_args!(
+                    "invariant1: entry ({p1:?},{p2:?},{id}) for {r:?} has witnesses {w:?}"
+                ));
+            }
+        }
+    }
+    // Direction 2: every witness corresponds to a transient entry.
+    for (&(from, to), msgs) in &c.channels {
+        for &m in msgs {
+            match m {
+                Msg::Copy(r, id) => {
+                    if !c
+                        .tdirty
+                        .get(&(from, r))
+                        .is_some_and(|s| s.contains(&(from, to, id)))
+                    {
+                        return fail(format_args!(
+                            "invariant1: copy({r:?},{id}) in transit without transient entry"
+                        ));
+                    }
+                }
+                Msg::CopyAck(r, id) => {
+                    if !c
+                        .tdirty
+                        .get(&(to, r))
+                        .is_some_and(|s| s.contains(&(to, from, id)))
+                    {
+                        return fail(format_args!(
+                            "invariant1: copy_ack({r:?},{id}) in transit without transient entry"
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for (&(p2, r), set) in &c.blocked {
+        for &(id, p1) in set {
+            if !c
+                .tdirty
+                .get(&(p1, r))
+                .is_some_and(|s| s.contains(&(p1, p2, id)))
+            {
+                return fail(format_args!(
+                    "invariant1: blocked entry ({id},{p1:?}) at {p2:?} without transient entry"
+                ));
+            }
+        }
+    }
+    for (&p2, set) in &c.copy_ack_todo {
+        for &(id, p1, r) in set {
+            if !c
+                .tdirty
+                .get(&(p1, r))
+                .is_some_and(|s| s.contains(&(p1, p2, id)))
+            {
+                return fail(format_args!(
+                    "invariant1: scheduled copy_ack ({id},{p1:?},{r:?}) without transient entry"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 4: a clean message in transit (or scheduled ack, or ack in
+/// transit) implies `rec(p1, r) ∈ {ccit, ccitnil}`; the three witnesses
+/// are mutually exclusive.
+pub fn lemma4(c: &Config) -> Check {
+    for p1 in c.procs() {
+        for r in c.refs() {
+            let p2 = c.owner(r);
+            let clean_in_transit = c
+                .channels
+                .get(&(p1, p2))
+                .is_some_and(|ch| ch.contains(&Msg::Clean(r)));
+            let ack_scheduled = c
+                .clean_ack_todo
+                .get(&p2)
+                .is_some_and(|s| s.contains(&(p1, r)));
+            let ack_in_transit = c
+                .channels
+                .get(&(p2, p1))
+                .is_some_and(|ch| ch.contains(&Msg::CleanAck(r)));
+            let count = [clean_in_transit, ack_scheduled, ack_in_transit]
+                .iter()
+                .filter(|b| **b)
+                .count();
+            if count > 1 {
+                return fail(format_args!(
+                    "lemma4: multiple clean witnesses for ({p1:?},{r:?})"
+                ));
+            }
+            if count == 1 {
+                let s = c.rec(p1, r);
+                if s != RecState::Ccit && s != RecState::CcitNil {
+                    return fail(format_args!(
+                        "lemma4: clean activity for ({p1:?},{r:?}) but state {s}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 5: (a) a scheduled dirty call implies state nil/ccitnil;
+/// (b) a dirty or dirty-ack in transit (or scheduled ack) implies nil;
+/// (c) the four witnesses are mutually exclusive.
+pub fn lemma5(c: &Config) -> Check {
+    for p1 in c.procs() {
+        for r in c.refs() {
+            let p2 = c.owner(r);
+            let scheduled = c.dirty_call_todo.get(&p1).is_some_and(|s| s.contains(&r));
+            let dirty_in_transit = c
+                .channels
+                .get(&(p1, p2))
+                .is_some_and(|ch| ch.contains(&Msg::Dirty(r)));
+            let ack_scheduled = c
+                .dirty_ack_todo
+                .get(&p2)
+                .is_some_and(|s| s.contains(&(p1, r)));
+            let ack_in_transit = c
+                .channels
+                .get(&(p2, p1))
+                .is_some_and(|ch| ch.contains(&Msg::DirtyAck(r)));
+
+            let count = [scheduled, dirty_in_transit, ack_scheduled, ack_in_transit]
+                .iter()
+                .filter(|b| **b)
+                .count();
+            if count > 1 {
+                return fail(format_args!(
+                    "lemma5c: multiple dirty witnesses for ({p1:?},{r:?})"
+                ));
+            }
+            let s = c.rec(p1, r);
+            if scheduled && s != RecState::Nil && s != RecState::CcitNil {
+                return fail(format_args!(
+                    "lemma5a: dirty scheduled for ({p1:?},{r:?}) in state {s}"
+                ));
+            }
+            if (dirty_in_transit || ack_scheduled || ack_in_transit) && s != RecState::Nil {
+                return fail(format_args!(
+                    "lemma5b: dirty in flight for ({p1:?},{r:?}) in state {s}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 2 (Lemma 6): for non-owner `p1`,
+/// `p1 ∈ pdirty(owner, r) ∨ dirty in transit ∨ dirty scheduled`
+/// ⇔ `clean in transit ∨ rec ∈ {OK, nil, ccitnil}`.
+pub fn invariant2(c: &Config) -> Check {
+    for p1 in c.procs() {
+        for r in c.refs() {
+            let p2 = c.owner(r);
+            if p1 == p2 {
+                continue;
+            }
+            let lhs = c.pdirty.get(&(p2, r)).is_some_and(|s| s.contains(&p1))
+                || c.channels
+                    .get(&(p1, p2))
+                    .is_some_and(|ch| ch.contains(&Msg::Dirty(r)))
+                || c.dirty_call_todo.get(&p1).is_some_and(|s| s.contains(&r));
+            let s = c.rec(p1, r);
+            let rhs = c
+                .channels
+                .get(&(p1, p2))
+                .is_some_and(|ch| ch.contains(&Msg::Clean(r)))
+                || matches!(s, RecState::Ok | RecState::Nil | RecState::CcitNil);
+            if lhs != rhs {
+                return fail(format_args!(
+                    "invariant2: mismatch for ({p1:?},{r:?}): lhs={lhs} rhs={rhs} state={s}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 7: a transient entry at `p1` implies `rec(p1, r) = OK`.
+pub fn lemma7(c: &Config) -> Check {
+    for (&(p1, r), set) in &c.tdirty {
+        if !set.is_empty() && c.rec(p1, r) != RecState::Ok {
+            return fail(format_args!(
+                "lemma7: transient entries at ({p1:?},{r:?}) in state {}",
+                c.rec(p1, r)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 8: a not-yet-usable reference with registration in flight has a
+/// blocked entry witnessing the copy that delivered it.
+pub fn lemma8(c: &Config) -> Check {
+    for p1 in c.procs() {
+        for r in c.refs() {
+            let s = c.rec(p1, r);
+            if s != RecState::Nil && s != RecState::CcitNil {
+                continue;
+            }
+            let registering = c
+                .channels
+                .get(&(p1, c.owner(r)))
+                .is_some_and(|ch| ch.contains(&Msg::Dirty(r)))
+                || c.dirty_call_todo
+                    .get(&p1)
+                    .is_some_and(|set| set.contains(&r));
+            if registering && !c.blocked.get(&(p1, r)).is_some_and(|set| !set.is_empty()) {
+                return fail(format_args!(
+                    "lemma8: ({p1:?},{r:?}) registering in state {s} with no blocked entry"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 19: a blocked entry exists iff a dirty call/ack (or their
+/// scheduling) is in flight for the same reference.
+pub fn lemma19(c: &Config) -> Check {
+    for (&(p2, r), set) in &c.blocked {
+        if set.is_empty() {
+            continue;
+        }
+        let owner = c.owner(r);
+        let witness = c.dirty_call_todo.get(&p2).is_some_and(|s| s.contains(&r))
+            || c.channels
+                .get(&(p2, owner))
+                .is_some_and(|ch| ch.contains(&Msg::Dirty(r)))
+            || c.dirty_ack_todo
+                .get(&owner)
+                .is_some_and(|s| s.contains(&(p2, r)))
+            || c.channels
+                .get(&(owner, p2))
+                .is_some_and(|ch| ch.contains(&Msg::DirtyAck(r)));
+        if !witness {
+            return fail(format_args!(
+                "lemma19: blocked entries at ({p2:?},{r:?}) with no registration in flight"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 20: `rec(p, r) = nil` implies a blocked entry exists.
+pub fn lemma20(c: &Config) -> Check {
+    for (&(p, r), &s) in &c.rec {
+        if s == RecState::Nil && !c.blocked.get(&(p, r)).is_some_and(|set| !set.is_empty()) {
+            return fail(format_args!(
+                "lemma20: ({p:?},{r:?}) is nil with no blocked entry"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The safety requirement (Definition 12): any potentially usable remote
+/// reference — state OK/nil/ccitnil at a non-owner, or a copy in transit —
+/// implies the owner's dirty tables are non-empty for that reference.
+pub fn safety(c: &Config) -> Check {
+    for r in c.refs() {
+        let owner = c.owner(r);
+        let mut threatened = false;
+        for p1 in c.procs() {
+            if p1 != owner
+                && matches!(
+                    c.rec(p1, r),
+                    RecState::Ok | RecState::Nil | RecState::CcitNil
+                )
+            {
+                threatened = true;
+            }
+        }
+        if c.count_messages(|m| matches!(m, Msg::Copy(rr, _) if *rr == r)) > 0 {
+            threatened = true;
+        }
+        if threatened {
+            let pdirty_nonempty = c.pdirty.get(&(owner, r)).is_some_and(|s| !s.is_empty());
+            let tdirty_nonempty = c.tdirty.get(&(owner, r)).is_some_and(|s| !s.is_empty());
+            if !pdirty_nonempty && !tdirty_nonempty {
+                return fail(format_args!(
+                    "SAFETY VIOLATION: {r:?} is remotely referenced but owner {owner:?} \
+                     has empty dirty tables — the object could be reclaimed"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs every invariant; returns the first violation.
+pub fn check_all(c: &Config) -> Check {
+    lemma1(c)?;
+    lemma2(c)?;
+    invariant1(c)?;
+    lemma4(c)?;
+    lemma5(c)?;
+    invariant2(c)?;
+    lemma7(c)?;
+    lemma8(c)?;
+    lemma19(c)?;
+    lemma20(c)?;
+    safety(c)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{apply, Transition};
+
+    #[test]
+    fn initial_config_satisfies_all() {
+        let c = Config::new(4, &[0, 1, 2]);
+        check_all(&c).unwrap();
+    }
+
+    #[test]
+    fn invariants_hold_through_a_life_cycle() {
+        let mut c = Config::new(2, &[0]);
+        let steps = [
+            Transition::MakeCopy(Proc(0), Proc(1), Ref(0)),
+            Transition::ReceiveCopy(Proc(0), Proc(1), Ref(0), 0),
+            Transition::DoDirtyCall(Proc(1), Ref(0)),
+            Transition::ReceiveDirty(Proc(1), Proc(0), Ref(0)),
+            Transition::DoDirtyAck(Proc(0), Proc(1), Ref(0)),
+            Transition::ReceiveDirtyAck(Proc(0), Proc(1), Ref(0)),
+            Transition::DoCopyAck(Proc(1), Proc(0), Ref(0), 0),
+            Transition::ReceiveCopyAck(Proc(1), Proc(0), Ref(0), 0),
+        ];
+        for t in steps {
+            apply(&mut c, t);
+            check_all(&c).unwrap_or_else(|e| panic!("after {t:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn violations_are_detected() {
+        // Manufacture a corrupt state: a usable remote reference with no
+        // dirty entry at the owner.
+        let mut c = Config::new(2, &[0]);
+        c.set_rec(Proc(1), Ref(0), RecState::Ok);
+        assert!(safety(&c).is_err());
+        assert!(invariant2(&c).is_err());
+    }
+
+    #[test]
+    fn naive_race_outcome_violates_safety() {
+        // The Figure-1 scenario outcome under naive counting: p2 holds the
+        // reference usable, but the owner's listing is empty because a
+        // decrement raced past an increment. Expressed in reference
+        // listing terms, the checker must flag it.
+        let mut c = Config::new(3, &[0]);
+        c.set_rec(Proc(1), Ref(0), RecState::Ok);
+        c.set_rec(Proc(2), Ref(0), RecState::Bot);
+        // Owner's tables empty.
+        let err = safety(&c).unwrap_err();
+        assert!(err.contains("SAFETY VIOLATION"), "{err}");
+    }
+
+    #[test]
+    fn mutual_exclusivity_detected() {
+        // A copy and its ack simultaneously in transit for the same id.
+        let mut c = Config::new(2, &[0]);
+        apply(&mut c, Transition::MakeCopy(Proc(0), Proc(1), Ref(0)));
+        // Forge the duplicate witness.
+        c.post(Proc(1), Proc(0), Msg::CopyAck(Ref(0), 0));
+        assert!(invariant1(&c).is_err());
+    }
+}

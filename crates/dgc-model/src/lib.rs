@@ -1,0 +1,41 @@
+//! Formal model of the Network Objects distributed collector.
+//!
+//! This crate contains no I/O and no threads: it is the distributed
+//! reference-listing algorithm as an abstract state machine — processes,
+//! unordered message bags, the five-state reference life cycle
+//! (`⊥ / nil / OK / ccit / ccitnil`), and the twelve transition rules —
+//! together with executable versions of every invariant in the
+//! correctness proof and the termination measure from the liveness proof.
+//!
+//! It serves three purposes:
+//!
+//! 1. **Oracle.** The `netobj` runtime implements this protocol; the model
+//!    checks that the protocol itself is safe and live under arbitrary
+//!    schedules (random walks) and exhaustively for small instances.
+//! 2. **Variants.** The FIFO-channel simplification and the owner
+//!    optimisations are modelled for the ablation experiments ([`fifo`],
+//!    [`variants`]).
+//! 3. **Baselines.** Naive distributed counting (demonstrating the
+//!    premature-reclamation race) and the classic alternatives
+//!    (Lermen–Maurer, weighted, indirect reference counting) are modelled
+//!    for the comparison experiments ([`baselines`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cube;
+pub mod explore;
+pub mod faults;
+pub mod fifo;
+pub mod invariants;
+pub mod measure;
+pub mod rules;
+pub mod state;
+pub mod variants;
+
+pub use explore::{assert_drained, exhaustive, random_walk, WalkPolicy};
+pub use invariants::check_all;
+pub use measure::termination_measure;
+pub use rules::{apply, enabled, Transition};
+pub use state::{Config, Msg, Proc, RecState, Ref};

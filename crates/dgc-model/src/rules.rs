@@ -1,0 +1,467 @@
+//! The transition rules, transcribed from the formal specification
+//! (Figures 9–12 of the paper's presentation of Birrell's algorithm).
+//!
+//! Each rule is a guard plus an atomic state transformation. The
+//! `enabled` function enumerates every fireable rule instance in a
+//! configuration; `apply` fires one. `make_copy` and `finalize` are the
+//! *mutator-driven* transitions; everything else is collector work.
+
+use crate::state::{Config, CopyId, Msg, Proc, RecState, Ref};
+
+/// One rule instance (rule name + parameters).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Transition {
+    /// `make_copy(p1, p2, r)`: the mutator sends a reference.
+    MakeCopy(Proc, Proc, Ref),
+    /// `receive_copy(p1, p2, r, id)`.
+    ReceiveCopy(Proc, Proc, Ref, CopyId),
+    /// `do_copy_ack(p1, p2, r, id)`.
+    DoCopyAck(Proc, Proc, Ref, CopyId),
+    /// `receive_copy_ack(p1, p2, r, id)` — `p1` acked, `p2` sent the copy.
+    ReceiveCopyAck(Proc, Proc, Ref, CopyId),
+    /// `do_dirty_call(p, r)`.
+    DoDirtyCall(Proc, Ref),
+    /// `receive_dirty(p1, p2, r)` — `p2 = owner(r)`.
+    ReceiveDirty(Proc, Proc, Ref),
+    /// `do_dirty_ack(p1, p2, r)` — `p1 = owner(r)`.
+    DoDirtyAck(Proc, Proc, Ref),
+    /// `receive_dirty_ack(p1, p2, r)` — from owner `p1` to client `p2`.
+    ReceiveDirtyAck(Proc, Proc, Ref),
+    /// `finalize(p, r)`: the local collector notices unreachability.
+    Finalize(Proc, Ref),
+    /// `do_clean_call(p, r)`.
+    DoCleanCall(Proc, Ref),
+    /// `receive_clean(p1, p2, r)` — `p2 = owner(r)`.
+    ReceiveClean(Proc, Proc, Ref),
+    /// `do_clean_ack(p1, p2, r)` — `p1 = owner(r)`.
+    DoCleanAck(Proc, Proc, Ref),
+    /// `receive_clean_ack(p1, p2, r)` — from owner `p1` to client `p2`.
+    ReceiveCleanAck(Proc, Proc, Ref),
+}
+
+impl Transition {
+    /// True for the transitions driven by the application/local collector
+    /// (`make_copy`, `finalize`): the liveness proof shows all *other*
+    /// transition sequences terminate.
+    pub fn is_mutator(&self) -> bool {
+        matches!(self, Transition::MakeCopy(..) | Transition::Finalize(..))
+    }
+}
+
+/// Enumerates every enabled transition of `c`.
+pub fn enabled(c: &Config) -> Vec<Transition> {
+    let mut out = Vec::new();
+
+    // Message-receipt rules: scan channels.
+    for (&(from, to), msgs) in &c.channels {
+        let mut seen = std::collections::BTreeSet::new();
+        for &m in msgs {
+            if !seen.insert(m) {
+                continue; // A duplicate enables the same instance.
+            }
+            match m {
+                Msg::Copy(r, id) => out.push(Transition::ReceiveCopy(from, to, r, id)),
+                Msg::CopyAck(r, id) => out.push(Transition::ReceiveCopyAck(from, to, r, id)),
+                Msg::Dirty(r) => {
+                    if c.owner(r) == to {
+                        out.push(Transition::ReceiveDirty(from, to, r));
+                    }
+                }
+                Msg::DirtyAck(r) => out.push(Transition::ReceiveDirtyAck(from, to, r)),
+                Msg::Clean(r) => {
+                    if c.owner(r) == to {
+                        out.push(Transition::ReceiveClean(from, to, r));
+                    }
+                }
+                Msg::CleanAck(r) => out.push(Transition::ReceiveCleanAck(from, to, r)),
+            }
+        }
+    }
+
+    // To-do tables.
+    for (&p, set) in &c.copy_ack_todo {
+        for &(id, peer, r) in set {
+            out.push(Transition::DoCopyAck(p, peer, r, id));
+        }
+    }
+    for (&p, set) in &c.dirty_ack_todo {
+        for &(peer, r) in set {
+            out.push(Transition::DoDirtyAck(p, peer, r));
+        }
+    }
+    for (&p, set) in &c.clean_ack_todo {
+        for &(peer, r) in set {
+            out.push(Transition::DoCleanAck(p, peer, r));
+        }
+    }
+    for (&p, set) in &c.dirty_call_todo {
+        for &r in set {
+            // Note 5: dirty calls are postponed while in `ccitnil`.
+            if c.rec(p, r) != RecState::CcitNil {
+                out.push(Transition::DoDirtyCall(p, r));
+            }
+        }
+    }
+    for (&p, set) in &c.clean_call_todo {
+        for &r in set {
+            out.push(Transition::DoCleanCall(p, r));
+        }
+    }
+
+    // Mutator rules.
+    for p1 in c.procs() {
+        for r in c.refs() {
+            if c.rec(p1, r) == RecState::Ok {
+                // The mutator can only send references it still holds
+                // (`locallyLive`): a dropped reference may be awaiting
+                // cleanup and must not be re-transmitted.
+                if c.is_live(p1, r) {
+                    for p2 in c.procs() {
+                        if p2 != p1 {
+                            out.push(Transition::MakeCopy(p1, p2, r));
+                        }
+                    }
+                }
+                // The transient dirty table is a root for the local
+                // collector: while p1 has transmissions of r in flight,
+                // the reference stays locally reachable and `finalize`
+                // cannot fire (this is what makes Lemma 7 inductive).
+                let pinned = c.tdirty.get(&(p1, r)).is_some_and(|s| !s.is_empty());
+                if !c.is_live(p1, r)
+                    && !pinned
+                    && p1 != c.owner(r)
+                    && !c.clean_call_todo.get(&p1).is_some_and(|s| s.contains(&r))
+                {
+                    out.push(Transition::Finalize(p1, r));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Fires `t` on `c`.
+///
+/// # Panics
+///
+/// Panics if `t` is not enabled (violated guard) — model-level bugs must
+/// be loud.
+pub fn apply(c: &mut Config, t: Transition) {
+    match t {
+        Transition::MakeCopy(p1, p2, r) => {
+            assert_ne!(p1, p2, "make_copy requires distinct processes");
+            assert_eq!(c.rec(p1, r), RecState::Ok, "make_copy requires OK");
+            assert!(c.is_live(p1, r), "mutator can only send held references");
+            let id = c.next_id;
+            c.next_id += 1;
+            c.tdirty.entry((p1, r)).or_default().insert((p1, p2, id));
+            c.post(p1, p2, Msg::Copy(r, id));
+        }
+        Transition::ReceiveCopy(p1, p2, r, id) => {
+            c.receive(p1, p2, Msg::Copy(r, id));
+            // The process now holds the reference; the mutator sees it.
+            c.mark_live(p2, r);
+            match c.rec(p2, r) {
+                RecState::Nil | RecState::CcitNil => {
+                    c.blocked.entry((p2, r)).or_default().insert((id, p1));
+                }
+                s @ (RecState::Bot | RecState::Ccit) => {
+                    let next = if s == RecState::Bot {
+                        RecState::Nil
+                    } else {
+                        RecState::CcitNil
+                    };
+                    c.set_rec(p2, r, next);
+                    c.dirty_call_todo.entry(p2).or_default().insert(r);
+                    c.blocked.entry((p2, r)).or_default().insert((id, p1));
+                }
+                RecState::Ok => {
+                    // Note 4: cancel a scheduled (unsent) clean call — the
+                    // resurrection optimisation.
+                    if let Some(set) = c.clean_call_todo.get_mut(&p2) {
+                        set.remove(&r);
+                    }
+                    c.copy_ack_todo.entry(p2).or_default().insert((id, p1, r));
+                }
+            }
+        }
+        Transition::DoCopyAck(p1, p2, r, id) => {
+            let removed = c
+                .copy_ack_todo
+                .get_mut(&p1)
+                .is_some_and(|s| s.remove(&(id, p2, r)));
+            assert!(removed, "do_copy_ack requires a scheduled ack");
+            c.post(p1, p2, Msg::CopyAck(r, id));
+        }
+        Transition::ReceiveCopyAck(p1, p2, r, id) => {
+            c.receive(p1, p2, Msg::CopyAck(r, id));
+            if let Some(set) = c.tdirty.get_mut(&(p2, r)) {
+                set.remove(&(p2, p1, id));
+                if set.is_empty() {
+                    c.tdirty.remove(&(p2, r));
+                }
+            }
+        }
+        Transition::DoDirtyCall(p, r) => {
+            assert_ne!(c.rec(p, r), RecState::CcitNil, "postponed in ccitnil");
+            let removed = c.dirty_call_todo.get_mut(&p).is_some_and(|s| s.remove(&r));
+            assert!(removed, "do_dirty_call requires a scheduled call");
+            let owner = c.owner(r);
+            c.post(p, owner, Msg::Dirty(r));
+        }
+        Transition::ReceiveDirty(p1, p2, r) => {
+            assert_eq!(c.owner(r), p2, "dirty goes to the owner");
+            c.receive(p1, p2, Msg::Dirty(r));
+            c.pdirty.entry((p2, r)).or_default().insert(p1);
+            c.dirty_ack_todo.entry(p2).or_default().insert((p1, r));
+        }
+        Transition::DoDirtyAck(p1, p2, r) => {
+            let removed = c
+                .dirty_ack_todo
+                .get_mut(&p1)
+                .is_some_and(|s| s.remove(&(p2, r)));
+            assert!(removed, "do_dirty_ack requires a scheduled ack");
+            c.post(p1, p2, Msg::DirtyAck(r));
+        }
+        Transition::ReceiveDirtyAck(p1, p2, r) => {
+            c.receive(p1, p2, Msg::DirtyAck(r));
+            let blocked = c.blocked.remove(&(p2, r)).unwrap_or_default();
+            let acks = c.copy_ack_todo.entry(p2).or_default();
+            for (id, sender) in blocked {
+                acks.insert((id, sender, r));
+            }
+            c.set_rec(p2, r, RecState::Ok);
+        }
+        Transition::Finalize(p, r) => {
+            assert!(!c.is_live(p, r), "finalize requires unreachability");
+            assert!(
+                c.tdirty.get(&(p, r)).is_none_or(|s| s.is_empty()),
+                "transient dirty entries keep the reference locally reachable"
+            );
+            assert_eq!(c.rec(p, r), RecState::Ok);
+            assert_ne!(p, c.owner(r));
+            let added = c.clean_call_todo.entry(p).or_default().insert(r);
+            assert!(added, "finalize must not refire");
+        }
+        Transition::DoCleanCall(p, r) => {
+            let removed = c.clean_call_todo.get_mut(&p).is_some_and(|s| s.remove(&r));
+            assert!(removed, "do_clean_call requires a scheduled call");
+            // Assertion from the rule body: the state was OK.
+            assert_eq!(c.rec(p, r), RecState::Ok);
+            c.set_rec(p, r, RecState::Ccit);
+            let owner = c.owner(r);
+            c.post(p, owner, Msg::Clean(r));
+        }
+        Transition::ReceiveClean(p1, p2, r) => {
+            assert_eq!(c.owner(r), p2, "clean goes to the owner");
+            c.receive(p1, p2, Msg::Clean(r));
+            if let Some(set) = c.pdirty.get_mut(&(p2, r)) {
+                set.remove(&p1);
+                if set.is_empty() {
+                    c.pdirty.remove(&(p2, r));
+                }
+            }
+            c.clean_ack_todo.entry(p2).or_default().insert((p1, r));
+        }
+        Transition::DoCleanAck(p1, p2, r) => {
+            let removed = c
+                .clean_ack_todo
+                .get_mut(&p1)
+                .is_some_and(|s| s.remove(&(p2, r)));
+            assert!(removed, "do_clean_ack requires a scheduled ack");
+            c.post(p1, p2, Msg::CleanAck(r));
+        }
+        Transition::ReceiveCleanAck(p1, p2, r) => {
+            c.receive(p1, p2, Msg::CleanAck(r));
+            match c.rec(p2, r) {
+                RecState::CcitNil => c.set_rec(p2, r, RecState::Nil),
+                RecState::Ccit => c.set_rec(p2, r, RecState::Bot),
+                other => panic!("clean_ack in unexpected state {other}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fires the unique enabled instance matching `f`, panicking if the
+    /// count differs from one.
+    fn fire(c: &mut Config, f: impl Fn(&Transition) -> bool) -> Transition {
+        let matches: Vec<Transition> = enabled(c).into_iter().filter(|t| f(t)).collect();
+        assert_eq!(matches.len(), 1, "expected exactly one match: {matches:?}");
+        apply(c, matches[0]);
+        matches[0]
+    }
+
+    /// Walks one reference through its full life cycle
+    /// `⊥ → nil → OK → ccit → ⊥` and checks each intermediate state.
+    #[test]
+    fn full_life_cycle() {
+        let mut c = Config::new(2, &[0]);
+        let (owner, client, r) = (Proc(0), Proc(1), Ref(0));
+
+        fire(
+            &mut c,
+            |t| matches!(t, Transition::MakeCopy(_, p2, _) if *p2 == client),
+        );
+        assert_eq!(c.tdirty[&(owner, r)].len(), 1);
+
+        fire(&mut c, |t| matches!(t, Transition::ReceiveCopy(..)));
+        assert_eq!(c.rec(client, r), RecState::Nil);
+
+        fire(&mut c, |t| matches!(t, Transition::DoDirtyCall(..)));
+        fire(&mut c, |t| matches!(t, Transition::ReceiveDirty(..)));
+        assert!(c.pdirty[&(owner, r)].contains(&client));
+
+        fire(&mut c, |t| matches!(t, Transition::DoDirtyAck(..)));
+        fire(&mut c, |t| matches!(t, Transition::ReceiveDirtyAck(..)));
+        assert_eq!(c.rec(client, r), RecState::Ok);
+
+        // The copy ack was deferred until after the dirty ack (Note 7).
+        fire(&mut c, |t| matches!(t, Transition::DoCopyAck(..)));
+        fire(&mut c, |t| matches!(t, Transition::ReceiveCopyAck(..)));
+        assert!(c.tdirty.get(&(owner, r)).is_none(), "transient released");
+
+        // The mutator drops the reference; the collector cleans up.
+        c.drop_ref(client, r);
+        fire(&mut c, |t| matches!(t, Transition::Finalize(..)));
+        fire(&mut c, |t| matches!(t, Transition::DoCleanCall(..)));
+        assert_eq!(c.rec(client, r), RecState::Ccit);
+        fire(&mut c, |t| matches!(t, Transition::ReceiveClean(..)));
+        assert!(c.pdirty.get(&(owner, r)).is_none(), "dirty set emptied");
+        fire(&mut c, |t| matches!(t, Transition::DoCleanAck(..)));
+        fire(&mut c, |t| matches!(t, Transition::ReceiveCleanAck(..)));
+        assert_eq!(c.rec(client, r), RecState::Bot);
+        assert!(c.quiescent());
+    }
+
+    /// A copy that arrives while a clean call is in transit must travel
+    /// `ccit → ccitnil`, postpone the dirty call, and restart the cycle
+    /// after the clean ack (the state Birrell's description lacked).
+    #[test]
+    fn ccitnil_resurrection() {
+        let mut c = Config::new(3, &[0]);
+        let (owner, b, client, r) = (Proc(0), Proc(1), Proc(2), Ref(0));
+
+        // Install the reference at `client` and also at `b`.
+        for target in [client, b] {
+            apply(&mut c, Transition::MakeCopy(owner, target, r));
+        }
+        let ids: Vec<_> = c
+            .channels
+            .iter()
+            .flat_map(|(k, v)| {
+                v.iter().filter_map(move |m| match m {
+                    Msg::Copy(_, id) => Some((k.1, *id)),
+                    _ => None,
+                })
+            })
+            .collect();
+        for (to, id) in ids {
+            apply(&mut c, Transition::ReceiveCopy(owner, to, r, id));
+            apply(&mut c, Transition::DoDirtyCall(to, r));
+            apply(&mut c, Transition::ReceiveDirty(to, owner, r));
+            apply(&mut c, Transition::DoDirtyAck(owner, to, r));
+            apply(&mut c, Transition::ReceiveDirtyAck(owner, to, r));
+            apply(&mut c, Transition::DoCopyAck(to, owner, r, id));
+            apply(&mut c, Transition::ReceiveCopyAck(to, owner, r, id));
+        }
+        assert!(c.quiescent());
+
+        // Client drops the ref and its clean call enters transit; then a
+        // copy from `b` arrives.
+        c.drop_ref(client, r);
+        apply(&mut c, Transition::Finalize(client, r));
+        apply(&mut c, Transition::DoCleanCall(client, r));
+        assert_eq!(c.rec(client, r), RecState::Ccit);
+
+        apply(&mut c, Transition::MakeCopy(b, client, r));
+        let id = c.next_id - 1;
+        apply(&mut c, Transition::ReceiveCopy(b, client, r, id));
+        assert_eq!(c.rec(client, r), RecState::CcitNil);
+
+        // Note 5: the dirty call must NOT be fireable in ccitnil.
+        assert!(
+            !enabled(&c)
+                .iter()
+                .any(|t| matches!(t, Transition::DoDirtyCall(p, _) if *p == client)),
+            "dirty postponed while ccitnil"
+        );
+
+        // The clean completes; then the new registration proceeds.
+        apply(&mut c, Transition::ReceiveClean(client, owner, r));
+        apply(&mut c, Transition::DoCleanAck(owner, client, r));
+        apply(&mut c, Transition::ReceiveCleanAck(owner, client, r));
+        assert_eq!(c.rec(client, r), RecState::Nil);
+        apply(&mut c, Transition::DoDirtyCall(client, r));
+        apply(&mut c, Transition::ReceiveDirty(client, owner, r));
+        apply(&mut c, Transition::DoDirtyAck(owner, client, r));
+        apply(&mut c, Transition::ReceiveDirtyAck(owner, client, r));
+        assert_eq!(c.rec(client, r), RecState::Ok);
+        assert!(c.pdirty[&(owner, r)].contains(&client));
+    }
+
+    /// Receiving a copy while OK with a *scheduled* (unsent) clean call
+    /// cancels the clean — the Note 4 optimisation.
+    #[test]
+    fn scheduled_clean_cancelled_by_copy() {
+        let mut c = Config::new(3, &[0]);
+        let (owner, b, client, r) = (Proc(0), Proc(1), Proc(2), Ref(0));
+        // Bring client to OK.
+        apply(&mut c, Transition::MakeCopy(owner, client, r));
+        apply(&mut c, Transition::ReceiveCopy(owner, client, r, 0));
+        apply(&mut c, Transition::DoDirtyCall(client, r));
+        apply(&mut c, Transition::ReceiveDirty(client, owner, r));
+        apply(&mut c, Transition::DoDirtyAck(owner, client, r));
+        apply(&mut c, Transition::ReceiveDirtyAck(owner, client, r));
+        // Bring b to OK the same way.
+        apply(&mut c, Transition::MakeCopy(owner, b, r));
+        apply(&mut c, Transition::ReceiveCopy(owner, b, r, 1));
+        apply(&mut c, Transition::DoDirtyCall(b, r));
+        apply(&mut c, Transition::ReceiveDirty(b, owner, r));
+        apply(&mut c, Transition::DoDirtyAck(owner, b, r));
+        apply(&mut c, Transition::ReceiveDirtyAck(owner, b, r));
+
+        // Schedule (but do not send) the client's clean.
+        c.drop_ref(client, r);
+        apply(&mut c, Transition::Finalize(client, r));
+        assert!(c.clean_call_todo[&client].contains(&r));
+
+        // A copy from b arrives first: the clean is cancelled.
+        apply(&mut c, Transition::MakeCopy(b, client, r));
+        let id = c.next_id - 1;
+        apply(&mut c, Transition::ReceiveCopy(b, client, r, id));
+        assert!(!c.clean_call_todo[&client].contains(&r));
+        assert_eq!(c.rec(client, r), RecState::Ok);
+    }
+
+    #[test]
+    fn finalize_does_not_refire() {
+        let mut c = Config::new(2, &[0]);
+        let (owner, client, r) = (Proc(0), Proc(1), Ref(0));
+        apply(&mut c, Transition::MakeCopy(owner, client, r));
+        apply(&mut c, Transition::ReceiveCopy(owner, client, r, 0));
+        apply(&mut c, Transition::DoDirtyCall(client, r));
+        apply(&mut c, Transition::ReceiveDirty(client, owner, r));
+        apply(&mut c, Transition::DoDirtyAck(owner, client, r));
+        apply(&mut c, Transition::ReceiveDirtyAck(owner, client, r));
+        c.drop_ref(client, r);
+        apply(&mut c, Transition::Finalize(client, r));
+        // The guard `r ∉ clean_call_todo` suppresses a second finalize.
+        assert!(!enabled(&c)
+            .iter()
+            .any(|t| matches!(t, Transition::Finalize(..))));
+    }
+
+    #[test]
+    fn owner_never_finalizes_its_own_reference() {
+        let mut c = Config::new(2, &[0]);
+        c.drop_ref(Proc(0), Ref(0));
+        assert!(!enabled(&c)
+            .iter()
+            .any(|t| matches!(t, Transition::Finalize(p, _) if *p == Proc(0))));
+    }
+}

@@ -1,0 +1,299 @@
+//! The abstract machine's state space.
+//!
+//! A configuration is exactly the tuple of the formal specification: per
+//! (process, reference) receive states, transient and permanent dirty
+//! tables, the blocked table, the five to-do tables, and channels —
+//! multisets of messages per ordered process pair.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A process identifier (index into the configuration's process set).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Proc(pub usize);
+
+/// A reference identifier (index into the configuration's reference set).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Ref(pub usize);
+
+/// A copy-message identifier, fresh per transmission.
+pub type CopyId = u64;
+
+/// Messages exchanged by the collector.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Msg {
+    /// A reference copy in transit.
+    Copy(Ref, CopyId),
+    /// Acknowledges receipt (and registration) of a copy.
+    CopyAck(Ref, CopyId),
+    /// Registers the sender with the reference's owner.
+    Dirty(Ref),
+    /// Acknowledges a dirty call.
+    DirtyAck(Ref),
+    /// Unregisters the sender.
+    Clean(Ref),
+    /// Acknowledges a clean call.
+    CleanAck(Ref),
+}
+
+/// The receive-table states (`rec_T`) of a reference at a process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub enum RecState {
+    /// `⊥`: pre-existence (or reclaimed).
+    #[default]
+    Bot,
+    /// `nil`: received but not yet registered.
+    Nil,
+    /// `OK`: usable.
+    Ok,
+    /// `ccit`: clean call in transit.
+    Ccit,
+    /// `ccitnil`: clean in transit, but a new copy arrived.
+    CcitNil,
+}
+
+impl fmt::Display for RecState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecState::Bot => "⊥",
+            RecState::Nil => "nil",
+            RecState::Ok => "OK",
+            RecState::Ccit => "ccit",
+            RecState::CcitNil => "ccitnil",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A transient dirty entry: (sender, receiver, copy id).
+pub type TransientEntry = (Proc, Proc, CopyId);
+
+/// A blocked-table entry: (copy id, sender).
+pub type BlockedEntry = (CopyId, Proc);
+
+/// A configuration of the abstract machine.
+///
+/// `BTreeMap`/`BTreeSet` keep iteration deterministic, which matters for
+/// reproducible exploration and for hashing states during exhaustive
+/// search.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Config {
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Owner of each reference.
+    pub owner: Vec<Proc>,
+    /// Channels: multiset of messages per ordered pair, encoded as a
+    /// sorted vector (bag semantics: duplicates allowed).
+    pub channels: BTreeMap<(Proc, Proc), Vec<Msg>>,
+    /// `rec_T`.
+    pub rec: BTreeMap<(Proc, Ref), RecState>,
+    /// `tdirty_T`: transient dirty entries per (process, reference).
+    pub tdirty: BTreeMap<(Proc, Ref), BTreeSet<TransientEntry>>,
+    /// `pdirty_T`: permanent dirty entries per (owner process, reference).
+    pub pdirty: BTreeMap<(Proc, Ref), BTreeSet<Proc>>,
+    /// `blocked_T`.
+    pub blocked: BTreeMap<(Proc, Ref), BTreeSet<BlockedEntry>>,
+    /// `copy_ack_todo_T`: (id, peer, ref) triples per process.
+    pub copy_ack_todo: BTreeMap<Proc, BTreeSet<(CopyId, Proc, Ref)>>,
+    /// `dirty_ack_todo_T`: (peer, ref) pairs per process.
+    pub dirty_ack_todo: BTreeMap<Proc, BTreeSet<(Proc, Ref)>>,
+    /// `clean_ack_todo_T`: (peer, ref) pairs per process.
+    pub clean_ack_todo: BTreeMap<Proc, BTreeSet<(Proc, Ref)>>,
+    /// `dirty_call_todo_T`.
+    pub dirty_call_todo: BTreeMap<Proc, BTreeSet<Ref>>,
+    /// `clean_call_todo_T`.
+    pub clean_call_todo: BTreeMap<Proc, BTreeSet<Ref>>,
+    /// The mutator's local-reachability predicate (`locallyLive`),
+    /// controlled by the driver, not by collector transitions.
+    pub live: BTreeSet<(Proc, Ref)>,
+    /// Fresh copy-identifier source.
+    pub next_id: CopyId,
+}
+
+impl Config {
+    /// Builds the initial configuration: empty tables and channels, each
+    /// reference usable (and live) at its owner.
+    ///
+    /// The specification's initial state has `rec_T = ⊥` everywhere, which
+    /// taken literally would leave the machine unable to fire any rule; a
+    /// computation begins with each owner holding its own reference, so we
+    /// initialise `rec_T(owner(r), r) = OK`. (Lemma 9 of the proof
+    /// explicitly excludes the owner, confirming this reading.)
+    pub fn new(nprocs: usize, owners: &[usize]) -> Config {
+        assert!(nprocs >= 1);
+        let owner: Vec<Proc> = owners
+            .iter()
+            .map(|&o| {
+                assert!(o < nprocs, "owner index out of range");
+                Proc(o)
+            })
+            .collect();
+        let mut rec = BTreeMap::new();
+        let mut live = BTreeSet::new();
+        for (i, &o) in owner.iter().enumerate() {
+            rec.insert((o, Ref(i)), RecState::Ok);
+            live.insert((o, Ref(i)));
+        }
+        Config {
+            nprocs,
+            owner,
+            channels: BTreeMap::new(),
+            rec,
+            tdirty: BTreeMap::new(),
+            pdirty: BTreeMap::new(),
+            blocked: BTreeMap::new(),
+            copy_ack_todo: BTreeMap::new(),
+            dirty_ack_todo: BTreeMap::new(),
+            clean_ack_todo: BTreeMap::new(),
+            dirty_call_todo: BTreeMap::new(),
+            clean_call_todo: BTreeMap::new(),
+            live,
+            next_id: 0,
+        }
+    }
+
+    /// All processes.
+    pub fn procs(&self) -> impl Iterator<Item = Proc> {
+        (0..self.nprocs).map(Proc)
+    }
+
+    /// All references.
+    pub fn refs(&self) -> impl Iterator<Item = Ref> {
+        (0..self.owner.len()).map(Ref)
+    }
+
+    /// The owner of `r`.
+    pub fn owner(&self, r: Ref) -> Proc {
+        self.owner[r.0]
+    }
+
+    /// The receive state of `r` at `p` (absent = `⊥`).
+    pub fn rec(&self, p: Proc, r: Ref) -> RecState {
+        self.rec.get(&(p, r)).copied().unwrap_or(RecState::Bot)
+    }
+
+    pub(crate) fn set_rec(&mut self, p: Proc, r: Ref, s: RecState) {
+        if s == RecState::Bot {
+            self.rec.remove(&(p, r));
+        } else {
+            self.rec.insert((p, r), s);
+        }
+    }
+
+    /// Posts a message into the channel `from → to`.
+    pub fn post(&mut self, from: Proc, to: Proc, m: Msg) {
+        self.channels.entry((from, to)).or_default().push(m);
+    }
+
+    /// Removes one instance of `m` from the channel `from → to`.
+    ///
+    /// Panics if the message is not in transit (rule guards check first).
+    pub fn receive(&mut self, from: Proc, to: Proc, m: Msg) {
+        let chan = self
+            .channels
+            .get_mut(&(from, to))
+            .expect("receive from empty channel");
+        let pos = chan
+            .iter()
+            .position(|x| *x == m)
+            .expect("message not in transit");
+        chan.swap_remove(pos);
+        if chan.is_empty() {
+            self.channels.remove(&(from, to));
+        }
+        // Keep the bag canonical so Config equality/hash is well defined.
+        if let Some(chan) = self.channels.get_mut(&(from, to)) {
+            chan.sort_unstable();
+        }
+    }
+
+    /// Counts messages matching a predicate across all channels.
+    pub fn count_messages(&self, f: impl Fn(&Msg) -> bool) -> usize {
+        self.channels.values().flatten().filter(|m| f(m)).count()
+    }
+
+    /// True if no collector message is in transit and every to-do table is
+    /// empty (only mutator transitions could change anything).
+    pub fn quiescent(&self) -> bool {
+        self.channels.values().all(|c| c.is_empty())
+            && self.copy_ack_todo.values().all(|s| s.is_empty())
+            && self.dirty_ack_todo.values().all(|s| s.is_empty())
+            && self.clean_ack_todo.values().all(|s| s.is_empty())
+            && self.dirty_call_todo.values().all(|s| s.is_empty())
+            && self.clean_call_todo.values().all(|s| s.is_empty())
+    }
+
+    /// Canonicalises channel bags after bulk edits (sorting).
+    pub fn normalize(&mut self) {
+        for chan in self.channels.values_mut() {
+            chan.sort_unstable();
+        }
+        self.channels.retain(|_, c| !c.is_empty());
+    }
+
+    /// Driver action: the mutator drops its local reference (enables the
+    /// `finalize` rule once nothing else keeps it live).
+    pub fn drop_ref(&mut self, p: Proc, r: Ref) {
+        self.live.remove(&(p, r));
+    }
+
+    /// Driver action: the mutator (re)uses a reference it holds.
+    pub fn mark_live(&mut self, p: Proc, r: Ref) {
+        self.live.insert((p, r));
+    }
+
+    /// True if the mutator holds `r` live at `p`.
+    pub fn is_live(&self, p: Proc, r: Ref) -> bool {
+        self.live.contains(&(p, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_config_owner_ok() {
+        let c = Config::new(3, &[0, 1]);
+        assert_eq!(c.rec(Proc(0), Ref(0)), RecState::Ok);
+        assert_eq!(c.rec(Proc(1), Ref(1)), RecState::Ok);
+        assert_eq!(c.rec(Proc(2), Ref(0)), RecState::Bot);
+        assert!(c.quiescent());
+        assert!(c.is_live(Proc(0), Ref(0)));
+    }
+
+    #[test]
+    fn channels_are_bags() {
+        let mut c = Config::new(2, &[0]);
+        let m = Msg::Dirty(Ref(0));
+        c.post(Proc(0), Proc(1), m);
+        c.post(Proc(0), Proc(1), m);
+        assert_eq!(c.count_messages(|x| *x == m), 2);
+        c.receive(Proc(0), Proc(1), m);
+        assert_eq!(c.count_messages(|x| *x == m), 1);
+        c.receive(Proc(0), Proc(1), m);
+        assert_eq!(c.count_messages(|_| true), 0);
+        assert!(c.quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "message not in transit")]
+    fn receive_missing_panics() {
+        let mut c = Config::new(2, &[0]);
+        c.post(Proc(0), Proc(1), Msg::Dirty(Ref(0)));
+        c.receive(Proc(0), Proc(1), Msg::Clean(Ref(0)));
+    }
+
+    #[test]
+    fn config_equality_ignores_bag_order() {
+        let mut a = Config::new(2, &[0]);
+        a.post(Proc(0), Proc(1), Msg::Clean(Ref(0)));
+        a.post(Proc(0), Proc(1), Msg::Dirty(Ref(0)));
+        a.normalize();
+        let mut b = Config::new(2, &[0]);
+        b.post(Proc(0), Proc(1), Msg::Dirty(Ref(0)));
+        b.post(Proc(0), Proc(1), Msg::Clean(Ref(0)));
+        b.normalize();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,172 @@
+//! Workload-level comparisons of the algorithm variants (§5).
+//!
+//! These drive the FIFO machine (with and without the owner
+//! optimisations) through canonical workloads and report the control
+//! traffic, regenerating the owner-optimisation table of the evaluation.
+
+use crate::fifo::{FifoConfig, FifoStep, MsgCounts};
+use crate::state::{Proc, Ref};
+
+/// Which §5.2 optimisations to enable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OwnerOpts {
+    /// §5.2.1 sender-is-owner.
+    pub send: bool,
+    /// §5.2.2 receiver-is-owner.
+    pub recv: bool,
+}
+
+/// Canonical workloads for variant comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// The owner hands its reference to `n` clients; all drop it.
+    OwnerFanout(usize),
+    /// The owner sends to client 1, who forwards to 2, … to `n`
+    /// (third-party chain); then everyone drops.
+    Chain(usize),
+    /// Client 1 holds the reference and sends it back to the owner `n`
+    /// times (e.g. as arguments of repeated calls).
+    ReturnToOwner(usize),
+}
+
+impl Workload {
+    /// A short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Workload::OwnerFanout(n) => format!("owner→{n} clients"),
+            Workload::Chain(n) => format!("chain of {n}"),
+            Workload::ReturnToOwner(n) => format!("{n}× back-to-owner"),
+        }
+    }
+}
+
+fn drain_deterministic(c: &mut FifoConfig) {
+    let mut fuel = 1_000_000;
+    while let Some(&s) = c.deliveries().first() {
+        c.step(s);
+        fuel -= 1;
+        assert!(fuel > 0, "variant workload failed to drain");
+    }
+}
+
+/// Runs `w` on the FIFO machine with `opts`, returning the message counts
+/// after everything has been dropped and drained.
+pub fn run(w: Workload, opts: OwnerOpts) -> MsgCounts {
+    match w {
+        Workload::OwnerFanout(n) => {
+            let mut c = FifoConfig::new(n + 1, &[0], true);
+            c.owner_send_opt = opts.send;
+            c.owner_recv_opt = opts.recv;
+            for i in 1..=n {
+                c.step(FifoStep::Copy(Proc(0), Proc(i), Ref(0)));
+            }
+            drain_deterministic(&mut c);
+            for i in 1..=n {
+                c.live.remove(&(Proc(i), Ref(0)));
+            }
+            drain_deterministic(&mut c);
+            c.check_drained().expect("drained");
+            c.sent
+        }
+        Workload::Chain(n) => {
+            let mut c = FifoConfig::new(n + 1, &[0], true);
+            c.owner_send_opt = opts.send;
+            c.owner_recv_opt = opts.recv;
+            for i in 0..n {
+                c.step(FifoStep::Copy(Proc(i), Proc(i + 1), Ref(0)));
+                drain_deterministic(&mut c);
+            }
+            for i in 1..=n {
+                c.live.remove(&(Proc(i), Ref(0)));
+            }
+            drain_deterministic(&mut c);
+            c.check_drained().expect("drained");
+            c.sent
+        }
+        Workload::ReturnToOwner(n) => {
+            let mut c = FifoConfig::new(2, &[0], true);
+            c.owner_send_opt = opts.send;
+            c.owner_recv_opt = opts.recv;
+            // Install the reference at client 1 first.
+            c.step(FifoStep::Copy(Proc(0), Proc(1), Ref(0)));
+            drain_deterministic(&mut c);
+            for _ in 0..n {
+                c.step(FifoStep::Copy(Proc(1), Proc(0), Ref(0)));
+                drain_deterministic(&mut c);
+            }
+            c.live.remove(&(Proc(1), Ref(0)));
+            drain_deterministic(&mut c);
+            c.check_drained().expect("drained");
+            c.sent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_counts_scale_with_clients() {
+        let base = run(Workload::OwnerFanout(4), OwnerOpts::default());
+        // Per client: dirty + dirty_ack + copy_ack + clean = 4 control.
+        assert_eq!(base.copies, 4);
+        assert_eq!(base.control(), 16);
+        let opt = run(
+            Workload::OwnerFanout(4),
+            OwnerOpts {
+                send: true,
+                recv: false,
+            },
+        );
+        // Per client: only the clean remains.
+        assert_eq!(opt.control(), 4);
+    }
+
+    #[test]
+    fn chain_is_unaffected_by_owner_send_opt_except_first_hop() {
+        let base = run(Workload::Chain(3), OwnerOpts::default());
+        let opt = run(
+            Workload::Chain(3),
+            OwnerOpts {
+                send: true,
+                recv: false,
+            },
+        );
+        // Only the owner → client-1 hop loses its registration traffic
+        // (dirty + dirty_ack + copy_ack = 3).
+        assert_eq!(base.control() - opt.control(), 3);
+    }
+
+    #[test]
+    fn return_to_owner_opt_removes_acks() {
+        let base = run(Workload::ReturnToOwner(5), OwnerOpts::default());
+        let opt = run(
+            Workload::ReturnToOwner(5),
+            OwnerOpts {
+                send: false,
+                recv: true,
+            },
+        );
+        // Without the optimisation each return costs a copy_ack.
+        assert_eq!(base.control() - opt.control(), 5);
+        assert_eq!(base.copies, opt.copies);
+    }
+
+    #[test]
+    fn all_workloads_safe_with_all_flag_combinations() {
+        for send in [false, true] {
+            for recv in [false, true] {
+                let opts = OwnerOpts { send, recv };
+                for w in [
+                    Workload::OwnerFanout(3),
+                    Workload::Chain(3),
+                    Workload::ReturnToOwner(3),
+                ] {
+                    let counts = run(w, opts);
+                    assert!(counts.copies > 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based checks of the collector model.
+//!
+//! Every property here corresponds to a theorem of the correctness proof:
+//! the invariants (hence safety) hold in every reachable state under
+//! arbitrary schedules, the termination measure proves liveness, and the
+//! drained machine leaves no dirty entries behind.
+
+use proptest::prelude::*;
+
+use netobj_dgc_model::explore::{assert_drained, random_walk, WalkPolicy};
+use netobj_dgc_model::fifo;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Safety + liveness of the base algorithm under random schedules:
+    /// `random_walk` panics on any invariant violation and on any
+    /// non-decreasing termination-measure step; `assert_drained` is the
+    /// liveness requirement.
+    #[test]
+    fn base_algorithm_safe_and_live(
+        seed in any::<u64>(),
+        nprocs in 2usize..5,
+        nrefs in 1usize..3,
+        activity in 20u64..150,
+    ) {
+        let (config, stats) = random_walk(
+            WalkPolicy { nprocs, nrefs, activity, ..WalkPolicy::default() },
+            seed,
+        );
+        assert_drained(&config);
+        prop_assert!(stats.steps >= stats.mutator_steps);
+    }
+
+    /// The FIFO variant is safe and live on ordered channels.
+    #[test]
+    fn fifo_variant_safe_on_ordered_channels(
+        seed in any::<u64>(),
+        nprocs in 2usize..5,
+        activity in 20u64..150,
+    ) {
+        let run = fifo::walk(nprocs, 1, activity, true, seed);
+        prop_assert!(run.is_ok(), "violation: {:?}", run.err());
+    }
+
+    /// Determinism: identical seeds yield identical walks.
+    #[test]
+    fn walks_are_deterministic(seed in any::<u64>()) {
+        let a = random_walk(WalkPolicy { activity: 50, ..WalkPolicy::default() }, seed);
+        let b = random_walk(WalkPolicy { activity: 50, ..WalkPolicy::default() }, seed);
+        prop_assert_eq!(a.0, b.0);
+    }
+}
+
+/// Aggregate statistics sanity: across many seeds, walks must exercise
+/// the interesting paths (resurrections require specific interleavings,
+/// so we only require they appear somewhere in the batch).
+#[test]
+fn walk_batch_reaches_interesting_states() {
+    let mut total_copies = 0;
+    let mut total_drops = 0;
+    for seed in 0..40 {
+        let (_c, stats) = random_walk(
+            WalkPolicy {
+                nprocs: 4,
+                nrefs: 2,
+                activity: 120,
+                ..WalkPolicy::default()
+            },
+            seed,
+        );
+        total_copies += stats.copies;
+        total_drops += stats.drops;
+    }
+    assert!(total_copies > 100, "copies: {total_copies}");
+    assert!(total_drops > 40, "drops: {total_drops}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fault-tolerant extension: any bounded-loss schedule with
+    /// accurate timeouts is safe and drains completely.
+    #[test]
+    fn fault_model_safe_under_bounded_loss(
+        seed in any::<u64>(),
+        nprocs in 2usize..5,
+        drops in 0u32..10,
+    ) {
+        let run = netobj_dgc_model::faults::walk(nprocs, 1, 150, drops, false, seed);
+        prop_assert!(run.is_ok(), "violation: {:?}", run.err());
+    }
+}
+
+/// The cube derivation is stable: the same projection falls out for any
+/// seed budget large enough to cover the diagram.
+#[test]
+fn cube_projection_is_stable() {
+    use netobj_dgc_model::cube;
+    let a = cube::derive_edges(400, 400);
+    let b = cube::derive_edges(400, 400);
+    assert_eq!(a, b);
+    assert_eq!(a, cube::figure4_edges());
+}

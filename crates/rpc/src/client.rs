@@ -1,0 +1,383 @@
+//! The multiplexing call client.
+//!
+//! One [`CallClient`] wraps one connection to a remote space. Any number of
+//! threads may issue calls concurrently; a dedicated demux thread reads
+//! replies off the connection and completes the matching pending call.
+//! This reproduces the connection multiplexing of the original runtime,
+//! where many client threads shared the cached connection to a space.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use netobj_transport::Conn;
+use netobj_wire::pickle::Pickle;
+use netobj_wire::{SpaceId, WireRep};
+use parking_lot::Mutex;
+
+use crate::error::RpcError;
+use crate::msg::{Request, RpcMsg};
+use crate::Result;
+
+/// Default per-call deadline.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+type PendingResult = std::result::Result<(Vec<u8>, bool), RpcError>;
+
+struct Shared {
+    pending: Mutex<HashMap<u64, Sender<PendingResult>>>,
+    closed: AtomicBool,
+}
+
+/// Obligation to acknowledge a reply whose sender holds transient pins.
+///
+/// The collector protocol requires the *receiver* of an object reference to
+/// acknowledge only after registering the reference with its owner (the
+/// dirty call). Callers that unmarshal references must therefore hold this
+/// token across unmarshaling and call [`AckToken::ack`] afterwards. If the
+/// token is dropped instead (including on error paths), the ack is sent
+/// anyway so the callee's pins cannot leak.
+pub struct AckToken {
+    conn: Arc<dyn Conn>,
+    call_id: u64,
+    sent: bool,
+}
+
+impl AckToken {
+    /// Sends the acknowledgement now.
+    pub fn ack(mut self) {
+        self.send_once();
+    }
+
+    fn send_once(&mut self) {
+        if !self.sent {
+            self.sent = true;
+            let msg = RpcMsg::ReplyAck(self.call_id);
+            let _ = self.conn.send(msg.to_pickle_bytes());
+        }
+    }
+}
+
+impl Drop for AckToken {
+    fn drop(&mut self) {
+        self.send_once();
+    }
+}
+
+/// The outcome of a raw call: result bytes plus a pending acknowledgement
+/// obligation if the callee requested one.
+pub struct CallReply {
+    /// The pickled result.
+    pub bytes: Vec<u8>,
+    /// Present when the reply had `needs_ack` set.
+    pub ack: Option<AckToken>,
+}
+
+/// A client end of an RPC connection: issues calls, demultiplexes replies.
+pub struct CallClient {
+    conn: Arc<dyn Conn>,
+    caller: SpaceId,
+    next_id: AtomicU64,
+    shared: Arc<Shared>,
+    demux: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl CallClient {
+    /// Wraps `conn`, identifying outgoing calls as coming from `caller`.
+    ///
+    /// Spawns the demux thread immediately.
+    pub fn new(conn: Arc<dyn Conn>, caller: SpaceId) -> Arc<CallClient> {
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(HashMap::new()),
+            closed: AtomicBool::new(false),
+        });
+        let client = Arc::new(CallClient {
+            conn: Arc::clone(&conn),
+            caller,
+            next_id: AtomicU64::new(1),
+            shared: Arc::clone(&shared),
+            demux: Mutex::new(None),
+        });
+        let handle = std::thread::Builder::new()
+            .name("rpc-demux".into())
+            .spawn(move || demux_loop(conn, shared))
+            .expect("spawn rpc demux");
+        *client.demux.lock() = Some(handle);
+        client
+    }
+
+    /// The space identity stamped on outgoing requests.
+    pub fn caller(&self) -> SpaceId {
+        self.caller
+    }
+
+    /// Issues a call and waits for its reply (default timeout).
+    ///
+    /// Any acknowledgement obligation is discharged immediately; use
+    /// [`CallClient::call_raw`] when the result may carry object references
+    /// that must be registered before acknowledging.
+    pub fn call(&self, target: WireRep, method: u32, args: Vec<u8>) -> Result<Vec<u8>> {
+        self.call_with_timeout(target, method, args, DEFAULT_CALL_TIMEOUT)
+    }
+
+    /// Issues a call and waits at most `timeout` for the reply, discharging
+    /// any acknowledgement obligation immediately.
+    pub fn call_with_timeout(
+        &self,
+        target: WireRep,
+        method: u32,
+        args: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<Vec<u8>> {
+        // Dropping `ack` (inside CallReply) sends the acknowledgement.
+        self.call_raw(target, method, args, timeout)
+            .map(|r| r.bytes)
+    }
+
+    /// Issues a call, returning both the result bytes and any pending
+    /// acknowledgement obligation.
+    pub fn call_raw(
+        &self,
+        target: WireRep,
+        method: u32,
+        args: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<CallReply> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(RpcError::Closed);
+        }
+        let call_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.shared.pending.lock().insert(call_id, tx);
+
+        let msg = RpcMsg::Request(Request {
+            call_id,
+            caller: self.caller,
+            target,
+            method,
+            args,
+        });
+        if let Err(e) = self.conn.send(msg.to_pickle_bytes()) {
+            self.shared.pending.lock().remove(&call_id);
+            return Err(e.into());
+        }
+
+        match rx.recv_timeout(timeout) {
+            Ok(Ok((bytes, needs_ack))) => Ok(CallReply {
+                bytes,
+                ack: needs_ack.then(|| AckToken {
+                    conn: Arc::clone(&self.conn),
+                    call_id,
+                    sent: false,
+                }),
+            }),
+            Ok(Err(e)) => Err(e),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                self.shared.pending.lock().remove(&call_id);
+                Err(RpcError::Timeout)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(RpcError::Closed),
+        }
+    }
+
+    /// True if the underlying connection has failed or been closed.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Closes the connection; outstanding calls fail.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.conn.close();
+        if let Some(h) = self.demux.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn demux_loop(conn: Arc<dyn Conn>, shared: Arc<Shared>) {
+    loop {
+        let frame = match conn.recv() {
+            Ok(f) => f,
+            Err(_) => break,
+        };
+        let msg = match RpcMsg::from_pickle_bytes(&frame) {
+            Ok(m) => m,
+            // A malformed frame poisons the connection: drop it so callers
+            // see a closed transport rather than silently missing replies.
+            Err(_) => break,
+        };
+        if let RpcMsg::Reply(reply) = msg {
+            let waiter = shared.pending.lock().remove(&reply.call_id);
+            match waiter {
+                Some(tx) => {
+                    let needs_ack = reply.needs_ack;
+                    let _ = tx.send(
+                        reply
+                            .outcome
+                            .map(|bytes| (bytes, needs_ack))
+                            .map_err(RpcError::Remote),
+                    );
+                }
+                // Late reply for a timed-out call: the caller will never
+                // process it, so discharge any ack obligation here lest the
+                // callee's transient pins wait out their full timeout.
+                None => {
+                    if reply.needs_ack {
+                        let _ = conn.send(RpcMsg::ReplyAck(reply.call_id).to_pickle_bytes());
+                    }
+                }
+            }
+        }
+        // Requests arriving at a client end are ignored: connections are
+        // asymmetric (caller connects, callee serves), as in the original.
+    }
+    shared.closed.store(true, Ordering::Release);
+    conn.close();
+    // Fail all pending calls.
+    let mut pending = shared.pending.lock();
+    for (_, tx) in pending.drain() {
+        let _ = tx.send(Err(RpcError::Closed));
+    }
+}
+
+impl Drop for CallClient {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.conn.close();
+        if let Some(h) = self.demux.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Reply;
+    use netobj_transport::chan::ChanConn;
+    use netobj_wire::ObjIx;
+
+    fn wired_client() -> (Arc<CallClient>, Box<dyn Conn>) {
+        let (a, b) = ChanConn::pair(None, None);
+        let client = CallClient::new(Arc::new(a), SpaceId::from_raw(1));
+        (client, Box::new(b))
+    }
+
+    fn target() -> WireRep {
+        WireRep::new(SpaceId::from_raw(2), ObjIx(5))
+    }
+
+    /// A minimal hand-rolled server loop answering every request with its
+    /// own args echoed back.
+    fn echo_server(server: Box<dyn Conn>) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while let Ok(frame) = server.recv() {
+                if let Ok(RpcMsg::Request(rq)) = RpcMsg::from_pickle_bytes(&frame) {
+                    let reply = RpcMsg::Reply(Reply {
+                        call_id: rq.call_id,
+                        outcome: Ok(rq.args),
+                        needs_ack: false,
+                    });
+                    if server.send(reply.to_pickle_bytes()).is_err() {
+                        break;
+                    }
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn call_and_reply() {
+        let (client, server) = wired_client();
+        let _h = echo_server(server);
+        let got = client.call(target(), 0, vec![1, 2, 3]).unwrap();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_calls_demultiplex() {
+        let (client, server) = wired_client();
+        let _h = echo_server(server);
+        let mut joins = Vec::new();
+        for i in 0..16u8 {
+            let c = Arc::clone(&client);
+            joins.push(std::thread::spawn(move || {
+                let got = c.call(target(), 0, vec![i; 4]).unwrap();
+                assert_eq!(got, vec![i; 4]);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn timeout_when_no_reply() {
+        let (client, _server) = wired_client();
+        let got = client.call_with_timeout(target(), 0, vec![], Duration::from_millis(50));
+        assert_eq!(got.unwrap_err(), RpcError::Timeout);
+        // The pending slot is cleaned up.
+        assert!(client.shared.pending.lock().is_empty());
+    }
+
+    #[test]
+    fn remote_error_propagates() {
+        let (client, server) = wired_client();
+        std::thread::spawn(move || {
+            let frame = server.recv().unwrap();
+            let RpcMsg::Request(rq) = RpcMsg::from_pickle_bytes(&frame).unwrap() else {
+                panic!("expected request")
+            };
+            let reply = RpcMsg::Reply(Reply {
+                call_id: rq.call_id,
+                outcome: Err(crate::RemoteError::app("kaboom")),
+                needs_ack: false,
+            });
+            server.send(reply.to_pickle_bytes()).unwrap();
+        });
+        match client.call(target(), 0, vec![]) {
+            Err(RpcError::Remote(e)) => assert_eq!(e.message, "kaboom"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_loss_fails_pending_calls() {
+        let (client, server) = wired_client();
+        let c = Arc::clone(&client);
+        let h = std::thread::spawn(move || c.call(target(), 0, vec![]));
+        std::thread::sleep(Duration::from_millis(30));
+        server.close();
+        let got = h.join().unwrap();
+        assert!(matches!(
+            got,
+            Err(RpcError::Closed) | Err(RpcError::Transport(_))
+        ));
+        assert!(client.is_closed());
+    }
+
+    #[test]
+    fn malformed_reply_closes_connection() {
+        let (client, server) = wired_client();
+        server.send(vec![0xff, 0xff, 0xff]).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(client.is_closed());
+        assert_eq!(
+            client.call(target(), 0, vec![]).unwrap_err(),
+            RpcError::Closed
+        );
+    }
+
+    #[test]
+    fn call_after_close_fails_fast() {
+        let (client, _server) = wired_client();
+        client.close();
+        assert_eq!(
+            client.call(target(), 0, vec![]).unwrap_err(),
+            RpcError::Closed
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Error types for the RPC layer.
+
+use std::fmt;
+
+use netobj_transport::TransportError;
+use netobj_wire::pickle::{Pickle, PickleReader, PickleWriter};
+use netobj_wire::WireError;
+
+/// Classification of an error reported by the remote side of a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteErrorKind {
+    /// The target wireRep names no object exported at the callee.
+    NoSuchObject,
+    /// The target object has no method with the requested index.
+    NoSuchMethod,
+    /// The callee could not decode the argument pickle.
+    BadArguments,
+    /// The method itself failed; the message carries its error text.
+    Application,
+    /// The callee's runtime rejected the call for another reason.
+    Runtime,
+}
+
+impl RemoteErrorKind {
+    fn discriminant(self) -> u64 {
+        match self {
+            RemoteErrorKind::NoSuchObject => 0,
+            RemoteErrorKind::NoSuchMethod => 1,
+            RemoteErrorKind::BadArguments => 2,
+            RemoteErrorKind::Application => 3,
+            RemoteErrorKind::Runtime => 4,
+        }
+    }
+
+    fn from_discriminant(d: u64) -> Option<RemoteErrorKind> {
+        Some(match d {
+            0 => RemoteErrorKind::NoSuchObject,
+            1 => RemoteErrorKind::NoSuchMethod,
+            2 => RemoteErrorKind::BadArguments,
+            3 => RemoteErrorKind::Application,
+            4 => RemoteErrorKind::Runtime,
+            _ => return None,
+        })
+    }
+}
+
+/// An error produced by the remote end of a call and shipped back in the
+/// reply message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteError {
+    /// What went wrong.
+    pub kind: RemoteErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RemoteError {
+    /// Builds a remote error.
+    pub fn new(kind: RemoteErrorKind, message: impl Into<String>) -> RemoteError {
+        RemoteError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for an application-level failure.
+    pub fn app(message: impl Into<String>) -> RemoteError {
+        RemoteError::new(RemoteErrorKind::Application, message)
+    }
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl Pickle for RemoteError {
+    fn pickle(&self, w: &mut PickleWriter) {
+        w.begin_variant(self.kind.discriminant());
+        self.message.pickle(w);
+    }
+    fn unpickle(r: &mut PickleReader<'_>) -> netobj_wire::Result<Self> {
+        let d = r.begin_variant()?;
+        let kind = RemoteErrorKind::from_discriminant(d)
+            .ok_or(WireError::OutOfRange("remote error kind"))?;
+        let message = String::unpickle(r)?;
+        Ok(RemoteError { kind, message })
+    }
+}
+
+/// An error surfaced to the caller of a remote invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The transport failed (connection lost, refused, partitioned...).
+    Transport(TransportError),
+    /// A message could not be encoded or decoded.
+    Wire(WireError),
+    /// The remote side reported an error.
+    Remote(RemoteError),
+    /// No reply arrived within the call deadline.
+    ///
+    /// Per the paper's failure model, a timed-out call is *ambiguous*: the
+    /// callee may or may not have executed it. The collector's fault
+    /// handling (strong clean calls, retries) exists for exactly this case.
+    Timeout,
+    /// The client has been shut down.
+    Closed,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Transport(e) => write!(f, "transport: {e}"),
+            RpcError::Wire(e) => write!(f, "wire: {e}"),
+            RpcError::Remote(e) => write!(f, "remote: {e}"),
+            RpcError::Timeout => write!(f, "call timed out"),
+            RpcError::Closed => write!(f, "rpc client closed"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<TransportError> for RpcError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            TransportError::Timeout => RpcError::Timeout,
+            other => RpcError::Transport(other),
+        }
+    }
+}
+
+impl From<WireError> for RpcError {
+    fn from(e: WireError) -> Self {
+        RpcError::Wire(e)
+    }
+}
+
+impl From<RemoteError> for RpcError {
+    fn from(e: RemoteError) -> Self {
+        RpcError::Remote(e)
+    }
+}
+
+impl RpcError {
+    /// True if the call's effect at the callee is unknown (it may have
+    /// executed): timeouts and mid-call connection losses.
+    pub fn is_ambiguous(&self) -> bool {
+        matches!(
+            self,
+            RpcError::Timeout | RpcError::Transport(TransportError::Closed)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_error_pickles() {
+        for kind in [
+            RemoteErrorKind::NoSuchObject,
+            RemoteErrorKind::NoSuchMethod,
+            RemoteErrorKind::BadArguments,
+            RemoteErrorKind::Application,
+            RemoteErrorKind::Runtime,
+        ] {
+            let e = RemoteError::new(kind, "boom");
+            let bytes = e.to_pickle_bytes();
+            assert_eq!(RemoteError::from_pickle_bytes(&bytes).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut w = PickleWriter::new();
+        w.begin_variant(99);
+        String::from("x").pickle(&mut w);
+        assert!(RemoteError::from_pickle_bytes(w.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn ambiguity_classification() {
+        assert!(RpcError::Timeout.is_ambiguous());
+        assert!(RpcError::Transport(TransportError::Closed).is_ambiguous());
+        assert!(!RpcError::Remote(RemoteError::app("x")).is_ambiguous());
+        assert!(!RpcError::Transport(TransportError::ConnectionRefused("e".into())).is_ambiguous());
+    }
+
+    #[test]
+    fn transport_timeout_maps_to_rpc_timeout() {
+        assert_eq!(RpcError::from(TransportError::Timeout), RpcError::Timeout);
+    }
+}

@@ -1,0 +1,35 @@
+//! The remote invocation layer.
+//!
+//! Network Objects sits on a remote procedure call protocol; this crate is
+//! that protocol, reproduced as an explicit request/reply exchange over any
+//! [`netobj_transport::Conn`]:
+//!
+//! - [`msg`]: the wire messages ([`msg::Request`], [`msg::Reply`]) — a call
+//!   names a target object by [`netobj_wire::WireRep`], a method by index,
+//!   and carries its arguments as an opaque pickle.
+//! - [`client::CallClient`]: a multiplexing caller — many threads can issue
+//!   concurrent calls over one connection; replies are matched by call id.
+//! - [`server::RpcServer`]: accepts connections and dispatches each request
+//!   on a worker pool to a user-provided [`Dispatcher`].
+//! - [`pool::ThreadPool`]: the worker pool (the original runtime likewise
+//!   handed each incoming call to a free server thread).
+//!
+//! The layer above (the `netobj` runtime) implements [`Dispatcher`] to
+//! route calls to concrete objects, and issues collector calls (dirty,
+//! clean, ping) as ordinary invocations on each space's reserved object 0.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod msg;
+pub mod pool;
+pub mod server;
+
+pub use client::{AckToken, CallClient, CallReply};
+pub use error::{RemoteError, RemoteErrorKind, RpcError};
+pub use server::{Dispatch, Dispatcher, RpcServer};
+
+/// Result alias for RPC operations.
+pub type Result<T> = std::result::Result<T, RpcError>;

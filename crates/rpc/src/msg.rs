@@ -1,0 +1,221 @@
+//! RPC wire messages.
+//!
+//! A connection carries a stream of frames, each holding exactly one
+//! [`RpcMsg`]. Requests flow from the connecting side to the accepting
+//! side; replies flow back. The *caller's space identity* travels in every
+//! request because the collector needs to know **which space** now holds
+//! references — dirty sets list processes, not connections.
+
+use netobj_wire::pickle::{Pickle, PickleReader, PickleWriter};
+use netobj_wire::{SpaceId, WireError, WireRep};
+
+use crate::error::RemoteError;
+
+/// A remote invocation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Matches the reply to the caller's pending-call table.
+    pub call_id: u64,
+    /// The space issuing the call.
+    pub caller: SpaceId,
+    /// The object being invoked (it must be owned by the callee).
+    pub target: WireRep,
+    /// Method index within the target's interface.
+    pub method: u32,
+    /// Pickled arguments (opaque to this layer).
+    pub args: Vec<u8>,
+}
+
+/// A reply to a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The request's `call_id`.
+    pub call_id: u64,
+    /// Pickled result on success, or a structured error.
+    pub outcome: Result<Vec<u8>, RemoteError>,
+    /// If true, the callee holds resources (transient dirty entries for
+    /// object references embedded in the result) until the caller sends a
+    /// [`RpcMsg::ReplyAck`] for this call — the "copy acknowledgement" of
+    /// the collector protocol, for the result direction.
+    pub needs_ack: bool,
+}
+
+/// Any message that can appear on an RPC connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcMsg {
+    /// An invocation request.
+    Request(Request),
+    /// An invocation reply.
+    Reply(Reply),
+    /// Acknowledges receipt *and processing* of a reply whose `needs_ack`
+    /// flag was set: the caller has registered every object reference the
+    /// result carried, so the callee may release its transient pins.
+    ReplyAck(u64),
+}
+
+const TAG_REQUEST: u64 = 0;
+const TAG_REPLY_OK: u64 = 1;
+const TAG_REPLY_ERR: u64 = 2;
+const TAG_REPLY_ACK: u64 = 3;
+
+impl Pickle for RpcMsg {
+    fn pickle(&self, w: &mut PickleWriter) {
+        match self {
+            RpcMsg::Request(rq) => {
+                w.begin_variant(TAG_REQUEST);
+                w.begin_record(5);
+                rq.call_id.pickle(w);
+                rq.caller.pickle(w);
+                rq.target.pickle(w);
+                rq.method.pickle(w);
+                w.put_bytes(&rq.args);
+            }
+            RpcMsg::Reply(rp) => match &rp.outcome {
+                Ok(bytes) => {
+                    w.begin_variant(TAG_REPLY_OK);
+                    rp.call_id.pickle(w);
+                    rp.needs_ack.pickle(w);
+                    w.put_bytes(bytes);
+                }
+                Err(e) => {
+                    w.begin_variant(TAG_REPLY_ERR);
+                    rp.call_id.pickle(w);
+                    rp.needs_ack.pickle(w);
+                    e.pickle(w);
+                }
+            },
+            RpcMsg::ReplyAck(call_id) => {
+                w.begin_variant(TAG_REPLY_ACK);
+                call_id.pickle(w);
+            }
+        }
+    }
+
+    fn unpickle(r: &mut PickleReader<'_>) -> netobj_wire::Result<Self> {
+        match r.begin_variant()? {
+            TAG_REQUEST => {
+                r.expect_record(5)?;
+                let call_id = u64::unpickle(r)?;
+                let caller = SpaceId::unpickle(r)?;
+                let target = WireRep::unpickle(r)?;
+                let method = u32::unpickle(r)?;
+                let args = r.get_bytes()?.to_vec();
+                Ok(RpcMsg::Request(Request {
+                    call_id,
+                    caller,
+                    target,
+                    method,
+                    args,
+                }))
+            }
+            TAG_REPLY_OK => {
+                let call_id = u64::unpickle(r)?;
+                let needs_ack = bool::unpickle(r)?;
+                let bytes = r.get_bytes()?.to_vec();
+                Ok(RpcMsg::Reply(Reply {
+                    call_id,
+                    outcome: Ok(bytes),
+                    needs_ack,
+                }))
+            }
+            TAG_REPLY_ERR => {
+                let call_id = u64::unpickle(r)?;
+                let needs_ack = bool::unpickle(r)?;
+                let e = RemoteError::unpickle(r)?;
+                Ok(RpcMsg::Reply(Reply {
+                    call_id,
+                    outcome: Err(e),
+                    needs_ack,
+                }))
+            }
+            TAG_REPLY_ACK => {
+                let call_id = u64::unpickle(r)?;
+                Ok(RpcMsg::ReplyAck(call_id))
+            }
+            _ => Err(WireError::OutOfRange("rpc message tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RemoteErrorKind;
+    use netobj_wire::ObjIx;
+
+    fn sample_request() -> RpcMsg {
+        RpcMsg::Request(Request {
+            call_id: 42,
+            caller: SpaceId::from_raw(7),
+            target: WireRep::new(SpaceId::from_raw(9), ObjIx(3)),
+            method: 2,
+            args: vec![1, 2, 3],
+        })
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let m = sample_request();
+        let bytes = m.to_pickle_bytes();
+        assert_eq!(RpcMsg::from_pickle_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn reply_ok_roundtrip() {
+        for needs_ack in [false, true] {
+            let m = RpcMsg::Reply(Reply {
+                call_id: 42,
+                outcome: Ok(vec![9, 9]),
+                needs_ack,
+            });
+            let bytes = m.to_pickle_bytes();
+            assert_eq!(RpcMsg::from_pickle_bytes(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn reply_err_roundtrip() {
+        let m = RpcMsg::Reply(Reply {
+            call_id: 1,
+            outcome: Err(RemoteError::new(RemoteErrorKind::NoSuchObject, "gone")),
+            needs_ack: false,
+        });
+        let bytes = m.to_pickle_bytes();
+        assert_eq!(RpcMsg::from_pickle_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn reply_ack_roundtrip() {
+        let m = RpcMsg::ReplyAck(1234);
+        let bytes = m.to_pickle_bytes();
+        assert_eq!(RpcMsg::from_pickle_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_args_and_result() {
+        let m = RpcMsg::Request(Request {
+            call_id: 0,
+            caller: SpaceId::from_raw(0),
+            target: WireRep::new(SpaceId::from_raw(0), ObjIx(0)),
+            method: 0,
+            args: vec![],
+        });
+        let bytes = m.to_pickle_bytes();
+        assert_eq!(RpcMsg::from_pickle_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut w = PickleWriter::new();
+        w.begin_variant(77);
+        assert!(RpcMsg::from_pickle_bytes(w.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let bytes = sample_request().to_pickle_bytes();
+        for cut in 0..bytes.len() {
+            let _ = RpcMsg::from_pickle_bytes(&bytes[..cut]);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! A fixed-size worker thread pool.
+//!
+//! The original runtime dispatched each incoming call to a free server
+//! thread from a pool; [`ThreadPool`] reproduces that. Jobs are closures;
+//! the pool drains its queue on shutdown.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A job runnable on a pool worker.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing queued jobs.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    active: Arc<AtomicUsize>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `workers` threads (at least one).
+    pub fn new(workers: usize, name: &str) -> ThreadPool {
+        let workers = workers.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let active = Arc::new(AtomicUsize::new(0));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx: Receiver<Job> = rx.clone();
+                let active = Arc::clone(&active);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            active.fetch_add(1, Ordering::Relaxed);
+                            job();
+                            active.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            handles,
+            active,
+        }
+    }
+
+    /// Queues a job. Returns false if the pool is shut down.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Number of jobs currently executing (approximate).
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Stops accepting jobs, finishes queued ones, joins the workers.
+    pub fn shutdown(&mut self) {
+        self.tx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_all_jobs() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = ThreadPool::new(4, "t");
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        let pool = ThreadPool::new(4, "t");
+        let barrier = Arc::new(std::sync::Barrier::new(5));
+        for _ in 0..4 {
+            let b = Arc::clone(&barrier);
+            pool.execute(move || {
+                b.wait();
+            });
+        }
+        // If jobs were serialised this would deadlock; the main thread is
+        // the fifth waiter.
+        barrier.wait();
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let pool = ThreadPool::new(0, "t");
+        assert_eq!(pool.size(), 1);
+        let done = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn execute_after_shutdown_fails() {
+        let mut pool = ThreadPool::new(1, "t");
+        pool.shutdown();
+        assert!(!pool.execute(|| {}));
+    }
+}

@@ -1,0 +1,461 @@
+//! The RPC server: accept loop, per-connection readers, worker dispatch.
+//!
+//! Every accepted connection gets a reader thread; each decoded request is
+//! handed to the shared worker pool, which calls the [`Dispatcher`] and
+//! sends the reply back on the same connection. Long-running methods
+//! therefore never block the reader: concurrent calls on one connection
+//! proceed in parallel, exactly as in the original runtime.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netobj_transport::{Conn, Listener};
+use netobj_wire::pickle::Pickle;
+use netobj_wire::{SpaceId, WireRep};
+
+use crate::error::RemoteError;
+use crate::msg::{Reply, RpcMsg};
+use crate::pool::ThreadPool;
+
+/// The result of dispatching one call.
+pub struct Dispatch {
+    /// The pickled result or a structured error.
+    pub outcome: Result<Vec<u8>, RemoteError>,
+    /// Runs when the caller acknowledges the reply (or on timeout, or when
+    /// the connection dies) — used by the runtime to release the transient
+    /// dirty pins protecting object references embedded in the result.
+    pub completion: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl Dispatch {
+    /// A dispatch with no completion hook.
+    pub fn plain(outcome: Result<Vec<u8>, RemoteError>) -> Dispatch {
+        Dispatch {
+            outcome,
+            completion: None,
+        }
+    }
+}
+
+impl From<Result<Vec<u8>, RemoteError>> for Dispatch {
+    fn from(outcome: Result<Vec<u8>, RemoteError>) -> Dispatch {
+        Dispatch::plain(outcome)
+    }
+}
+
+/// The upcall interface from the RPC server into the object runtime.
+///
+/// Implementations route a call to the named object's method and return the
+/// pickled result. They must be thread-safe: the server invokes `dispatch`
+/// concurrently from its worker pool.
+pub trait Dispatcher: Send + Sync + 'static {
+    /// Handles one invocation.
+    ///
+    /// `caller` is the space that issued the request (needed by the
+    /// collector: dirty sets list spaces). `target` names the object,
+    /// `method` the method, and `args` carries the argument pickle.
+    fn dispatch(&self, caller: SpaceId, target: WireRep, method: u32, args: &[u8]) -> Dispatch;
+}
+
+impl<F> Dispatcher for F
+where
+    F: Fn(SpaceId, WireRep, u32, &[u8]) -> Result<Vec<u8>, RemoteError> + Send + Sync + 'static,
+{
+    fn dispatch(&self, caller: SpaceId, target: WireRep, method: u32, args: &[u8]) -> Dispatch {
+        Dispatch::plain(self(caller, target, method, args))
+    }
+}
+
+/// Counters describing a server's activity.
+#[derive(Debug, Default)]
+struct ServerStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A running RPC server bound to one listener.
+pub struct RpcServer {
+    stopped: Arc<AtomicBool>,
+    listener: Arc<dyn Listener>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+}
+
+impl RpcServer {
+    /// Starts serving `listener` with `workers` worker threads.
+    pub fn start(
+        listener: Box<dyn Listener>,
+        dispatcher: Arc<dyn Dispatcher>,
+        workers: usize,
+    ) -> RpcServer {
+        let stopped = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let pool = Arc::new(ThreadPool::new(workers, "rpc-worker"));
+        let listener: Arc<dyn Listener> = Arc::from(listener);
+
+        let accept_stopped = Arc::clone(&stopped);
+        let accept_stats = Arc::clone(&stats);
+        let accept_listener = Arc::clone(&listener);
+        let accept_thread = std::thread::Builder::new()
+            .name("rpc-accept".into())
+            .spawn(move || loop {
+                let conn = match accept_listener.accept() {
+                    Ok(c) => c,
+                    Err(_) => break,
+                };
+                if accept_stopped.load(Ordering::Acquire) {
+                    conn.close();
+                    break;
+                }
+                accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                let conn: Arc<dyn Conn> = Arc::from(conn);
+                let dispatcher = Arc::clone(&dispatcher);
+                let pool = Arc::clone(&pool);
+                let stats = Arc::clone(&accept_stats);
+                let stopped = Arc::clone(&accept_stopped);
+                std::thread::Builder::new()
+                    .name("rpc-conn".into())
+                    .spawn(move || connection_loop(conn, dispatcher, pool, stats, stopped))
+                    .expect("spawn rpc connection reader");
+            })
+            .expect("spawn rpc accept thread");
+
+        RpcServer {
+            stopped,
+            listener,
+            accept_thread: Some(accept_thread),
+            stats,
+        }
+    }
+
+    /// The endpoint this server accepts connections on.
+    pub fn local_endpoint(&self) -> netobj_transport::Endpoint {
+        self.listener.local_endpoint()
+    }
+
+    /// Total connections accepted.
+    pub fn connections(&self) -> u64 {
+        self.stats.connections.load(Ordering::Relaxed)
+    }
+
+    /// Total requests dispatched.
+    pub fn requests(&self) -> u64 {
+        self.stats.requests.load(Ordering::Relaxed)
+    }
+
+    /// Total requests that produced an error reply.
+    pub fn errors(&self) -> u64 {
+        self.stats.errors.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting and tears the server down.
+    pub fn stop(&mut self) {
+        self.stopped.store(true, Ordering::Release);
+        self.listener.close();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// How long a completion hook waits for its [`RpcMsg::ReplyAck`] before
+/// running anyway. Bounds transient-pin lifetime if the caller dies without
+/// acknowledging (mirrors the paper's rule that transient dirty entries
+/// must not outlive a failed transmission indefinitely).
+pub const DEFAULT_ACK_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+type Completion = Box<dyn FnOnce() + Send>;
+
+#[derive(Default)]
+struct AckTable {
+    pending: parking_lot::Mutex<Vec<(u64, std::time::Instant, Completion)>>,
+}
+
+impl AckTable {
+    fn insert(&self, call_id: u64, deadline: std::time::Instant, completion: Completion) {
+        self.pending.lock().push((call_id, deadline, completion));
+    }
+
+    fn acknowledge(&self, call_id: u64) {
+        let found = {
+            let mut pending = self.pending.lock();
+            match pending.iter().position(|(id, _, _)| *id == call_id) {
+                Some(i) => Some(pending.swap_remove(i).2),
+                None => None,
+            }
+        };
+        if let Some(run) = found {
+            run();
+        }
+    }
+
+    fn expire(&self, now: std::time::Instant) {
+        let expired: Vec<Completion> = {
+            let mut pending = self.pending.lock();
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < pending.len() {
+                if pending[i].1 <= now {
+                    out.push(pending.swap_remove(i).2);
+                } else {
+                    i += 1;
+                }
+            }
+            out
+        };
+        for run in expired {
+            run();
+        }
+    }
+
+    fn drain(&self) {
+        let all: Vec<Completion> = {
+            let mut pending = self.pending.lock();
+            pending.drain(..).map(|(_, _, c)| c).collect()
+        };
+        for run in all {
+            run();
+        }
+    }
+}
+
+/// Remembers recently seen request ids on one connection so that a
+/// duplicating channel cannot execute a call twice. Bounded FIFO window.
+struct SeenRequests {
+    order: std::collections::VecDeque<u64>,
+    set: std::collections::HashSet<u64>,
+}
+
+impl SeenRequests {
+    const WINDOW: usize = 4096;
+
+    fn new() -> SeenRequests {
+        SeenRequests {
+            order: std::collections::VecDeque::new(),
+            set: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Returns false if `id` was already seen (a duplicate to drop).
+    fn insert(&mut self, id: u64) -> bool {
+        if !self.set.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        if self.order.len() > Self::WINDOW {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+}
+
+fn connection_loop(
+    conn: Arc<dyn Conn>,
+    dispatcher: Arc<dyn Dispatcher>,
+    pool: Arc<ThreadPool>,
+    stats: Arc<ServerStats>,
+    stopped: Arc<AtomicBool>,
+) {
+    let acks = Arc::new(AckTable::default());
+    let mut seen = SeenRequests::new();
+    loop {
+        if stopped.load(Ordering::Acquire) {
+            break;
+        }
+        // A bounded recv lets us sweep expired ack obligations even when
+        // the connection is idle.
+        let frame = match conn.recv_timeout(std::time::Duration::from_millis(500)) {
+            Ok(f) => f,
+            Err(netobj_transport::TransportError::Timeout) => {
+                acks.expire(std::time::Instant::now());
+                continue;
+            }
+            Err(_) => break,
+        };
+        acks.expire(std::time::Instant::now());
+        let msg = match RpcMsg::from_pickle_bytes(&frame) {
+            Ok(m) => m,
+            Err(_) => {
+                // Malformed traffic: drop the connection.
+                break;
+            }
+        };
+        let rq = match msg {
+            RpcMsg::Request(rq) => {
+                if !seen.insert(rq.call_id) {
+                    // A duplicated frame from an at-least-once channel:
+                    // the call already ran (or is running); drop it. The
+                    // caller matches on call id, so a duplicate reply from
+                    // the first execution serves both frames.
+                    continue;
+                }
+                rq
+            }
+            RpcMsg::ReplyAck(call_id) => {
+                acks.acknowledge(call_id);
+                continue;
+            }
+            RpcMsg::Reply(_) => {
+                // Replies arriving at a server end are protocol violations.
+                break;
+            }
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let conn = Arc::clone(&conn);
+        let dispatcher = Arc::clone(&dispatcher);
+        let stats = Arc::clone(&stats);
+        let acks = Arc::clone(&acks);
+        pool.execute(move || {
+            let dispatch = dispatcher.dispatch(rq.caller, rq.target, rq.method, &rq.args);
+            if dispatch.outcome.is_err() {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let needs_ack = dispatch.completion.is_some();
+            // Register the completion *before* the reply leaves, so the ack
+            // can never race past it.
+            if let Some(completion) = dispatch.completion {
+                acks.insert(
+                    rq.call_id,
+                    std::time::Instant::now() + DEFAULT_ACK_TIMEOUT,
+                    completion,
+                );
+            }
+            let reply = RpcMsg::Reply(Reply {
+                call_id: rq.call_id,
+                outcome: dispatch.outcome,
+                needs_ack,
+            });
+            if conn.send(reply.to_pickle_bytes()).is_err() {
+                // The caller is gone; run the completion immediately.
+                acks.acknowledge(rq.call_id);
+            }
+        });
+    }
+    conn.close();
+    // Connection over: no acks can arrive; release everything.
+    acks.drain();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::CallClient;
+    use crate::error::{RemoteErrorKind, RpcError};
+    use netobj_transport::loopback::Loopback;
+    use netobj_transport::{Endpoint, Transport};
+    use netobj_wire::ObjIx;
+    use std::time::Duration;
+
+    fn echo_dispatcher() -> Arc<dyn Dispatcher> {
+        Arc::new(
+            |_caller: SpaceId, target: WireRep, method: u32, args: &[u8]| {
+                if method == 99 {
+                    return Err(RemoteError::new(RemoteErrorKind::NoSuchMethod, "99"));
+                }
+                let mut out = target.ix.0.to_le_bytes().to_vec();
+                out.extend_from_slice(args);
+                Ok(out)
+            },
+        )
+    }
+
+    fn start_over_loopback() -> (RpcServer, Arc<CallClient>) {
+        let t = Loopback::new();
+        let l = t.listen(&Endpoint::loopback("srv")).unwrap();
+        let server = RpcServer::start(l, echo_dispatcher(), 4);
+        let conn = t.connect(&Endpoint::loopback("srv")).unwrap();
+        let client = CallClient::new(Arc::from(conn), SpaceId::from_raw(1));
+        (server, client)
+    }
+
+    fn target(ix: u64) -> WireRep {
+        WireRep::new(SpaceId::from_raw(2), ObjIx(ix))
+    }
+
+    #[test]
+    fn end_to_end_call() {
+        let (server, client) = start_over_loopback();
+        let got = client.call(target(7), 0, vec![9]).unwrap();
+        assert_eq!(&got[..8], &7u64.to_le_bytes());
+        assert_eq!(got[8], 9);
+        assert_eq!(server.requests(), 1);
+        assert_eq!(server.errors(), 0);
+    }
+
+    #[test]
+    fn error_reply_counted() {
+        let (server, client) = start_over_loopback();
+        let got = client.call(target(1), 99, vec![]);
+        assert!(matches!(got, Err(RpcError::Remote(_))));
+        assert_eq!(server.errors(), 1);
+    }
+
+    #[test]
+    fn many_concurrent_clients() {
+        let t = Loopback::new();
+        let l = t.listen(&Endpoint::loopback("srv")).unwrap();
+        let server = RpcServer::start(l, echo_dispatcher(), 8);
+        let mut joins = Vec::new();
+        for i in 0..8u64 {
+            let conn = t.connect(&Endpoint::loopback("srv")).unwrap();
+            let client = CallClient::new(Arc::from(conn), SpaceId::from_raw(u128::from(i)));
+            joins.push(std::thread::spawn(move || {
+                for j in 0..20u8 {
+                    let got = client.call(target(i), 0, vec![j]).unwrap();
+                    assert_eq!(got[8], j);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(server.requests(), 160);
+        assert_eq!(server.connections(), 8);
+    }
+
+    #[test]
+    fn slow_call_does_not_block_fast_call_on_same_connection() {
+        let t = Loopback::new();
+        let l = t.listen(&Endpoint::loopback("srv")).unwrap();
+        let dispatcher: Arc<dyn Dispatcher> =
+            Arc::new(|_c: SpaceId, _t: WireRep, method: u32, _a: &[u8]| {
+                if method == 1 {
+                    std::thread::sleep(Duration::from_millis(300));
+                }
+                Ok(vec![method as u8])
+            });
+        let _server = RpcServer::start(l, dispatcher, 4);
+        let conn = t.connect(&Endpoint::loopback("srv")).unwrap();
+        let client = CallClient::new(Arc::from(conn), SpaceId::from_raw(1));
+
+        let slow_client = Arc::clone(&client);
+        let slow = std::thread::spawn(move || slow_client.call(target(0), 1, vec![]));
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = std::time::Instant::now();
+        let fast = client.call(target(0), 2, vec![]).unwrap();
+        assert_eq!(fast, vec![2]);
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "fast call was blocked by slow call"
+        );
+        assert_eq!(slow.join().unwrap().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn stop_tears_down() {
+        let (mut server, client) = start_over_loopback();
+        server.stop();
+        std::thread::sleep(Duration::from_millis(100));
+        let got = client.call_with_timeout(target(0), 0, vec![], Duration::from_millis(200));
+        assert!(got.is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Channel-backed in-process connections.
+//!
+//! Both the loopback transport and the simulated network hand out
+//! [`ChanConn`]s: connection halves backed by crossbeam channels. The
+//! difference between the two transports is only in what sits between the
+//! sender's outbox and the receiver's inbox — nothing (loopback) or the
+//! fault-injecting delivery scheduler (sim).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+
+use crate::endpoint::Endpoint;
+use crate::error::TransportError;
+use crate::{Conn, Result};
+
+/// Shared close flag between the two halves of an in-process connection.
+#[derive(Debug, Default)]
+pub struct CloseFlag {
+    closed: AtomicBool,
+}
+
+impl CloseFlag {
+    /// Returns true once either side has closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Marks the connection closed.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+/// One half of an in-process duplex connection.
+///
+/// Sending pushes into the outbox; receiving pops from the inbox. For a
+/// loopback pair, A's outbox *is* B's inbox. For a simulated pair, the
+/// outbox feeds the sim scheduler which later forwards into the peer inbox.
+pub struct ChanConn {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    closed: Arc<CloseFlag>,
+    peer: Option<Endpoint>,
+}
+
+impl ChanConn {
+    /// Builds a connection half from its channel ends.
+    pub fn new(
+        tx: Sender<Vec<u8>>,
+        rx: Receiver<Vec<u8>>,
+        closed: Arc<CloseFlag>,
+        peer: Option<Endpoint>,
+    ) -> ChanConn {
+        ChanConn {
+            tx,
+            rx,
+            closed,
+            peer,
+        }
+    }
+
+    /// Creates a directly wired pair of connection halves (no middleman).
+    pub fn pair(a_peer: Option<Endpoint>, b_peer: Option<Endpoint>) -> (ChanConn, ChanConn) {
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        let closed = Arc::new(CloseFlag::default());
+        (
+            ChanConn::new(a_tx, a_rx, Arc::clone(&closed), a_peer),
+            ChanConn::new(b_tx, b_rx, closed, b_peer),
+        )
+    }
+}
+
+impl Conn for ChanConn {
+    fn send(&self, frame: Vec<u8>) -> Result<()> {
+        if self.closed.is_closed() {
+            return Err(TransportError::Closed);
+        }
+        match self.tx.try_send(frame) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Disconnected(_)) => Err(TransportError::Closed),
+            Err(TrySendError::Full(_)) => unreachable!("unbounded channel is never full"),
+        }
+    }
+
+    fn recv(&self) -> Result<Vec<u8>> {
+        // Poll with a coarse period so that a close() by the peer wakes us
+        // up even though the channel endpoints themselves stay alive.
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(f) => return Ok(f),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.closed.is_closed() && self.rx.is_empty() {
+                        return Err(TransportError::Closed);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Closed),
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let step = deadline
+                .saturating_duration_since(std::time::Instant::now())
+                .min(Duration::from_millis(50));
+            match self.rx.recv_timeout(step) {
+                Ok(f) => return Ok(f),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.closed.is_closed() && self.rx.is_empty() {
+                        return Err(TransportError::Closed);
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return Err(TransportError::Timeout);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Closed),
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.closed.close();
+    }
+
+    fn peer(&self) -> Option<Endpoint> {
+        self.peer.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_exchanges_frames_both_ways() {
+        let (a, b) = ChanConn::pair(None, None);
+        a.send(b"ping".to_vec()).unwrap();
+        assert_eq!(b.recv().unwrap(), b"ping");
+        b.send(b"pong".to_vec()).unwrap();
+        assert_eq!(a.recv().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn preserves_frame_order() {
+        let (a, b) = ChanConn::pair(None, None);
+        for i in 0..100u32 {
+            a.send(i.to_le_bytes().to_vec()).unwrap();
+        }
+        for i in 0..100u32 {
+            assert_eq!(b.recv().unwrap(), i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn close_unblocks_receiver() {
+        let (a, b) = ChanConn::pair(None, None);
+        let h = std::thread::spawn(move || b.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        a.close();
+        assert_eq!(h.join().unwrap(), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn send_after_close_fails() {
+        let (a, b) = ChanConn::pair(None, None);
+        b.close();
+        assert_eq!(a.send(vec![1]).unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_a, b) = ChanConn::pair(None, None);
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(60)).unwrap_err(),
+            TransportError::Timeout
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(55));
+    }
+
+    #[test]
+    fn queued_frames_drain_before_close_reported() {
+        let (a, b) = ChanConn::pair(None, None);
+        a.send(vec![1]).unwrap();
+        a.send(vec![2]).unwrap();
+        a.close();
+        assert_eq!(b.recv().unwrap(), vec![1]);
+        assert_eq!(b.recv().unwrap(), vec![2]);
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(80)).unwrap_err(),
+            TransportError::Closed
+        );
+    }
+}

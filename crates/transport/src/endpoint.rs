@@ -1,0 +1,121 @@
+//! Transport endpoint addresses.
+//!
+//! An endpoint is written `scheme:address`, e.g. `tcp:10.0.0.7:9321`,
+//! `sim:alpha`, or `loop:server-1`. The scheme selects a transport from the
+//! [`crate::TransportRegistry`]; the address part is interpreted by that
+//! transport. This mirrors the original runtime, where each address prefix
+//! named the transport that understood it.
+
+use std::fmt;
+use std::str::FromStr;
+
+use netobj_wire::pickle::{Pickle, PickleReader, PickleWriter};
+
+use crate::error::TransportError;
+
+/// A parsed transport address: `scheme:address`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Endpoint {
+    scheme: String,
+    addr: String,
+}
+
+impl Endpoint {
+    /// Builds an endpoint from a scheme and transport-specific address.
+    pub fn new(scheme: impl Into<String>, addr: impl Into<String>) -> Endpoint {
+        Endpoint {
+            scheme: scheme.into(),
+            addr: addr.into(),
+        }
+    }
+
+    /// The address scheme (transport selector).
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// The transport-specific address part.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Shorthand for a TCP endpoint.
+    pub fn tcp(addr: impl Into<String>) -> Endpoint {
+        Endpoint::new("tcp", addr)
+    }
+
+    /// Shorthand for a simulated-network endpoint.
+    pub fn sim(name: impl Into<String>) -> Endpoint {
+        Endpoint::new("sim", name)
+    }
+
+    /// Shorthand for a loopback endpoint.
+    pub fn loopback(name: impl Into<String>) -> Endpoint {
+        Endpoint::new("loop", name)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.scheme, self.addr)
+    }
+}
+
+impl FromStr for Endpoint {
+    type Err = TransportError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once(':') {
+            Some((scheme, addr)) if !scheme.is_empty() && !addr.is_empty() => {
+                Ok(Endpoint::new(scheme, addr))
+            }
+            _ => Err(TransportError::BadEndpoint(s.to_owned())),
+        }
+    }
+}
+
+impl Pickle for Endpoint {
+    fn pickle(&self, w: &mut PickleWriter) {
+        w.put_text(&self.to_string());
+    }
+    fn unpickle(r: &mut PickleReader<'_>) -> netobj_wire::Result<Self> {
+        let s = r.get_text()?;
+        s.parse()
+            .map_err(|_| netobj_wire::WireError::OutOfRange("malformed endpoint"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let ep: Endpoint = "tcp:127.0.0.1:9000".parse().unwrap();
+        assert_eq!(ep.scheme(), "tcp");
+        assert_eq!(ep.addr(), "127.0.0.1:9000");
+        assert_eq!(ep.to_string(), "tcp:127.0.0.1:9000");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("".parse::<Endpoint>().is_err());
+        assert!("noscheme".parse::<Endpoint>().is_err());
+        assert!(":addr".parse::<Endpoint>().is_err());
+        assert!("scheme:".parse::<Endpoint>().is_err());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Endpoint::tcp("h:1").to_string(), "tcp:h:1");
+        assert_eq!(Endpoint::sim("a").to_string(), "sim:a");
+        assert_eq!(Endpoint::loopback("x").to_string(), "loop:x");
+    }
+
+    #[test]
+    fn pickles() {
+        let ep = Endpoint::sim("alpha");
+        let bytes = ep.to_pickle_bytes();
+        assert_eq!(Endpoint::from_pickle_bytes(&bytes).unwrap(), ep);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for transport operations.
+
+use std::fmt;
+
+use netobj_wire::WireError;
+
+/// An error raised by a transport operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The connection (or listener) has been closed.
+    Closed,
+    /// No peer is listening at the requested endpoint.
+    ConnectionRefused(String),
+    /// The operation did not complete within its deadline.
+    Timeout,
+    /// The endpoint string could not be parsed.
+    BadEndpoint(String),
+    /// No transport is registered for the endpoint's scheme.
+    NoTransport(String),
+    /// The endpoint name is already in use by a listener.
+    AddressInUse(String),
+    /// An underlying I/O error (message only: `io::Error` is not `Clone`).
+    Io(String),
+    /// A framing or encoding error.
+    Wire(WireError),
+    /// The peer is unreachable because of a simulated partition.
+    Partitioned,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "connection closed"),
+            TransportError::ConnectionRefused(ep) => write!(f, "connection refused: {ep}"),
+            TransportError::Timeout => write!(f, "operation timed out"),
+            TransportError::BadEndpoint(s) => write!(f, "bad endpoint: {s}"),
+            TransportError::NoTransport(s) => write!(f, "no transport for scheme: {s}"),
+            TransportError::AddressInUse(s) => write!(f, "address in use: {s}"),
+            TransportError::Io(e) => write!(f, "io error: {e}"),
+            TransportError::Wire(e) => write!(f, "wire error: {e}"),
+            TransportError::Partitioned => write!(f, "peer unreachable (partitioned)"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                TransportError::Timeout
+            }
+            std::io::ErrorKind::ConnectionRefused => {
+                TransportError::ConnectionRefused(e.to_string())
+            }
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionAborted => TransportError::Closed,
+            _ => TransportError::Io(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_mapping() {
+        use std::io::{Error, ErrorKind};
+        assert_eq!(
+            TransportError::from(Error::new(ErrorKind::TimedOut, "t")),
+            TransportError::Timeout
+        );
+        assert_eq!(
+            TransportError::from(Error::new(ErrorKind::BrokenPipe, "b")),
+            TransportError::Closed
+        );
+        assert!(matches!(
+            TransportError::from(Error::new(ErrorKind::ConnectionRefused, "r")),
+            TransportError::ConnectionRefused(_)
+        ));
+        assert!(matches!(
+            TransportError::from(Error::other("x")),
+            TransportError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(TransportError::Closed.to_string(), "connection closed");
+        assert!(TransportError::NoTransport("zz".into())
+            .to_string()
+            .contains("zz"));
+    }
+}

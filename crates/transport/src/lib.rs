@@ -1,0 +1,94 @@
+//! Message transports for the network objects runtime.
+//!
+//! Network Objects layers its RPC protocol over pluggable transports; the
+//! original system shipped TCP and shared-memory transports selected at
+//! bind time by address scheme. This crate reproduces that design:
+//!
+//! - [`Endpoint`]: a parsed `scheme:address` transport address.
+//! - [`Conn`] / [`Listener`] / [`Transport`]: the object-level abstraction —
+//!   reliable, connection-oriented exchange of discrete frames.
+//! - [`loopback`]: an in-process transport with no networking at all,
+//!   used for same-machine measurements (paper: "local" case).
+//! - [`sim`]: an in-process *simulated network* with configurable latency,
+//!   jitter, loss, duplication, reordering and partitions. This is the
+//!   testbed substitute for the paper's Ethernet: experiments dial latency
+//!   instead of racking hardware, and the fault knobs drive the
+//!   fault-tolerance experiments.
+//! - [`tcp`]: a real TCP transport (length-prefixed frames, `TCP_NODELAY`).
+//! - [`registry`]: maps address schemes to transports, as the original
+//!   runtime did when choosing how to contact an address.
+//!
+//! All transports present *reliable duplex frame pipes* to the layer above;
+//! the simulated network's loss/duplication knobs exist to test the RPC
+//! layer's and collector's tolerance of misbehaving channels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chan;
+pub mod endpoint;
+pub mod error;
+pub mod loopback;
+pub mod pool;
+pub mod registry;
+pub mod sim;
+pub mod tcp;
+
+pub use endpoint::Endpoint;
+pub use error::TransportError;
+pub use registry::TransportRegistry;
+
+use std::time::Duration;
+
+/// Result alias for transport operations.
+pub type Result<T> = std::result::Result<T, TransportError>;
+
+/// A reliable, bidirectional, frame-oriented connection.
+///
+/// Frames are discrete byte payloads; the transport preserves their
+/// boundaries. All methods take `&self` so a connection can be shared
+/// between a sender and a dedicated receiver thread.
+pub trait Conn: Send + Sync {
+    /// Sends one frame. Returns an error if the connection is closed.
+    fn send(&self, frame: Vec<u8>) -> Result<()>;
+
+    /// Receives the next frame, blocking until one arrives or the
+    /// connection closes.
+    fn recv(&self) -> Result<Vec<u8>>;
+
+    /// Receives the next frame, waiting at most `timeout`.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>>;
+
+    /// Closes the connection; pending and future operations fail with
+    /// [`TransportError::Closed`].
+    fn close(&self);
+
+    /// The remote endpoint this connection talks to, if known.
+    fn peer(&self) -> Option<Endpoint>;
+}
+
+/// A passive endpoint accepting incoming connections.
+pub trait Listener: Send + Sync {
+    /// Accepts the next incoming connection, blocking.
+    fn accept(&self) -> Result<Box<dyn Conn>>;
+
+    /// The endpoint peers should connect to.
+    fn local_endpoint(&self) -> Endpoint;
+
+    /// Stops listening; a blocked [`Listener::accept`] returns
+    /// [`TransportError::Closed`].
+    fn close(&self);
+}
+
+/// A transport: a way of establishing [`Conn`]s from endpoint addresses.
+pub trait Transport: Send + Sync {
+    /// The address scheme this transport serves (e.g. `"tcp"`).
+    fn scheme(&self) -> &str;
+
+    /// Opens a connection to `ep`.
+    fn connect(&self, ep: &Endpoint) -> Result<Box<dyn Conn>>;
+
+    /// Starts listening at `ep` (which may be a wildcard the transport
+    /// resolves, e.g. `tcp:127.0.0.1:0`).
+    fn listen(&self, ep: &Endpoint) -> Result<Box<dyn Listener>>;
+}

@@ -1,0 +1,138 @@
+//! Connection pooling.
+//!
+//! The original runtime cached connections to each address so that repeated
+//! calls to the same space reuse a warm connection. [`ConnPool`] does the
+//! same: at most one cached connection per endpoint, replaced transparently
+//! if it has failed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::endpoint::Endpoint;
+use crate::registry::TransportRegistry;
+use crate::{Conn, Result};
+
+/// A cache of one shared connection per remote endpoint.
+#[derive(Clone)]
+pub struct ConnPool {
+    registry: TransportRegistry,
+    conns: Arc<Mutex<HashMap<Endpoint, Arc<dyn Conn>>>>,
+}
+
+impl ConnPool {
+    /// Creates a pool that opens connections through `registry`.
+    pub fn new(registry: TransportRegistry) -> ConnPool {
+        ConnPool {
+            registry,
+            conns: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Returns the cached connection to `ep`, opening one if needed.
+    pub fn get(&self, ep: &Endpoint) -> Result<Arc<dyn Conn>> {
+        if let Some(c) = self.conns.lock().get(ep) {
+            return Ok(Arc::clone(c));
+        }
+        let fresh: Arc<dyn Conn> = Arc::from(self.registry.connect(ep)?);
+        let mut conns = self.conns.lock();
+        // Double-checked: another thread may have connected concurrently;
+        // prefer the existing one so both callers share it.
+        if let Some(c) = conns.get(ep) {
+            fresh.close();
+            return Ok(Arc::clone(c));
+        }
+        conns.insert(ep.clone(), Arc::clone(&fresh));
+        Ok(fresh)
+    }
+
+    /// Drops the cached connection to `ep` (e.g. after an error), so the
+    /// next [`ConnPool::get`] reconnects.
+    pub fn invalidate(&self, ep: &Endpoint) {
+        if let Some(c) = self.conns.lock().remove(ep) {
+            c.close();
+        }
+    }
+
+    /// Closes every cached connection.
+    pub fn clear(&self) {
+        let mut conns = self.conns.lock();
+        for (_, c) in conns.drain() {
+            c.close();
+        }
+    }
+
+    /// Number of cached connections.
+    pub fn len(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    /// True if no connections are cached.
+    pub fn is_empty(&self) -> bool {
+        self.conns.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::Loopback;
+    use crate::TransportError;
+    use std::time::Duration;
+
+    fn setup() -> (ConnPool, TransportRegistry, Box<dyn crate::Listener>) {
+        let reg = TransportRegistry::new();
+        reg.register(Arc::new(Loopback::new()));
+        let l = reg.listen(&Endpoint::loopback("srv")).unwrap();
+        (ConnPool::new(reg.clone()), reg, l)
+    }
+
+    #[test]
+    fn reuses_connection() {
+        let (pool, _reg, _l) = setup();
+        let ep = Endpoint::loopback("srv");
+        let a = pool.get(&ep).unwrap();
+        let b = pool.get(&ep).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_reconnects() {
+        let (pool, _reg, l) = setup();
+        let ep = Endpoint::loopback("srv");
+        let a = pool.get(&ep).unwrap();
+        let _sa = l.accept().unwrap();
+        pool.invalidate(&ep);
+        assert!(pool.is_empty());
+        let b = pool.get(&ep).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        // The old connection is closed.
+        assert_eq!(a.send(vec![1]).unwrap_err(), TransportError::Closed);
+        // The new one works.
+        let sb = l.accept().unwrap();
+        b.send(vec![2]).unwrap();
+        assert_eq!(sb.recv_timeout(Duration::from_secs(1)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn clear_closes_everything() {
+        let (pool, reg, _l) = setup();
+        let _l2 = reg.listen(&Endpoint::loopback("srv2")).unwrap();
+        let a = pool.get(&Endpoint::loopback("srv")).unwrap();
+        let b = pool.get(&Endpoint::loopback("srv2")).unwrap();
+        assert_eq!(pool.len(), 2);
+        pool.clear();
+        assert!(pool.is_empty());
+        assert!(a.send(vec![]).is_err());
+        assert!(b.send(vec![]).is_err());
+    }
+
+    #[test]
+    fn connect_failure_propagates() {
+        let (pool, _reg, _l) = setup();
+        assert!(pool.get(&Endpoint::loopback("missing")).is_err());
+        assert!(pool.is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! The transport registry: scheme → transport dispatch.
+//!
+//! The original runtime chose how to contact an address by its prefix; a
+//! [`TransportRegistry`] does the same. Each space owns a registry; tests
+//! and simulations register whichever transports they need.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::endpoint::Endpoint;
+use crate::error::TransportError;
+use crate::{Conn, Listener, Result, Transport};
+
+/// A thread-safe mapping from address scheme to transport.
+#[derive(Default, Clone)]
+pub struct TransportRegistry {
+    inner: Arc<RwLock<HashMap<String, Arc<dyn Transport>>>>,
+}
+
+impl TransportRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> TransportRegistry {
+        TransportRegistry::default()
+    }
+
+    /// Registers `transport` under its scheme, replacing any previous one.
+    pub fn register(&self, transport: Arc<dyn Transport>) {
+        let scheme = transport.scheme().to_owned();
+        self.inner.write().insert(scheme, transport);
+    }
+
+    /// Returns the transport for `scheme`, if registered.
+    pub fn get(&self, scheme: &str) -> Option<Arc<dyn Transport>> {
+        self.inner.read().get(scheme).cloned()
+    }
+
+    /// Connects to `ep` using the transport its scheme selects.
+    pub fn connect(&self, ep: &Endpoint) -> Result<Box<dyn Conn>> {
+        self.get(ep.scheme())
+            .ok_or_else(|| TransportError::NoTransport(ep.scheme().to_owned()))?
+            .connect(ep)
+    }
+
+    /// Listens at `ep` using the transport its scheme selects.
+    pub fn listen(&self, ep: &Endpoint) -> Result<Box<dyn Listener>> {
+        self.get(ep.scheme())
+            .ok_or_else(|| TransportError::NoTransport(ep.scheme().to_owned()))?
+            .listen(ep)
+    }
+
+    /// Registered scheme names, sorted.
+    pub fn schemes(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Wraps a [`Transport`] so that the same instance can serve a different
+/// scheme name (used by tests to mount two sim networks side by side).
+pub struct Renamed<T> {
+    inner: T,
+    scheme: String,
+}
+
+impl<T: Transport> Renamed<T> {
+    /// Mounts `inner` under `scheme`.
+    pub fn new(inner: T, scheme: impl Into<String>) -> Renamed<T> {
+        Renamed {
+            inner,
+            scheme: scheme.into(),
+        }
+    }
+}
+
+impl<T: Transport> Transport for Renamed<T> {
+    fn scheme(&self) -> &str {
+        &self.scheme
+    }
+    fn connect(&self, ep: &Endpoint) -> Result<Box<dyn Conn>> {
+        self.inner.connect(&Endpoint::new(
+            self.inner.scheme().to_owned(),
+            ep.addr().to_owned(),
+        ))
+    }
+    fn listen(&self, ep: &Endpoint) -> Result<Box<dyn Listener>> {
+        self.inner.listen(&Endpoint::new(
+            self.inner.scheme().to_owned(),
+            ep.addr().to_owned(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::Loopback;
+    use crate::sim::SimNet;
+
+    #[test]
+    fn dispatches_by_scheme() {
+        let reg = TransportRegistry::new();
+        reg.register(Arc::new(Loopback::new()));
+        reg.register(Arc::new(SimNet::instant()));
+        assert_eq!(reg.schemes(), vec!["loop".to_owned(), "sim".to_owned()]);
+
+        let _l = reg.listen(&Endpoint::loopback("x")).unwrap();
+        let _c = reg.connect(&Endpoint::loopback("x")).unwrap();
+        let _sl = reg.listen(&Endpoint::sim("x")).unwrap();
+        let _sc = reg.connect(&Endpoint::sim("x")).unwrap();
+    }
+
+    #[test]
+    fn unknown_scheme_errors() {
+        let reg = TransportRegistry::new();
+        assert!(matches!(
+            reg.connect(&Endpoint::new("zz", "x")),
+            Err(TransportError::NoTransport(_))
+        ));
+        assert!(matches!(
+            reg.listen(&Endpoint::new("zz", "x")),
+            Err(TransportError::NoTransport(_))
+        ));
+    }
+
+    #[test]
+    fn re_register_replaces() {
+        let reg = TransportRegistry::new();
+        let a = Loopback::new();
+        let b = Loopback::new();
+        reg.register(Arc::new(Arc::clone(&a)));
+        let _l = reg.listen(&Endpoint::loopback("only-in-a")).unwrap();
+        reg.register(Arc::new(b));
+        // The listener namespace changed: connect now fails.
+        assert!(reg.connect(&Endpoint::loopback("only-in-a")).is_err());
+    }
+
+    #[test]
+    fn renamed_transport_serves_alt_scheme() {
+        let reg = TransportRegistry::new();
+        let net = SimNet::instant();
+        reg.register(Arc::new(Renamed::new(Arc::clone(&net), "sim2")));
+        let _l = reg.listen(&Endpoint::new("sim2", "host")).unwrap();
+        let _c = reg.connect(&Endpoint::new("sim2", "host")).unwrap();
+    }
+}

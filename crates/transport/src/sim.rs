@@ -1,0 +1,638 @@
+//! The simulated network transport.
+//!
+//! This is the repository's substitute for the paper's machine-room
+//! testbed: an in-process network whose links have configurable one-way
+//! latency, jitter, probabilistic loss, duplication and reordering, plus a
+//! partition switch per listener. Experiments dial these knobs instead of
+//! racking hardware; fault-tolerance tests use loss/partition to exercise
+//! the collector's recovery paths.
+//!
+//! Frames that incur delay pass through a single scheduler thread that
+//! holds a time-ordered heap; instantaneous fault-free links bypass the
+//! scheduler entirely so that zero-latency benchmarks measure the protocol,
+//! not the simulator.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::chan::CloseFlag;
+use crate::endpoint::Endpoint;
+use crate::error::TransportError;
+use crate::{Conn, Listener, Result, Transport};
+
+/// Behaviour of every link in a simulated network.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkConfig {
+    /// Base one-way latency applied to every frame.
+    pub latency: Duration,
+    /// Additional uniform random latency in `[0, jitter)`.
+    pub jitter: Duration,
+    /// Probability that a frame is silently dropped.
+    pub loss: f64,
+    /// Probability that a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability that a frame receives `reorder_extra` additional delay,
+    /// letting later frames overtake it (models non-FIFO channels).
+    pub reorder: f64,
+    /// Maximum extra delay applied to reordered frames.
+    pub reorder_extra: Duration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::instant()
+    }
+}
+
+impl LinkConfig {
+    /// A perfect, instantaneous link (the fast path: no scheduler).
+    pub const fn instant() -> LinkConfig {
+        LinkConfig {
+            latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_extra: Duration::ZERO,
+        }
+    }
+
+    /// A clean link with fixed one-way latency.
+    pub const fn with_latency(latency: Duration) -> LinkConfig {
+        LinkConfig {
+            latency,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_extra: Duration::ZERO,
+        }
+    }
+
+    /// True if frames can skip the scheduler thread.
+    fn is_instant(&self) -> bool {
+        self.latency.is_zero()
+            && self.jitter.is_zero()
+            && self.loss == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+    }
+}
+
+/// Counters describing what the simulated network did to traffic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Frames handed to `send`.
+    pub sent: u64,
+    /// Frames delivered to a receiver inbox (duplicates count twice).
+    pub delivered: u64,
+    /// Frames dropped by the loss knob.
+    pub dropped_loss: u64,
+    /// Frames dropped because the destination was partitioned.
+    pub dropped_partition: u64,
+    /// Extra deliveries caused by the duplication knob.
+    pub duplicated: u64,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    dest: Sender<Vec<u8>>,
+    frame: Vec<u8>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest-due first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct SimState {
+    listeners: HashMap<String, Sender<Box<dyn Conn>>>,
+    config: LinkConfig,
+    down: HashMap<String, bool>,
+    rng: SmallRng,
+    heap: BinaryHeap<Scheduled>,
+    shutdown: bool,
+}
+
+/// A simulated network: a namespace of listeners plus a fault model.
+pub struct SimNet {
+    state: Mutex<SimState>,
+    wakeup: Condvar,
+    seq: AtomicU64,
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped_loss: AtomicU64,
+    dropped_partition: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+impl SimNet {
+    /// Creates a simulated network with the given link behaviour and a
+    /// fixed RNG seed (for reproducible fault schedules).
+    pub fn with_seed(config: LinkConfig, seed: u64) -> Arc<SimNet> {
+        let net = Arc::new(SimNet {
+            state: Mutex::new(SimState {
+                listeners: HashMap::new(),
+                config,
+                down: HashMap::new(),
+                rng: SmallRng::seed_from_u64(seed),
+                heap: BinaryHeap::new(),
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+            seq: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped_loss: AtomicU64::new(0),
+            dropped_partition: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+        });
+        let for_thread = Arc::clone(&net);
+        std::thread::Builder::new()
+            .name("simnet-scheduler".into())
+            .spawn(move || for_thread.scheduler_loop())
+            .expect("spawn simnet scheduler");
+        net
+    }
+
+    /// Creates a simulated network with a random seed.
+    pub fn new(config: LinkConfig) -> Arc<SimNet> {
+        SimNet::with_seed(config, rand::random())
+    }
+
+    /// A perfect, instantaneous network.
+    pub fn instant() -> Arc<SimNet> {
+        SimNet::new(LinkConfig::instant())
+    }
+
+    /// Replaces the link behaviour for subsequently sent frames.
+    pub fn set_config(&self, config: LinkConfig) {
+        self.state.lock().config = config;
+    }
+
+    /// Returns the current link behaviour.
+    pub fn config(&self) -> LinkConfig {
+        self.state.lock().config
+    }
+
+    /// Partitions (or heals) the listener named `name`.
+    ///
+    /// While down, frames in either direction on connections to that
+    /// listener are dropped, and new connects are refused — modelling a
+    /// crashed or unreachable process.
+    pub fn set_down(&self, name: &str, down: bool) {
+        self.state.lock().down.insert(name.to_owned(), down);
+    }
+
+    /// Returns traffic counters.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped_loss: self.dropped_loss.load(Ordering::Relaxed),
+            dropped_partition: self.dropped_partition.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the scheduler thread. Queued delayed frames are discarded.
+    pub fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.wakeup.notify_all();
+    }
+
+    fn scheduler_loop(&self) {
+        let mut state = self.state.lock();
+        loop {
+            if state.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            // Deliver everything due.
+            while state.heap.peek().is_some_and(|s| s.due <= now) {
+                let s = state.heap.pop().expect("peeked");
+                // Ignore send errors: receiver may be gone.
+                if s.dest.send(s.frame).is_ok() {
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            match state.heap.peek() {
+                Some(s) => {
+                    let wait = s.due.saturating_duration_since(Instant::now());
+                    self.wakeup.wait_for(&mut state, wait);
+                }
+                None => {
+                    self.wakeup.wait(&mut state);
+                }
+            }
+        }
+    }
+
+    /// Routes one frame according to the fault model.
+    fn route(&self, tag: &str, dest: &Sender<Vec<u8>>, frame: Vec<u8>) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.lock();
+        if *state.down.get(tag).unwrap_or(&false) {
+            self.dropped_partition.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let config = state.config;
+        if config.is_instant() {
+            drop(state);
+            if dest.send(frame).is_ok() {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        if config.loss > 0.0 && state.rng.gen_bool(config.loss.clamp(0.0, 1.0)) {
+            self.dropped_loss.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let copies =
+            if config.duplicate > 0.0 && state.rng.gen_bool(config.duplicate.clamp(0.0, 1.0)) {
+                self.duplicated.fetch_add(1, Ordering::Relaxed);
+                2
+            } else {
+                1
+            };
+        let now = Instant::now();
+        for _ in 0..copies {
+            let mut delay = config.latency;
+            if !config.jitter.is_zero() {
+                delay += Duration::from_nanos(
+                    state
+                        .rng
+                        .gen_range(0..config.jitter.as_nanos().max(1) as u64),
+                );
+            }
+            if config.reorder > 0.0
+                && !config.reorder_extra.is_zero()
+                && state.rng.gen_bool(config.reorder.clamp(0.0, 1.0))
+            {
+                delay += Duration::from_nanos(
+                    state
+                        .rng
+                        .gen_range(0..config.reorder_extra.as_nanos().max(1) as u64),
+                );
+            }
+            let item = Scheduled {
+                due: now + delay,
+                seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                dest: dest.clone(),
+                frame: frame.clone(),
+            };
+            state.heap.push(item);
+        }
+        drop(state);
+        self.wakeup.notify_all();
+    }
+}
+
+/// One half of a simulated connection.
+struct SimConn {
+    net: Arc<SimNet>,
+    /// The listener name this connection was made to; partition tag.
+    tag: String,
+    peer_tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    closed: Arc<CloseFlag>,
+    peer: Option<Endpoint>,
+}
+
+impl Conn for SimConn {
+    fn send(&self, frame: Vec<u8>) -> Result<()> {
+        if self.closed.is_closed() {
+            return Err(TransportError::Closed);
+        }
+        self.net.route(&self.tag, &self.peer_tx, frame);
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Vec<u8>> {
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(f) => return Ok(f),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if self.closed.is_closed() && self.rx.is_empty() {
+                        return Err(TransportError::Closed);
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(TransportError::Closed)
+                }
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let step = deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(50));
+            match self.rx.recv_timeout(step) {
+                Ok(f) => return Ok(f),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if self.closed.is_closed() && self.rx.is_empty() {
+                        return Err(TransportError::Closed);
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::Timeout);
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(TransportError::Closed)
+                }
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.closed.close();
+    }
+
+    fn peer(&self) -> Option<Endpoint> {
+        self.peer.clone()
+    }
+}
+
+struct SimListener {
+    name: String,
+    incoming: Receiver<Box<dyn Conn>>,
+    net: Arc<SimNet>,
+}
+
+impl Listener for SimListener {
+    fn accept(&self) -> Result<Box<dyn Conn>> {
+        self.incoming.recv().map_err(|_| TransportError::Closed)
+    }
+
+    fn local_endpoint(&self) -> Endpoint {
+        Endpoint::sim(self.name.clone())
+    }
+
+    fn close(&self) {
+        self.net.state.lock().listeners.remove(&self.name);
+    }
+}
+
+impl Transport for Arc<SimNet> {
+    fn scheme(&self) -> &str {
+        "sim"
+    }
+
+    fn connect(&self, ep: &Endpoint) -> Result<Box<dyn Conn>> {
+        let name = ep.addr().to_owned();
+        let accept_tx = {
+            let state = self.state.lock();
+            if *state.down.get(&name).unwrap_or(&false) {
+                return Err(TransportError::Partitioned);
+            }
+            state
+                .listeners
+                .get(&name)
+                .cloned()
+                .ok_or_else(|| TransportError::ConnectionRefused(ep.to_string()))?
+        };
+        let (c2s_tx, c2s_rx) = unbounded();
+        let (s2c_tx, s2c_rx) = unbounded();
+        let closed = Arc::new(CloseFlag::default());
+        let client = SimConn {
+            net: Arc::clone(self),
+            tag: name.clone(),
+            peer_tx: c2s_tx,
+            rx: s2c_rx,
+            closed: Arc::clone(&closed),
+            peer: Some(ep.clone()),
+        };
+        let server = SimConn {
+            net: Arc::clone(self),
+            tag: name,
+            peer_tx: s2c_tx,
+            rx: c2s_rx,
+            closed,
+            peer: None,
+        };
+        accept_tx
+            .send(Box::new(server))
+            .map_err(|_| TransportError::ConnectionRefused(ep.to_string()))?;
+        Ok(Box::new(client))
+    }
+
+    fn listen(&self, ep: &Endpoint) -> Result<Box<dyn Listener>> {
+        let (tx, rx) = unbounded();
+        let mut state = self.state.lock();
+        if state.listeners.contains_key(ep.addr()) {
+            return Err(TransportError::AddressInUse(ep.to_string()));
+        }
+        state.listeners.insert(ep.addr().to_owned(), tx);
+        Ok(Box::new(SimListener {
+            name: ep.addr().to_owned(),
+            incoming: rx,
+            net: Arc::clone(self),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(net: &Arc<SimNet>, name: &str) -> (Box<dyn Conn>, Box<dyn Conn>) {
+        let l = net.listen(&Endpoint::sim(name)).unwrap();
+        let c = net.connect(&Endpoint::sim(name)).unwrap();
+        let s = l.accept().unwrap();
+        (c, s)
+    }
+
+    #[test]
+    fn instant_link_delivers_in_order() {
+        let net = SimNet::instant();
+        let (c, s) = pair(&net, "a");
+        for i in 0..50u32 {
+            c.send(i.to_le_bytes().to_vec()).unwrap();
+        }
+        for i in 0..50u32 {
+            assert_eq!(s.recv().unwrap(), i.to_le_bytes());
+        }
+        assert_eq!(net.stats().delivered, 50);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net = SimNet::new(LinkConfig::with_latency(Duration::from_millis(30)));
+        let (c, s) = pair(&net, "a");
+        let t0 = Instant::now();
+        c.send(b"x".to_vec()).unwrap();
+        let f = s.recv().unwrap();
+        assert_eq!(f, b"x");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(28),
+            "{:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn loss_drops_frames() {
+        let mut config = LinkConfig::with_latency(Duration::from_micros(10));
+        config.loss = 1.0;
+        let net = SimNet::with_seed(config, 7);
+        let (c, s) = pair(&net, "a");
+        c.send(b"x".to_vec()).unwrap();
+        assert_eq!(
+            s.recv_timeout(Duration::from_millis(80)).unwrap_err(),
+            TransportError::Timeout
+        );
+        assert_eq!(net.stats().dropped_loss, 1);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut config = LinkConfig::with_latency(Duration::from_micros(10));
+        config.duplicate = 1.0;
+        let net = SimNet::with_seed(config, 7);
+        let (c, s) = pair(&net, "a");
+        c.send(b"x".to_vec()).unwrap();
+        assert_eq!(s.recv_timeout(Duration::from_secs(1)).unwrap(), b"x");
+        assert_eq!(s.recv_timeout(Duration::from_secs(1)).unwrap(), b"x");
+        assert_eq!(net.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn reordering_occurs_under_jitter() {
+        let mut config = LinkConfig::with_latency(Duration::from_micros(100));
+        config.reorder = 0.5;
+        config.reorder_extra = Duration::from_millis(5);
+        let net = SimNet::with_seed(config, 42);
+        let (c, s) = pair(&net, "a");
+        let n = 64u32;
+        for i in 0..n {
+            c.send(i.to_le_bytes().to_vec()).unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..n {
+            let f = s.recv_timeout(Duration::from_secs(2)).unwrap();
+            got.push(u32::from_le_bytes([f[0], f[1], f[2], f[3]]));
+        }
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "no frame lost");
+        assert_ne!(got, sorted, "expected at least one reordering");
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let net = SimNet::instant();
+        let (c, s) = pair(&net, "srv");
+        net.set_down("srv", true);
+        c.send(b"lost".to_vec()).unwrap();
+        assert_eq!(
+            s.recv_timeout(Duration::from_millis(80)).unwrap_err(),
+            TransportError::Timeout
+        );
+        assert!(matches!(
+            net.connect(&Endpoint::sim("srv")),
+            Err(TransportError::Partitioned)
+        ));
+        net.set_down("srv", false);
+        c.send(b"ok".to_vec()).unwrap();
+        assert_eq!(s.recv_timeout(Duration::from_secs(1)).unwrap(), b"ok");
+        assert_eq!(net.stats().dropped_partition, 1);
+    }
+
+    #[test]
+    fn partition_blocks_replies_too() {
+        let net = SimNet::instant();
+        let (c, s) = pair(&net, "srv");
+        net.set_down("srv", true);
+        s.send(b"reply".to_vec()).unwrap();
+        assert_eq!(
+            c.recv_timeout(Duration::from_millis(80)).unwrap_err(),
+            TransportError::Timeout
+        );
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let observed: Vec<u64> = (0..2)
+            .map(|_| {
+                let mut config = LinkConfig::with_latency(Duration::from_micros(10));
+                config.loss = 0.5;
+                let net = SimNet::with_seed(config, 1234);
+                let (c, _s) = pair(&net, "a");
+                for _ in 0..100 {
+                    c.send(vec![0]).unwrap();
+                }
+                // Wait for routing to settle.
+                std::thread::sleep(Duration::from_millis(50));
+                net.stats().dropped_loss
+            })
+            .collect();
+        assert_eq!(observed[0], observed[1]);
+        assert!(observed[0] > 20 && observed[0] < 80);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::{Endpoint, Transport};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Under jitter (but no loss), every frame is delivered exactly
+        /// once, in some order.
+        #[test]
+        fn jitter_preserves_exactly_once(seed in any::<u64>(), n in 1usize..40) {
+            let mut config = LinkConfig::with_latency(Duration::from_micros(50));
+            config.jitter = Duration::from_micros(300);
+            config.reorder = 0.3;
+            config.reorder_extra = Duration::from_micros(500);
+            let net = SimNet::with_seed(config, seed);
+            let l = net.listen(&Endpoint::sim("p")).unwrap();
+            let c = net.connect(&Endpoint::sim("p")).unwrap();
+            let s = l.accept().unwrap();
+            for i in 0..n {
+                c.send(vec![i as u8]).unwrap();
+            }
+            let mut got = Vec::new();
+            for _ in 0..n {
+                got.push(s.recv_timeout(Duration::from_secs(2)).unwrap()[0]);
+            }
+            got.sort_unstable();
+            prop_assert_eq!(got, (0..n as u8).collect::<Vec<_>>());
+            prop_assert_eq!(
+                s.recv_timeout(Duration::from_millis(30)).unwrap_err(),
+                crate::TransportError::Timeout
+            );
+        }
+    }
+}

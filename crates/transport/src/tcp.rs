@@ -1,0 +1,239 @@
+//! The TCP transport: length-prefixed frames over `std::net` streams.
+//!
+//! Used by the cross-process examples and the loopback-TCP rows of the
+//! latency experiments. `TCP_NODELAY` is set, as the original runtime did,
+//! because RPC traffic is latency-bound, not throughput-bound.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use bytes::BytesMut;
+use netobj_wire::frame::{encode_frame, FrameDecoder};
+use parking_lot::Mutex;
+
+use crate::endpoint::Endpoint;
+use crate::error::TransportError;
+use crate::{Conn, Listener, Result, Transport};
+
+/// The TCP transport (stateless; connections carry all state).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Tcp;
+
+struct TcpConn {
+    writer: Mutex<TcpStream>,
+    reader: Mutex<(TcpStream, FrameDecoder)>,
+    closed: AtomicBool,
+    peer: Option<Endpoint>,
+}
+
+impl TcpConn {
+    fn new(stream: TcpStream, peer: Option<Endpoint>) -> Result<TcpConn> {
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(TcpConn {
+            writer: Mutex::new(stream),
+            reader: Mutex::new((reader, FrameDecoder::default())),
+            closed: AtomicBool::new(false),
+            peer,
+        })
+    }
+
+    fn recv_inner(&self, timeout: Option<Duration>) -> Result<Vec<u8>> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let mut guard = self.reader.lock();
+        let (stream, decoder) = &mut *guard;
+        stream.set_read_timeout(timeout)?;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(frame) = decoder.next_frame()? {
+                return Ok(frame);
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(n) => decoder.extend(&chunk[..n]),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+impl Conn for TcpConn {
+    fn send(&self, frame: Vec<u8>) -> Result<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let mut buf = BytesMut::with_capacity(frame.len() + 4);
+        encode_frame(&mut buf, &frame);
+        let mut w = self.writer.lock();
+        w.write_all(&buf)?;
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Vec<u8>> {
+        self.recv_inner(None)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>> {
+        self.recv_inner(Some(timeout))
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let w = self.writer.lock();
+        let _ = w.shutdown(Shutdown::Both);
+    }
+
+    fn peer(&self) -> Option<Endpoint> {
+        self.peer.clone()
+    }
+}
+
+struct TcpAcceptor {
+    listener: TcpListener,
+    local: Endpoint,
+    closed: AtomicBool,
+}
+
+impl Listener for TcpAcceptor {
+    fn accept(&self) -> Result<Box<dyn Conn>> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let (stream, _addr) = self.listener.accept().map_err(|e| {
+            if self.closed.load(Ordering::Acquire) {
+                TransportError::Closed
+            } else {
+                TransportError::from(e)
+            }
+        })?;
+        // close() unblocks a pending accept by self-connecting; discard that
+        // wake-up connection and report closure.
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        Ok(Box::new(TcpConn::new(stream, None)?))
+    }
+
+    fn local_endpoint(&self) -> Endpoint {
+        self.local.clone()
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        // Unblock a pending accept by connecting to ourselves.
+        if let Ok(addr) = self.listener.local_addr() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+impl Transport for Tcp {
+    fn scheme(&self) -> &str {
+        "tcp"
+    }
+
+    fn connect(&self, ep: &Endpoint) -> Result<Box<dyn Conn>> {
+        let stream = TcpStream::connect(ep.addr())?;
+        Ok(Box::new(TcpConn::new(stream, Some(ep.clone()))?))
+    }
+
+    fn listen(&self, ep: &Endpoint) -> Result<Box<dyn Listener>> {
+        let listener = TcpListener::bind(ep.addr())?;
+        let local = Endpoint::tcp(listener.local_addr()?.to_string());
+        Ok(Box::new(TcpAcceptor {
+            listener,
+            local,
+            closed: AtomicBool::new(false),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp_pair() -> (Box<dyn Conn>, Box<dyn Conn>) {
+        let t = Tcp;
+        let l = t.listen(&Endpoint::tcp("127.0.0.1:0")).unwrap();
+        let ep = l.local_endpoint();
+        let c = t.connect(&ep).unwrap();
+        let s = l.accept().unwrap();
+        (c, s)
+    }
+
+    #[test]
+    fn exchange_over_real_sockets() {
+        let (c, s) = tcp_pair();
+        c.send(b"hello tcp".to_vec()).unwrap();
+        assert_eq!(s.recv().unwrap(), b"hello tcp");
+        s.send(b"back".to_vec()).unwrap();
+        assert_eq!(c.recv().unwrap(), b"back");
+    }
+
+    #[test]
+    fn large_frame_roundtrip() {
+        let (c, s) = tcp_pair();
+        let payload: Vec<u8> = (0..1_000_000u32).map(|i| i as u8).collect();
+        let expect = payload.clone();
+        let h = std::thread::spawn(move || c.send(payload));
+        assert_eq!(s.recv().unwrap(), expect);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn many_small_frames_keep_boundaries() {
+        let (c, s) = tcp_pair();
+        for i in 0..200u32 {
+            c.send(i.to_le_bytes().to_vec()).unwrap();
+        }
+        for i in 0..200u32 {
+            assert_eq!(s.recv().unwrap(), i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let (_c, s) = tcp_pair();
+        assert_eq!(
+            s.recv_timeout(Duration::from_millis(50)).unwrap_err(),
+            TransportError::Timeout
+        );
+    }
+
+    #[test]
+    fn peer_close_surfaces() {
+        let (c, s) = tcp_pair();
+        c.close();
+        assert_eq!(
+            s.recv_timeout(Duration::from_secs(1)).unwrap_err(),
+            TransportError::Closed
+        );
+    }
+
+    #[test]
+    fn connect_refused() {
+        // Bind-then-drop to find a port that is very likely unused.
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        drop(l);
+        let got = Tcp.connect(&Endpoint::tcp(addr.to_string()));
+        assert!(got.is_err());
+    }
+
+    #[test]
+    fn listener_close_unblocks_accept() {
+        let t = Tcp;
+        let l = t.listen(&Endpoint::tcp("127.0.0.1:0")).unwrap();
+        let l = std::sync::Arc::new(l);
+        // Safe: Listener is Send; accept on another thread.
+        let l2 = std::sync::Arc::clone(&l);
+        let h = std::thread::spawn(move || l2.accept().is_err());
+        std::thread::sleep(Duration::from_millis(50));
+        l.close();
+        assert!(h.join().unwrap());
+    }
+}

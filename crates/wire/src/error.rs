@@ -1,0 +1,115 @@
+//! Error type for wire-level encoding and decoding.
+
+use std::fmt;
+
+/// An error raised while encoding or decoding wire data.
+///
+/// Decoding is fully defensive: malformed input from the network must never
+/// panic, so every decoder returns `Result<_, WireError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a complete value was read.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// A tag byte did not denote the expected kind of value.
+    BadTag {
+        /// The tag found in the input.
+        found: u8,
+        /// A human-readable description of what was expected.
+        expected: &'static str,
+    },
+    /// A varint ran over its maximum permitted width.
+    VarintOverflow,
+    /// A text value was not valid UTF-8.
+    InvalidUtf8,
+    /// A declared length exceeded the decoder's sanity limit.
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+        /// The maximum the decoder accepts.
+        limit: u64,
+    },
+    /// Bytes remained after a top-level decode that should consume all input.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+    /// A frame was larger than the configured maximum.
+    FrameTooLarge {
+        /// Size declared by the frame header.
+        declared: usize,
+        /// Configured maximum.
+        limit: usize,
+    },
+    /// A value was structurally valid but semantically out of range.
+    OutOfRange(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} more byte(s), {remaining} remaining"
+            ),
+            WireError::BadTag { found, expected } => {
+                write!(f, "bad tag {found:#04x}: expected {expected}")
+            }
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::InvalidUtf8 => write!(f, "text value is not valid UTF-8"),
+            WireError::LengthOverflow { declared, limit } => {
+                write!(f, "declared length {declared} exceeds limit {limit}")
+            }
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing byte(s) after complete value")
+            }
+            WireError::FrameTooLarge { declared, limit } => {
+                write!(f, "frame of {declared} bytes exceeds limit of {limit}")
+            }
+            WireError::OutOfRange(what) => write!(f, "value out of range: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::UnexpectedEof {
+            needed: 4,
+            remaining: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("needed 4"));
+        assert!(s.contains("1 remaining"));
+
+        let e = WireError::BadTag {
+            found: 0x2a,
+            expected: "text",
+        };
+        assert!(e.to_string().contains("0x2a"));
+
+        let e = WireError::LengthOverflow {
+            declared: 100,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(WireError::VarintOverflow, WireError::VarintOverflow);
+        assert_ne!(
+            WireError::VarintOverflow,
+            WireError::TrailingBytes { count: 1 }
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Length-prefixed message framing.
+//!
+//! Every transport in this system carries discrete messages ("frames"), not
+//! byte streams. Stream transports such as TCP use the helpers here to
+//! delimit frames with a 4-byte little-endian length prefix. Datagram-like
+//! transports (the in-process simulator) carry frames natively and only use
+//! the size limit check.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::error::WireError;
+use crate::Result;
+
+/// Default maximum frame size accepted by a decoder (16 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Encodes one frame (length prefix + payload) onto `out`.
+pub fn encode_frame(out: &mut BytesMut, payload: &[u8]) {
+    out.reserve(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(payload);
+}
+
+/// Returns the encoded size of a frame carrying `payload_len` bytes.
+pub const fn frame_overhead() -> usize {
+    4
+}
+
+/// Incremental frame decoder for stream transports.
+///
+/// Feed bytes in with [`FrameDecoder::extend`]; pull complete frames out
+/// with [`FrameDecoder::next_frame`]. Partial frames are buffered until the
+/// rest arrives.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+    max_frame: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new(DEFAULT_MAX_FRAME)
+    }
+}
+
+impl FrameDecoder {
+    /// Creates a decoder that rejects frames larger than `max_frame`.
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: BytesMut::new(),
+            max_frame,
+        }
+    }
+
+    /// Appends newly received bytes to the internal buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet yielded as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to extract the next complete frame.
+    ///
+    /// Returns `Ok(None)` if more bytes are needed, `Ok(Some(payload))` for
+    /// a complete frame, or an error if the declared length exceeds the
+    /// maximum (the connection should then be dropped).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&self.buf[..4]);
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > self.max_frame {
+            return Err(WireError::FrameTooLarge {
+                declared: len,
+                limit: self.max_frame,
+            });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let payload = self.buf.split_to(len).to_vec();
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_then_decode_one_frame() {
+        let mut out = BytesMut::new();
+        encode_frame(&mut out, b"hello");
+        let mut d = FrameDecoder::default();
+        d.extend(&out);
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"hello");
+        assert_eq!(d.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn decode_across_partial_feeds() {
+        let mut out = BytesMut::new();
+        encode_frame(&mut out, b"abcdef");
+        let bytes = out.to_vec();
+        let mut d = FrameDecoder::default();
+        for b in &bytes {
+            assert!(matches!(d.next_frame(), Ok(None) | Ok(Some(_))));
+            d.extend(std::slice::from_ref(b));
+        }
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn multiple_frames_in_one_feed() {
+        let mut out = BytesMut::new();
+        encode_frame(&mut out, b"one");
+        encode_frame(&mut out, b"");
+        encode_frame(&mut out, b"three");
+        let mut d = FrameDecoder::default();
+        d.extend(&out);
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"one");
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"");
+        assert_eq!(d.next_frame().unwrap().unwrap(), b"three");
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut d = FrameDecoder::new(8);
+        let mut out = BytesMut::new();
+        encode_frame(&mut out, &[0u8; 64]);
+        d.extend(&out);
+        assert!(matches!(
+            d.next_frame(),
+            Err(WireError::FrameTooLarge {
+                declared: 64,
+                limit: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_frame_roundtrip() {
+        let mut out = BytesMut::new();
+        encode_frame(&mut out, b"");
+        assert_eq!(out.len(), frame_overhead());
+        let mut d = FrameDecoder::default();
+        d.extend(&out);
+        assert_eq!(d.next_frame().unwrap().unwrap(), Vec::<u8>::new());
+    }
+}

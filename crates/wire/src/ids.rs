@@ -1,0 +1,197 @@
+//! Identifiers for spaces and network objects.
+//!
+//! A *space* is the Network Objects term for a participating process (an
+//! address space). Every space draws a [`SpaceId`] that is unique across the
+//! distributed computation. An exported object is named by its [`WireRep`]:
+//! the pair of its owner's `SpaceId` and the object's index ([`ObjIx`]) in
+//! the owner's object table. A wireRep is what actually travels in messages
+//! when a network object reference is marshaled.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::WireError;
+
+/// Globally unique identifier of a space (a participating process).
+///
+/// The paper requires "a unique identifier for the owner process". We use a
+/// 128-bit random value: collisions are negligible, and no coordination is
+/// needed to allocate one. A small monotonic counter is mixed in so that two
+/// spaces created in the same process during tests are distinguishable even
+/// under a deterministic RNG seed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpaceId(u128);
+
+static LOCAL_SEQ: AtomicU64 = AtomicU64::new(1);
+
+impl SpaceId {
+    /// Creates a fresh, globally unique space identifier.
+    pub fn fresh() -> SpaceId {
+        let hi: u64 = rand::random();
+        let lo: u64 = rand::random::<u64>() ^ LOCAL_SEQ.fetch_add(1, Ordering::Relaxed);
+        SpaceId(((hi as u128) << 64) | lo as u128)
+    }
+
+    /// Creates a space identifier from a raw value.
+    ///
+    /// Intended for tests and for deterministic simulations; production code
+    /// should use [`SpaceId::fresh`].
+    pub const fn from_raw(raw: u128) -> SpaceId {
+        SpaceId(raw)
+    }
+
+    /// Returns the raw 128-bit value.
+    pub const fn as_raw(self) -> u128 {
+        self.0
+    }
+
+    /// Returns a short human-readable form used in logs (last 4 hex digits).
+    pub fn short(self) -> String {
+        format!("{:04x}", self.0 & 0xffff)
+    }
+}
+
+impl fmt::Debug for SpaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpaceId({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for SpaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl FromStr for SpaceId {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        u128::from_str_radix(s, 16)
+            .map(SpaceId)
+            .map_err(|_| WireError::OutOfRange("space id must be 1..=32 hex digits"))
+    }
+}
+
+/// Index of an object within its owner's object table.
+///
+/// Indices `0` and `1` are reserved in every space: `0` is the collector
+/// service object (the target of dirty, clean and ping calls) and `1` is the
+/// agent (name service) if the space runs one. User exports start at
+/// [`ObjIx::FIRST_USER`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ObjIx(pub u64);
+
+impl ObjIx {
+    /// The reserved index of the collector service object in every space.
+    pub const GC_SERVICE: ObjIx = ObjIx(0);
+    /// The reserved index of the agent (name service) object.
+    pub const AGENT: ObjIx = ObjIx(1);
+    /// The first index handed out to user exports.
+    pub const FIRST_USER: ObjIx = ObjIx(2);
+
+    /// Returns true if this index names one of the per-space builtin objects.
+    pub const fn is_reserved(self) -> bool {
+        self.0 < Self::FIRST_USER.0
+    }
+}
+
+impl fmt::Display for ObjIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The wire representation of a network object: owner space + object index.
+///
+/// "A network object is marshaled by transmitting its wireRep, which
+/// consists of a unique identifier for the owner process, plus the index of
+/// the object at the owner."
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct WireRep {
+    /// The owner's space identifier.
+    pub space: SpaceId,
+    /// The object's index in the owner's object table.
+    pub ix: ObjIx,
+}
+
+impl WireRep {
+    /// Builds a wireRep from its parts.
+    pub const fn new(space: SpaceId, ix: ObjIx) -> WireRep {
+        WireRep { space, ix }
+    }
+
+    /// The wireRep of a space's collector service object.
+    pub const fn gc_service(space: SpaceId) -> WireRep {
+        WireRep::new(space, ObjIx::GC_SERVICE)
+    }
+
+    /// The wireRep of a space's agent object.
+    pub const fn agent(space: SpaceId) -> WireRep {
+        WireRep::new(space, ObjIx::AGENT)
+    }
+}
+
+impl fmt::Display for WireRep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.space.short(), self.ix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fresh_space_ids_are_distinct() {
+        let ids: HashSet<SpaceId> = (0..1000).map(|_| SpaceId::fresh()).collect();
+        assert_eq!(ids.len(), 1000);
+    }
+
+    #[test]
+    fn space_id_roundtrips_through_display() {
+        let id = SpaceId::fresh();
+        let parsed: SpaceId = id.to_string().parse().expect("parse");
+        assert_eq!(id, parsed);
+    }
+
+    #[test]
+    fn space_id_parse_rejects_garbage() {
+        assert!("not-hex".parse::<SpaceId>().is_err());
+        assert!("".parse::<SpaceId>().is_err());
+    }
+
+    #[test]
+    fn reserved_indices() {
+        assert!(ObjIx::GC_SERVICE.is_reserved());
+        assert!(ObjIx::AGENT.is_reserved());
+        assert!(!ObjIx::FIRST_USER.is_reserved());
+        assert!(!ObjIx(100).is_reserved());
+    }
+
+    #[test]
+    fn wirerep_equality_and_display() {
+        let s = SpaceId::from_raw(0xabcd);
+        let a = WireRep::new(s, ObjIx(7));
+        let b = WireRep::new(s, ObjIx(7));
+        let c = WireRep::new(s, ObjIx(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "abcd.7");
+    }
+
+    #[test]
+    fn builtin_wirereps() {
+        let s = SpaceId::from_raw(1);
+        assert_eq!(WireRep::gc_service(s).ix, ObjIx::GC_SERVICE);
+        assert_eq!(WireRep::agent(s).ix, ObjIx::AGENT);
+    }
+
+    #[test]
+    fn short_form_is_stable() {
+        let s = SpaceId::from_raw(0x1234_5678);
+        assert_eq!(s.short(), "5678");
+    }
+}

@@ -1,0 +1,33 @@
+//! Wire-level building blocks for the network objects runtime.
+//!
+//! This crate contains everything both ends of a connection must agree on:
+//!
+//! - [`SpaceId`], [`ObjIx`] and [`WireRep`]: the globally unique name of a
+//!   network object (the pair of its owner's space identifier and its index
+//!   in the owner's object table), exactly as in the Network Objects paper.
+//! - [`TypeCode`] and [`TypeList`]: type fingerprints used to pick the
+//!   *narrowest* surrogate type known to an importing space.
+//! - The *pickle* format ([`pickle`]): a compact, self-describing binary
+//!   encoding for method arguments and results, including embedded network
+//!   object references.
+//! - [`frame`]: length-prefixed message framing used by every transport.
+//!
+//! Nothing in this crate performs I/O or knows about processes; it is pure
+//! data representation, shared by the transport, RPC and runtime layers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod frame;
+pub mod ids;
+pub mod pickle;
+pub mod typecode;
+
+pub use error::WireError;
+pub use ids::{ObjIx, SpaceId, WireRep};
+pub use pickle::{Pickle, PickleReader, PickleWriter, Value};
+pub use typecode::{TypeCode, TypeList};
+
+/// Result alias used throughout the wire layer.
+pub type Result<T> = std::result::Result<T, WireError>;

@@ -1,0 +1,192 @@
+//! Type fingerprints and the narrowest-surrogate computation.
+//!
+//! Network Objects sends, along with a marshaled object reference, the list
+//! of fingerprints of the object's type and all its supertypes, ordered from
+//! most to least derived. The importing space creates a surrogate of the
+//! *narrowest* (most derived) type it knows about; at worst it falls back to
+//! the root network object type, for which every space has a stub.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// A 64-bit fingerprint identifying a network object interface type.
+///
+/// Fingerprints are derived from the fully qualified interface name (and, by
+/// convention, a version suffix) via FNV-1a. Both sides of a connection must
+/// derive fingerprints the same way — which they do, because the computation
+/// lives here, in the shared wire crate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeCode(u64);
+
+impl TypeCode {
+    /// The fingerprint of the root network object type.
+    ///
+    /// Every space knows this type; it is the fallback surrogate type when
+    /// no narrower match exists.
+    pub const ROOT: TypeCode = TypeCode::of_name("netobj.Root");
+
+    /// Computes the fingerprint of an interface name (FNV-1a, 64-bit).
+    pub const fn of_name(name: &str) -> TypeCode {
+        let bytes = name.as_bytes();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut i = 0;
+        while i < bytes.len() {
+            hash ^= bytes[i] as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            i += 1;
+        }
+        TypeCode(hash)
+    }
+
+    /// Builds a fingerprint from its raw value (wire decoding).
+    pub const fn from_raw(raw: u64) -> TypeCode {
+        TypeCode(raw)
+    }
+
+    /// Returns the raw 64-bit fingerprint.
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TypeCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TypeCode({:016x})", self.0)
+    }
+}
+
+impl fmt::Display for TypeCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The ordered type ancestry of an exported object.
+///
+/// Index 0 is the object's concrete interface type; subsequent entries are
+/// progressively wider supertypes; the final entry is always
+/// [`TypeCode::ROOT`]. The exporter transmits this list with the wireRep so
+/// that the importer can pick the narrowest type it has a stub for.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TypeList {
+    codes: Vec<TypeCode>,
+}
+
+impl TypeList {
+    /// Builds a type list from interface names, most-derived first.
+    ///
+    /// [`TypeCode::ROOT`] is appended automatically if absent.
+    pub fn from_names(names: &[&str]) -> TypeList {
+        let mut codes: Vec<TypeCode> = names.iter().map(|n| TypeCode::of_name(n)).collect();
+        if codes.last() != Some(&TypeCode::ROOT) {
+            codes.push(TypeCode::ROOT);
+        }
+        TypeList { codes }
+    }
+
+    /// Builds a type list from raw codes (wire decoding).
+    ///
+    /// The root code is appended if absent, so that a surrogate can always
+    /// be constructed.
+    pub fn from_codes(mut codes: Vec<TypeCode>) -> TypeList {
+        if codes.last() != Some(&TypeCode::ROOT) {
+            codes.push(TypeCode::ROOT);
+        }
+        TypeList { codes }
+    }
+
+    /// A list containing only the root type.
+    pub fn root_only() -> TypeList {
+        TypeList {
+            codes: vec![TypeCode::ROOT],
+        }
+    }
+
+    /// The ordered fingerprints, most-derived first.
+    pub fn codes(&self) -> &[TypeCode] {
+        &self.codes
+    }
+
+    /// The most-derived type in the list.
+    pub fn narrowest(&self) -> TypeCode {
+        self.codes[0]
+    }
+
+    /// Picks the narrowest type in this list that the importer knows.
+    ///
+    /// `known` is the set of fingerprints the importing space has stubs for.
+    /// Returns the first (most-derived) known code; since the root type is
+    /// always present and always known by a conforming space, this returns
+    /// `None` only if `known` omits the root type, which indicates a
+    /// misconfigured space.
+    pub fn narrowest_known(&self, known: &HashSet<TypeCode>) -> Option<TypeCode> {
+        self.codes.iter().find(|c| known.contains(c)).copied()
+    }
+
+    /// True if `code` appears anywhere in the ancestry.
+    pub fn includes(&self, code: TypeCode) -> bool {
+        self.codes.contains(&code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_deterministic_and_distinct() {
+        let a = TypeCode::of_name("bank.Account.v1");
+        let b = TypeCode::of_name("bank.Account.v1");
+        let c = TypeCode::of_name("bank.Account.v2");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, TypeCode::ROOT);
+    }
+
+    #[test]
+    fn root_is_always_appended() {
+        let l = TypeList::from_names(&["x.Derived", "x.Base"]);
+        assert_eq!(l.codes().len(), 3);
+        assert_eq!(*l.codes().last().unwrap(), TypeCode::ROOT);
+        // Already ends in root: not duplicated.
+        let l2 = TypeList::from_codes(l.codes().to_vec());
+        assert_eq!(l2.codes().len(), 3);
+    }
+
+    #[test]
+    fn narrowest_known_picks_most_derived() {
+        let l = TypeList::from_names(&["x.Derived", "x.Base"]);
+        let derived = TypeCode::of_name("x.Derived");
+        let base = TypeCode::of_name("x.Base");
+
+        let mut known = HashSet::new();
+        known.insert(TypeCode::ROOT);
+        assert_eq!(l.narrowest_known(&known), Some(TypeCode::ROOT));
+
+        known.insert(base);
+        assert_eq!(l.narrowest_known(&known), Some(base));
+
+        known.insert(derived);
+        assert_eq!(l.narrowest_known(&known), Some(derived));
+    }
+
+    #[test]
+    fn narrowest_known_empty_set() {
+        let l = TypeList::root_only();
+        assert_eq!(l.narrowest_known(&HashSet::new()), None);
+    }
+
+    #[test]
+    fn includes_checks_ancestry() {
+        let l = TypeList::from_names(&["a.A"]);
+        assert!(l.includes(TypeCode::of_name("a.A")));
+        assert!(l.includes(TypeCode::ROOT));
+        assert!(!l.includes(TypeCode::of_name("b.B")));
+    }
+
+    #[test]
+    fn narrowest_is_first() {
+        let l = TypeList::from_names(&["m.Narrow", "m.Wide"]);
+        assert_eq!(l.narrowest(), TypeCode::of_name("m.Narrow"));
+    }
+}

@@ -1,0 +1,194 @@
+//! The bank: the canonical Network Objects demonstration, over real TCP.
+//!
+//! ```sh
+//! cargo run --example bank
+//! ```
+//!
+//! A bank space exports a `Bank` object and registers it with an agent
+//! (the `netobjd` name service). `Account` objects are *also* network
+//! objects: `open_account` returns references to them, so tellers invoke
+//! accounts directly — object references as results, the pattern that
+//! forces the collector's transient-pin machinery. Three teller spaces
+//! hammer the same accounts concurrently over TCP sockets on localhost.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use netobj::transport::tcp::Tcp;
+use netobj::transport::Endpoint;
+use netobj::{network_object, Error, NetResult, Space};
+use netobj_agent::Agent;
+use parking_lot::Mutex;
+
+network_object! {
+    /// A bank account.
+    pub interface Account ("bank.Account"):
+        client AccountClient, export AccountExport
+    {
+        0 => fn deposit(&self, amount: i64) -> i64;
+        1 => fn withdraw(&self, amount: i64) -> i64;
+        2 => fn balance(&self) -> i64;
+    }
+}
+
+network_object! {
+    /// The bank: opens and looks up accounts.
+    pub interface Bank ("bank.Bank"): client BankClient, export BankExport {
+        0 => fn open_account(&self, owner: String) -> AccountClient;
+        1 => fn lookup(&self, owner: String) -> Option<AccountClient>;
+        2 => fn total_assets(&self) -> i64;
+    }
+}
+
+struct AccountImpl {
+    balance: Mutex<i64>,
+}
+
+impl Account for AccountImpl {
+    fn deposit(&self, amount: i64) -> NetResult<i64> {
+        if amount < 0 {
+            return Err(Error::app("deposits must be non-negative"));
+        }
+        let mut b = self.balance.lock();
+        *b += amount;
+        Ok(*b)
+    }
+    fn withdraw(&self, amount: i64) -> NetResult<i64> {
+        let mut b = self.balance.lock();
+        if amount > *b {
+            return Err(Error::app(format!(
+                "insufficient funds: balance {b}, requested {amount}"
+            )));
+        }
+        *b -= amount;
+        Ok(*b)
+    }
+    fn balance(&self) -> NetResult<i64> {
+        Ok(*self.balance.lock())
+    }
+}
+
+struct BankImpl {
+    space: Space,
+    accounts: Mutex<HashMap<String, (Arc<AccountImpl>, AccountClient)>>,
+}
+
+impl Bank for BankImpl {
+    fn open_account(&self, owner: String) -> NetResult<AccountClient> {
+        let mut accounts = self.accounts.lock();
+        if let Some((_, client)) = accounts.get(&owner) {
+            return Ok(client.clone());
+        }
+        let account = Arc::new(AccountImpl {
+            balance: Mutex::new(0),
+        });
+        let handle = self
+            .space
+            .local(Arc::new(AccountExport(Arc::clone(&account))));
+        let client = AccountClient::narrow(handle)?;
+        accounts.insert(owner, (account, client.clone()));
+        Ok(client)
+    }
+    fn lookup(&self, owner: String) -> NetResult<Option<AccountClient>> {
+        Ok(self.accounts.lock().get(&owner).map(|(_, c)| c.clone()))
+    }
+    fn total_assets(&self) -> NetResult<i64> {
+        Ok(self
+            .accounts
+            .lock()
+            .values()
+            .map(|(a, _)| *a.balance.lock())
+            .sum())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Agent host (netobjd). ---
+    let agent_space = Space::builder()
+        .transport(Arc::new(Tcp))
+        .listen(Endpoint::tcp("127.0.0.1:0"))
+        .build()?;
+    netobj_agent::serve(&agent_space)?;
+    let agent_ep = agent_space.endpoint().unwrap();
+    println!("agent (netobjd) at {agent_ep}");
+
+    // --- The bank. ---
+    let bank_space = Space::builder()
+        .transport(Arc::new(Tcp))
+        .listen(Endpoint::tcp("127.0.0.1:0"))
+        .build()?;
+    let bank_impl = Arc::new(BankImpl {
+        space: bank_space.clone(),
+        accounts: Mutex::new(HashMap::new()),
+    });
+    let bank_handle = bank_space.export(Arc::new(BankExport(bank_impl)))?;
+    let agent = netobj_agent::connect(&bank_space, &agent_ep)?;
+    agent.put("bank".into(), bank_handle)?;
+    println!(
+        "bank at {} registered with the agent",
+        bank_space.endpoint().unwrap()
+    );
+
+    // --- Tellers: separate spaces, concurrent TCP clients. ---
+    let mut tellers = Vec::new();
+    for t in 0..3 {
+        let agent_ep = agent_ep.clone();
+        tellers.push(std::thread::spawn(move || -> NetResult<i64> {
+            let space = Space::builder()
+                .transport(Arc::new(Tcp))
+                .listen(Endpoint::tcp("127.0.0.1:0"))
+                .build()?;
+            let agent = netobj_agent::connect(&space, &agent_ep)?;
+            let bank = BankClient::narrow(
+                agent
+                    .get("bank".into())?
+                    .ok_or_else(|| Error::app("bank not registered"))?,
+            )?;
+            // Every teller works on the same two accounts.
+            let alice = bank.open_account("alice".into())?;
+            let bob = bank.open_account("bob".into())?;
+            for i in 0..50 {
+                alice.deposit(10)?;
+                if i % 5 == 4 {
+                    // Move money: withdraw from alice, deposit to bob.
+                    alice.withdraw(30)?;
+                    bob.deposit(30)?;
+                }
+            }
+            println!(
+                "teller {t}: alice={}, bob={} (interim)",
+                alice.balance()?,
+                bob.balance()?
+            );
+            Ok(bank.total_assets()?)
+        }));
+    }
+    for t in tellers {
+        t.join().expect("teller thread")?;
+    }
+
+    // --- Settlement. ---
+    let verifier = Space::builder()
+        .transport(Arc::new(Tcp))
+        .listen(Endpoint::tcp("127.0.0.1:0"))
+        .build()?;
+    let agent = netobj_agent::connect(&verifier, &agent_ep)?;
+    let bank = BankClient::narrow(agent.get("bank".into())?.expect("bank bound"))?;
+    let alice = bank.lookup("alice".into())?.expect("alice exists");
+    let bob = bank.lookup("bob".into())?.expect("bob exists");
+    println!("final: alice={}, bob={}", alice.balance()?, bob.balance()?);
+    println!("total assets: {}", bank.total_assets()?);
+    assert_eq!(
+        bank.total_assets()?,
+        3 * 50 * 10,
+        "money is conserved across concurrent tellers"
+    );
+
+    // An application error crosses the wire as a typed error.
+    match alice.withdraw(1_000_000) {
+        Err(Error::App(msg)) => println!("expected failure: {msg}"),
+        other => panic!("unexpected: {other:?}"),
+    }
+    println!("ok");
+    Ok(())
+}

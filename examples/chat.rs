@@ -1,0 +1,172 @@
+//! A chat room: callbacks via client-owned network objects.
+//!
+//! ```sh
+//! cargo run --example chat
+//! ```
+//!
+//! The room (server) owns a `Room` object; each member space exports its
+//! own `Listener` object and passes it to the room when joining —
+//! references as arguments, flowing *toward* the server, so the server
+//! calls *back* into the clients on every message. Leaving drops the
+//! listener registration, and the collector's reference listing is what
+//! lets the room's space reclaim the member's listener surrogate
+//! bookkeeping.
+
+use std::sync::Arc;
+
+use netobj::transport::sim::SimNet;
+use netobj::transport::Endpoint;
+use netobj::wire::ObjIx;
+use netobj::{network_object, Error, NetResult, Options, Space};
+use parking_lot::Mutex;
+
+network_object! {
+    /// A member's inbox: the room invokes this remotely.
+    pub interface Listener ("chat.Listener"):
+        client ListenerClient, export ListenerExport
+    {
+        0 => fn deliver(&self, from: String, text: String) -> ();
+    }
+}
+
+network_object! {
+    /// The room.
+    pub interface Room ("chat.Room"): client RoomClient, export RoomExport {
+        0 => fn join(&self, name: String, inbox: ListenerClient) -> u64;
+        1 => fn leave(&self, ticket: u64) -> bool;
+        2 => fn say(&self, ticket: u64, text: String) -> u64;
+        3 => fn members(&self) -> Vec<String>;
+    }
+}
+
+struct InboxImpl {
+    name: String,
+    received: Mutex<Vec<(String, String)>>,
+}
+
+impl Listener for InboxImpl {
+    fn deliver(&self, from: String, text: String) -> NetResult<()> {
+        println!("  [{}'s inbox] {} says: {}", self.name, from, text);
+        self.received.lock().push((from, text));
+        Ok(())
+    }
+}
+
+struct RoomImpl {
+    members: Mutex<Vec<(u64, String, ListenerClient)>>,
+    next_ticket: Mutex<u64>,
+}
+
+impl Room for RoomImpl {
+    fn join(&self, name: String, inbox: ListenerClient) -> NetResult<u64> {
+        let mut t = self.next_ticket.lock();
+        *t += 1;
+        let ticket = *t;
+        self.members.lock().push((ticket, name, inbox));
+        Ok(ticket)
+    }
+    fn leave(&self, ticket: u64) -> NetResult<bool> {
+        let mut members = self.members.lock();
+        let before = members.len();
+        members.retain(|(t, _, _)| *t != ticket);
+        Ok(members.len() != before)
+    }
+    fn say(&self, ticket: u64, text: String) -> NetResult<u64> {
+        let members = self.members.lock().clone();
+        let from = members
+            .iter()
+            .find(|(t, _, _)| *t == ticket)
+            .map(|(_, n, _)| n.clone())
+            .ok_or_else(|| Error::app("not a member"))?;
+        let mut delivered = 0;
+        for (t, _, inbox) in &members {
+            if *t != ticket {
+                // Callback into the member's space.
+                if inbox.deliver(from.clone(), text.clone()).is_ok() {
+                    delivered += 1;
+                }
+            }
+        }
+        Ok(delivered)
+    }
+    fn members(&self) -> NetResult<Vec<String>> {
+        Ok(self
+            .members
+            .lock()
+            .iter()
+            .map(|(_, n, _)| n.clone())
+            .collect())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = SimNet::instant();
+    let spawn = |name: &str| {
+        Space::builder()
+            .transport(Arc::new(Arc::clone(&net)))
+            .listen(Endpoint::sim(name.to_owned()))
+            .options(Options::fast())
+            .build()
+    };
+
+    let server = spawn("room")?;
+    server.export(Arc::new(RoomExport(Arc::new(RoomImpl {
+        members: Mutex::new(Vec::new()),
+        next_ticket: Mutex::new(0),
+    }))))?;
+
+    // Three members, each a space of its own with an exported inbox.
+    let mut handles = Vec::new();
+    for name in ["ada", "barbara", "grace"] {
+        let space = spawn(name)?;
+        let inbox_impl = Arc::new(InboxImpl {
+            name: name.to_owned(),
+            received: Mutex::new(Vec::new()),
+        });
+        let inbox =
+            ListenerClient::narrow(space.local(Arc::new(ListenerExport(Arc::clone(&inbox_impl)))))?;
+        let room =
+            RoomClient::narrow(space.import_root(&Endpoint::sim("room"), ObjIx::FIRST_USER)?)?;
+        let ticket = room.join(name.to_owned(), inbox)?;
+        println!("{name} joined with ticket {ticket}");
+        handles.push((name, space, room, ticket, inbox_impl));
+    }
+
+    println!("members: {:?}", handles[0].2.members()?);
+
+    // Conversation.
+    let (_, _, ada_room, ada_ticket, _) = &handles[0];
+    let delivered = ada_room.say(*ada_ticket, "hello, rooms of objects!".into())?;
+    println!("ada's message delivered to {delivered} member(s)");
+    let (_, _, grace_room, grace_ticket, _) = &handles[2];
+    grace_room.say(*grace_ticket, "hi ada".into())?;
+
+    // Everyone but the speaker received each message.
+    assert_eq!(handles[1].4.received.lock().len(), 2, "barbara heard both");
+
+    // Barbara leaves; her inbox handle at the room drops, and the room's
+    // space cleans her listener registration.
+    let (_, barbara_space, barbara_room, ticket, _) = &handles[1];
+    assert!(barbara_room.leave(*ticket)?);
+    ada_room.say(*ada_ticket, "anyone still here?".into())?;
+    assert_eq!(
+        handles[1].4.received.lock().len(),
+        2,
+        "barbara heard nothing new"
+    );
+
+    // The room's clean call reaches barbara's space once the surrogate
+    // drops.
+    for _ in 0..200 {
+        if barbara_space.stats().clean_received >= 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    println!(
+        "room cleaned barbara's listener: clean_received={}",
+        barbara_space.stats().clean_received
+    );
+    println!("ok");
+    Ok(())
+}

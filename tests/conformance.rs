@@ -1,0 +1,221 @@
+//! Model/runtime conformance: the runtime's observable collector traffic
+//! must match what the abstract specification prescribes for the same
+//! scenario, and the model's invariants hold across large random batches.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netobj::transport::sim::SimNet;
+use netobj::transport::Endpoint;
+use netobj::wire::ObjIx;
+use netobj::{network_object, NetResult, Options, Space};
+use netobj_dgc_model::explore::{assert_drained, random_walk, WalkPolicy};
+use netobj_dgc_model::{apply, Config, Msg, Proc, Ref, Transition};
+use parking_lot::Mutex;
+
+network_object! {
+    /// Carrier interface for conformance scenarios.
+    pub interface Box_ ("conf.Box"): client BoxClient, export BoxExport {
+        0 => fn touch(&self) -> ();
+    }
+}
+
+struct BoxImpl;
+impl Box_ for BoxImpl {
+    fn touch(&self) -> NetResult<()> {
+        Ok(())
+    }
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out: {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Runs the canonical one-reference life cycle in the *model*, counting
+/// messages by kind.
+fn model_lifecycle_counts() -> (u64, u64, u64, u64) {
+    let mut c = Config::new(2, &[0]);
+    let (owner, client, r) = (Proc(0), Proc(1), Ref(0));
+    let mut dirty = 0u64;
+    let mut dirty_ack = 0u64;
+    let mut clean = 0u64;
+    let mut clean_ack = 0u64;
+    let steps = [
+        Transition::MakeCopy(owner, client, r),
+        Transition::ReceiveCopy(owner, client, r, 0),
+        Transition::DoDirtyCall(client, r),
+        Transition::ReceiveDirty(client, owner, r),
+        Transition::DoDirtyAck(owner, client, r),
+        Transition::ReceiveDirtyAck(owner, client, r),
+        Transition::DoCopyAck(client, owner, r, 0),
+        Transition::ReceiveCopyAck(client, owner, r, 0),
+    ];
+    for t in steps {
+        apply(&mut c, t);
+        count_new(&c, &mut dirty, &mut dirty_ack, &mut clean, &mut clean_ack);
+    }
+    c.drop_ref(client, r);
+    for t in [
+        Transition::Finalize(client, r),
+        Transition::DoCleanCall(client, r),
+        Transition::ReceiveClean(client, owner, r),
+        Transition::DoCleanAck(owner, client, r),
+        Transition::ReceiveCleanAck(owner, client, r),
+    ] {
+        apply(&mut c, t);
+        count_new(&c, &mut dirty, &mut dirty_ack, &mut clean, &mut clean_ack);
+    }
+    assert!(c.quiescent());
+    (dirty, dirty_ack, clean, clean_ack)
+}
+
+/// Counts in-flight messages once (each message is observed exactly once
+/// in the deterministic schedule above, right after being posted).
+fn count_new(
+    c: &Config,
+    dirty: &mut u64,
+    dirty_ack: &mut u64,
+    clean: &mut u64,
+    clean_ack: &mut u64,
+) {
+    *dirty += c.count_messages(|m| matches!(m, Msg::Dirty(_))) as u64;
+    *dirty_ack += c.count_messages(|m| matches!(m, Msg::DirtyAck(_))) as u64;
+    *clean += c.count_messages(|m| matches!(m, Msg::Clean(_))) as u64;
+    *clean_ack += c.count_messages(|m| matches!(m, Msg::CleanAck(_))) as u64;
+}
+
+#[test]
+fn runtime_traffic_matches_model_for_one_lifecycle() {
+    // Model: exactly one dirty, one clean (each observed once in flight).
+    let (dirty, dirty_ack, clean, clean_ack) = model_lifecycle_counts();
+    assert_eq!((dirty, dirty_ack, clean, clean_ack), (1, 1, 1, 1));
+
+    // Runtime: same scenario — bind, use, drop, collect.
+    let net = SimNet::instant();
+    let owner = Space::builder()
+        .transport(Arc::new(Arc::clone(&net)))
+        .listen(Endpoint::sim("owner"))
+        .options(Options::fast())
+        .build()
+        .unwrap();
+    owner
+        .export(Arc::new(BoxExport(Arc::new(BoxImpl))))
+        .unwrap();
+    let client = Space::builder()
+        .transport(Arc::new(Arc::clone(&net)))
+        .listen(Endpoint::sim("client"))
+        .options(Options::fast())
+        .build()
+        .unwrap();
+    let b = BoxClient::narrow(
+        client
+            .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+            .unwrap(),
+    )
+    .unwrap();
+    b.touch().unwrap();
+    drop(b);
+    wait_until("collected", || client.imported_count() == 0);
+
+    let stats = client.stats();
+    assert_eq!(stats.dirty_sent, u64::from(dirty > 0), "one dirty call");
+    assert_eq!(stats.clean_sent, u64::from(clean > 0), "one clean call");
+    assert_eq!(owner.stats().dirty_received, 1);
+    assert_eq!(owner.stats().clean_received, 1);
+}
+
+#[test]
+fn model_batch_large_scale() {
+    // A heavier batch than the unit tests: thousands of schedules across
+    // varied topologies, all invariants checked at every step.
+    let mut total_steps = 0u64;
+    for nprocs in 2..=5 {
+        for seed in 0..30 {
+            let (c, stats) = random_walk(
+                WalkPolicy {
+                    nprocs,
+                    nrefs: 2,
+                    activity: 100,
+                    ..WalkPolicy::default()
+                },
+                seed,
+            );
+            assert_drained(&c);
+            total_steps += stats.steps;
+        }
+    }
+    assert!(total_steps > 10_000, "batch exercised {total_steps} steps");
+}
+
+#[test]
+fn runtime_mass_churn_reaches_fixpoint() {
+    // Many clients churning handles against one owner: after everything
+    // drops, the owner's table must return to exactly the pinned roots.
+    let net = SimNet::instant();
+    let owner = Space::builder()
+        .transport(Arc::new(Arc::clone(&net)))
+        .listen(Endpoint::sim("owner"))
+        .options(Options::fast())
+        .build()
+        .unwrap();
+    struct Factory {
+        space: Space,
+        made: Mutex<Vec<Arc<BoxExport<BoxImpl>>>>,
+    }
+    network_object! {
+        /// Factory of boxes for the churn test.
+        pub interface Mint ("conf.Mint"): client MintClient, export MintExport {
+            0 => fn make(&self) -> BoxClient;
+        }
+    }
+    impl Mint for Factory {
+        fn make(&self) -> NetResult<BoxClient> {
+            let obj = Arc::new(BoxExport(Arc::new(BoxImpl)));
+            self.made.lock().push(Arc::clone(&obj));
+            BoxClient::narrow(self.space.local(obj))
+        }
+    }
+    owner
+        .export(Arc::new(MintExport(Arc::new(Factory {
+            space: owner.clone(),
+            made: Mutex::new(Vec::new()),
+        }))))
+        .unwrap();
+
+    let mut clients = Vec::new();
+    for i in 0..4 {
+        let net = Arc::clone(&net);
+        clients.push(std::thread::spawn(move || {
+            let space = Space::builder()
+                .transport(Arc::new(net))
+                .listen(Endpoint::sim(format!("client{i}")))
+                .options(Options::fast())
+                .build()
+                .unwrap();
+            let mint = MintClient::narrow(
+                space
+                    .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+                    .unwrap(),
+            )
+            .unwrap();
+            for _ in 0..25 {
+                let b = mint.make().unwrap();
+                b.touch().unwrap();
+                drop(b);
+            }
+            space
+        }));
+    }
+    let spaces: Vec<Space> = clients.into_iter().map(|j| j.join().unwrap()).collect();
+    // 100 boxes were minted and dropped; only the mint may remain.
+    wait_until("owner table back to the pinned mint", || {
+        owner.exported_count() == 1
+    });
+    for s in &spaces {
+        wait_until("client imports drained", || s.imported_count() <= 1);
+    }
+}

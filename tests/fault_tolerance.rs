@@ -1,0 +1,268 @@
+//! Failure-path integration tests: lossy links, partitions, crashed
+//! clients and dead owners — the Section-2.3/2.4 behaviours of the
+//! original system (sequence numbers, strong cleans, clean retry, ping
+//! and lease termination detection).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netobj::transport::sim::{LinkConfig, SimNet};
+use netobj::transport::Endpoint;
+use netobj::wire::ObjIx;
+use netobj::{network_object, Error, NetResult, Options, Space};
+use parking_lot::Mutex;
+
+network_object! {
+    /// Minimal service for fault scenarios.
+    pub interface Cell ("ft.Cell"): client CellClient, export CellExport {
+        0 => fn bump(&self) -> i64;
+    }
+}
+
+struct CellImpl(Mutex<i64>);
+
+impl Cell for CellImpl {
+    fn bump(&self) -> NetResult<i64> {
+        let mut v = self.0.lock();
+        *v += 1;
+        Ok(*v)
+    }
+}
+
+fn cell() -> Arc<CellExport<CellImpl>> {
+    Arc::new(CellExport(Arc::new(CellImpl(Mutex::new(0)))))
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out: {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn space_on(net: &Arc<SimNet>, name: &str, options: Options) -> Space {
+    Space::builder()
+        .transport(Arc::new(Arc::clone(net)))
+        .listen(Endpoint::sim(name))
+        .options(options)
+        .build()
+        .unwrap()
+}
+
+network_object! {
+    /// Hands a cell reference to whoever asks (used to trigger the
+    /// unmarshal-time dirty call without a bootstrap identify).
+    pub interface Giver ("ft.Giver"): client GiverClient, export GiverExport {
+        0 => fn give(&self) -> CellClient;
+    }
+}
+
+struct GiverImpl(Mutex<Option<CellClient>>);
+
+impl Giver for GiverImpl {
+    fn give(&self) -> NetResult<CellClient> {
+        Ok(self.0.lock().clone().expect("wired"))
+    }
+}
+
+#[test]
+fn failed_dirty_creates_no_surrogate_and_sends_strong_clean() {
+    let net = SimNet::instant();
+    let mut opts = Options::fast();
+    opts.dirty_timeout = Duration::from_millis(300);
+    opts.clean_timeout = Duration::from_millis(300);
+    opts.clean_retry = Duration::from_millis(100);
+    opts.max_clean_retries = 50;
+    let owner = space_on(&net, "owner", opts.clone());
+    owner.export(cell()).unwrap();
+
+    // A helper space holds the cell and re-serves it through a Giver.
+    let helper = space_on(&net, "helper", opts.clone());
+    let held = CellClient::narrow(
+        helper
+            .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+            .unwrap(),
+    )
+    .unwrap();
+    helper
+        .export(Arc::new(GiverExport(Arc::new(GiverImpl(Mutex::new(
+            Some(held),
+        ))))))
+        .unwrap();
+
+    // The client warms a connection to the owner (so the dirty call will
+    // be *sent* into the partition and time out ambiguously, rather than
+    // failing fast at connect).
+    let client = space_on(&net, "client", opts);
+    let warm = client
+        .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+        .unwrap();
+    drop(warm);
+    wait_until("warm-up clean done", || client.imported_count() == 0);
+    let cleans_before = owner.stats().clean_received;
+
+    let giver = GiverClient::narrow(
+        client
+            .import_root(&Endpoint::sim("helper"), ObjIx::FIRST_USER)
+            .unwrap(),
+    )
+    .unwrap();
+
+    // Partition the owner: the dirty call triggered by unmarshaling the
+    // result of give() times out — an *ambiguous* failure.
+    net.set_down("owner", true);
+    let got = giver.give();
+    assert!(got.is_err(), "{got:?}");
+    assert_eq!(
+        client.imported_count(),
+        1,
+        "only the giver surrogate may remain: no cell surrogate after a \
+         failed dirty call"
+    );
+    wait_until("strong clean scheduled and attempted", || {
+        client.stats().strong_clean_sent >= 1
+    });
+
+    // Heal the partition: the strong clean must eventually land.
+    net.set_down("owner", false);
+    wait_until("strong clean delivered", || {
+        owner.stats().clean_received > cleans_before
+    });
+
+    // The reference is importable and usable again afterwards.
+    let c = giver.give().unwrap();
+    assert_eq!(c.bump().unwrap(), 1);
+}
+
+#[test]
+fn clean_calls_retry_through_partitions() {
+    let net = SimNet::instant();
+    let mut opts = Options::fast();
+    opts.clean_timeout = Duration::from_millis(200);
+    opts.clean_retry = Duration::from_millis(100);
+    opts.max_clean_retries = 20;
+    let owner = space_on(&net, "owner", opts.clone());
+    owner.export(cell()).unwrap();
+    let client = space_on(&net, "client", opts);
+
+    let h = client
+        .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+        .unwrap();
+    // Cut the link, then drop: the clean call fails and must be retried
+    // with the same sequence number until the partition heals.
+    net.set_down("owner", true);
+    drop(h);
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(client.stats().clean_retries >= 1, "retries while down");
+    assert_eq!(owner.stats().clean_received, 0);
+
+    net.set_down("owner", false);
+    wait_until("clean finally lands", || owner.stats().clean_received == 1);
+    wait_until("slot reclaimed", || client.imported_count() == 0);
+}
+
+#[test]
+fn duplicated_collector_messages_are_harmless() {
+    // Sequence numbers make duplicated dirty/clean calls no-ops: with a
+    // duplicating link, counts stay consistent and collection works.
+    let mut config = LinkConfig::with_latency(Duration::from_micros(200));
+    config.duplicate = 0.5;
+    let net = SimNet::with_seed(config, 99);
+    let opts = Options::fast();
+    let owner = space_on(&net, "owner", opts.clone());
+    owner.export(cell()).unwrap();
+    let client = space_on(&net, "client", opts);
+
+    for round in 0..10 {
+        let h = client
+            .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+            .unwrap();
+        let c = CellClient::narrow(h).unwrap();
+        assert_eq!(c.bump().unwrap(), round + 1);
+        drop(c);
+        wait_until("round cleaned", || client.imported_count() == 0);
+    }
+    // The object survived every round and was never prematurely lost.
+    let h = client
+        .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+        .unwrap();
+    assert_eq!(CellClient::narrow(h).unwrap().bump().unwrap(), 11);
+}
+
+#[test]
+fn owner_death_abandons_surrogates_after_retries() {
+    let net = SimNet::instant();
+    let mut opts = Options::fast();
+    opts.clean_timeout = Duration::from_millis(150);
+    opts.clean_retry = Duration::from_millis(50);
+    opts.max_clean_retries = 3;
+    let owner = space_on(&net, "owner", opts.clone());
+    owner.export(cell()).unwrap();
+    let client = space_on(&net, "client", opts);
+
+    let h = client
+        .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+        .unwrap();
+    // The owner dies for good.
+    owner.crash();
+    net.set_down("owner", true);
+    drop(h);
+    // After max_clean_retries failures the client gives up and reclaims
+    // its local bookkeeping ("until the owner's termination is detected").
+    wait_until("import slot abandoned", || client.imported_count() == 0);
+    assert!(client.stats().clean_retries >= 2);
+}
+
+#[test]
+fn calls_to_dead_owner_fail_with_transport_errors() {
+    let net = SimNet::instant();
+    let opts = Options::fast();
+    let owner = space_on(&net, "owner", opts.clone());
+    owner.export(cell()).unwrap();
+    let client = space_on(&net, "client", opts);
+    let c = CellClient::narrow(
+        client
+            .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(c.bump().unwrap(), 1);
+    owner.crash();
+    net.set_down("owner", true);
+    let got = c.bump();
+    assert!(
+        matches!(got, Err(Error::Rpc(_)) | Err(Error::Transport(_))),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn lease_mode_survives_transient_partition_within_lease() {
+    // A partition shorter than the lease must NOT cost the client its
+    // reference: renewals resume after healing.
+    let net = SimNet::instant();
+    let mut opts = Options::fast();
+    opts.lease = Some(Duration::from_millis(1200));
+    // A renewal into the partition must fail fast enough for the next
+    // renewal round to land within the lease.
+    opts.dirty_timeout = Duration::from_millis(150);
+    let owner = space_on(&net, "owner", opts.clone());
+    owner.export(cell()).unwrap();
+    let client = space_on(&net, "client", opts);
+    let c = CellClient::narrow(
+        client
+            .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(c.bump().unwrap(), 1);
+
+    net.set_down("owner", true);
+    std::thread::sleep(Duration::from_millis(400)); // < lease
+    net.set_down("owner", false);
+    std::thread::sleep(Duration::from_millis(900)); // renewals resume
+
+    assert_eq!(c.bump().unwrap(), 2, "reference survived the partition");
+    assert_eq!(owner.stats().leases_expired, 0);
+}
