@@ -171,14 +171,48 @@ pub(crate) fn dispatch_gc(
     }
 }
 
+/// Issues one collector call through the space's resilient caller.
+///
+/// Dirty and clean calls pass `idempotent: false` even though re-applying
+/// them is harmless at the owner: a transparent retry of a dirty/clean
+/// whose first copy *did* land would carry an already-consumed sequence
+/// number and be rejected as stale, converting an ambiguous success into a
+/// definite failure. The collector has its own ambiguity protocol (strong
+/// cleans, demon-level retries with the *same* seqno), so only
+/// not-delivered failures are retried underneath it. Pings and identify
+/// are genuinely idempotent.
+fn gc_call(
+    space: &Space,
+    target_space: SpaceId,
+    ep: &Endpoint,
+    method: u32,
+    args: Vec<u8>,
+    timeout: Duration,
+    idempotent: bool,
+) -> NetResult<Vec<u8>> {
+    space
+        .resilient_call(
+            WireRep::gc_service(target_space),
+            ep,
+            method,
+            args,
+            timeout,
+            idempotent,
+        )
+        // Dropping the reply's ack token sends the acknowledgement.
+        .map(|reply| reply.bytes)
+}
+
 /// Asks the space listening at `ep` who it is.
 pub(crate) fn identify(space: &Space, ep: &Endpoint) -> NetResult<(SpaceId, Option<Endpoint>)> {
-    let client = space.rpc_client(ep)?;
-    let bytes = client.call_with_timeout(
-        WireRep::gc_service(SpaceId::from_raw(0)),
+    let bytes = gc_call(
+        space,
+        SpaceId::from_raw(0),
+        ep,
         methods::IDENTIFY,
         ().to_pickle_bytes(),
         space.inner.options.dirty_timeout,
+        true,
     )?;
     Ok(<(SpaceId, Option<Endpoint>)>::from_pickle_bytes(&bytes)?)
 }
@@ -190,13 +224,15 @@ fn send_dirty(
     seqno: u64,
 ) -> NetResult<TypeList> {
     space.inner.stats.dirty_sent.fetch_add(1, Ordering::Relaxed);
-    let client = space.rpc_client(owner_ep)?;
     let args = (wirerep.ix.0, seqno, space.endpoint()).to_pickle_bytes();
-    let bytes = client.call_with_timeout(
-        WireRep::gc_service(wirerep.space),
+    let bytes = gc_call(
+        space,
+        wirerep.space,
+        owner_ep,
         methods::DIRTY,
         args,
         space.inner.options.dirty_timeout,
+        false,
     )?;
     Ok(TypeList::from_pickle_bytes(&bytes)?)
 }
@@ -217,13 +253,15 @@ fn send_clean(
     } else {
         space.inner.stats.clean_sent.fetch_add(1, Ordering::Relaxed);
     }
-    let client = space.rpc_client(owner_ep)?;
     let args = (wirerep.ix.0, seqno, strong).to_pickle_bytes();
-    let bytes = client.call_with_timeout(
-        WireRep::gc_service(wirerep.space),
+    let bytes = gc_call(
+        space,
+        wirerep.space,
+        owner_ep,
         methods::CLEAN,
         args,
         space.inner.options.clean_timeout,
+        false,
     )?;
     Ok(<()>::from_pickle_bytes(&bytes)?)
 }
@@ -833,7 +871,10 @@ fn clean_failed(
             },
         ));
     } else {
-        // Owner presumed dead: abandon the reference entirely.
+        // Owner presumed dead: abandon the reference entirely, and break
+        // every other surrogate into that space so calls fail fast instead
+        // of each burning a full timeout.
+        space.mark_owner_dead(intent.wirerep.space);
         let mut imports = space.inner.table.imports.lock();
         if let Some(slot) = imports.get_mut(&intent.wirerep) {
             slot.failed = true;
@@ -870,12 +911,14 @@ fn send_clean_batch(space: &Space, owner_ep: &Endpoint, intents: &[CleanIntent])
         .iter()
         .map(|i| (i.wirerep.ix.0, i.seqno, i.strong))
         .collect();
-    let client = space.rpc_client(owner_ep)?;
-    let bytes = client.call_with_timeout(
-        WireRep::gc_service(owner_space),
+    let bytes = gc_call(
+        space,
+        owner_space,
+        owner_ep,
         methods::CLEAN_BATCH,
         entries.to_pickle_bytes(),
         space.inner.options.clean_timeout,
+        false,
     )?;
     Ok(<()>::from_pickle_bytes(&bytes)?)
 }
@@ -963,6 +1006,10 @@ fn handle_clean_ack(space: &Space, wirerep: WireRep) {
 
 fn ping_loop(weak: Weak<SpaceInner>) {
     let mut fail_counts: std::collections::HashMap<SpaceId, u32> = std::collections::HashMap::new();
+    // Client role: consecutive failed lease-renewal *rounds* per owner. An
+    // owner that misses `ping_failures` rounds in a row is declared dead.
+    let mut renew_fail_rounds: std::collections::HashMap<SpaceId, u32> =
+        std::collections::HashMap::new();
     let mut last_ping = Instant::now();
     let mut last_renew = Instant::now();
     loop {
@@ -1036,9 +1083,33 @@ fn ping_loop(weak: Weak<SpaceInner>) {
                         .map(|(w, s)| (*w, s.owner_ep.clone()))
                         .collect()
                 };
+                let mut round_failed: std::collections::HashSet<SpaceId> = Default::default();
+                let mut round_ok: std::collections::HashSet<SpaceId> = Default::default();
                 for (wirerep, ep) in live {
                     let seqno = space.next_gc_seqno();
-                    let _ = send_dirty(&space, wirerep, &ep, seqno);
+                    // Any failure counts, not just transport ones: a
+                    // definite rejection of a renewal means this owner
+                    // *instance* no longer lists us.
+                    match send_dirty(&space, wirerep, &ep, seqno) {
+                        Ok(_) => round_ok.insert(wirerep.space),
+                        Err(_) => round_failed.insert(wirerep.space),
+                    };
+                }
+                for owner in round_ok {
+                    round_failed.remove(&owner);
+                    renew_fail_rounds.remove(&owner);
+                }
+                for owner in round_failed {
+                    let n = renew_fail_rounds.entry(owner).or_insert(0);
+                    *n += 1;
+                    if *n >= options.ping_failures {
+                        // The owner is unreachable past the detection
+                        // threshold: break its surrogates so calls fail
+                        // fast with `OwnerDead` (the lease will lapse at
+                        // the owner too; the reference is lost either way).
+                        space.mark_owner_dead(owner);
+                        renew_fail_rounds.remove(&owner);
+                    }
                 }
             }
         }
@@ -1047,14 +1118,14 @@ fn ping_loop(weak: Weak<SpaceInner>) {
 
 fn ping_client(space: &Space, client: SpaceId, ep: &Endpoint) -> bool {
     space.inner.stats.pings_sent.fetch_add(1, Ordering::Relaxed);
-    let Ok(rpc) = space.rpc_client(ep) else {
-        return false;
-    };
-    rpc.call_with_timeout(
-        WireRep::gc_service(client),
+    gc_call(
+        space,
+        client,
+        ep,
         methods::PING,
         ().to_pickle_bytes(),
         space.inner.options.clean_timeout,
+        true,
     )
     .is_ok()
 }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use netobj_rpc::{RemoteError, RemoteErrorKind, RpcError};
 use netobj_transport::TransportError;
-use netobj_wire::{WireError, WireRep};
+use netobj_wire::{SpaceId, WireError, WireRep};
 
 /// Result alias for application-visible network object operations.
 pub type NetResult<T> = Result<T, Error>;
@@ -34,6 +34,11 @@ pub enum Error {
     ImportFailed(String),
     /// The space has been shut down.
     SpaceStopped,
+    /// The owner space holding the target object has been declared dead
+    /// (its lease renewals or clean retries were exhausted). Surrogates
+    /// into a dead owner are *broken*: calls fail fast with this error
+    /// instead of burning a full call timeout.
+    OwnerDead(SpaceId),
 }
 
 impl fmt::Display for Error {
@@ -48,6 +53,7 @@ impl fmt::Display for Error {
             Error::NotListening => write!(f, "space has no listening endpoint"),
             Error::ImportFailed(m) => write!(f, "import failed: {m}"),
             Error::SpaceStopped => write!(f, "space has been shut down"),
+            Error::OwnerDead(id) => write!(f, "owner space is dead: {id}"),
         }
     }
 }

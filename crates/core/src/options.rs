@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use netobj_rpc::{BreakerConfig, RetryPolicy};
+
 /// Configuration for a [`crate::Space`].
 ///
 /// The defaults implement the paper's base algorithm: blocking unmarshal of
@@ -45,6 +47,22 @@ pub struct Options {
     /// collector traffic). Semantics are unchanged — each entry still
     /// carries its own sequence number.
     pub batch_cleans: bool,
+    /// Retry policy for outgoing calls. The default retries only failures
+    /// where the request provably never reached the callee (*not-delivered*
+    /// failures — refused connects, sends that errored, `Busy` shedding);
+    /// *ambiguous* failures (timeouts, mid-call connection loss) are
+    /// retried only for methods marked `[idempotent]` in `network_object!`,
+    /// so default call semantics are unchanged: at-most-once.
+    pub retry: RetryPolicy,
+    /// Per-endpoint circuit breaker for outgoing calls. After a run of
+    /// consecutive failures the breaker opens and calls to that endpoint
+    /// fail fast until a cooldown elapses and a probe succeeds.
+    pub breaker: BreakerConfig,
+    /// Bound on the server's queued (not yet dispatched) incoming calls.
+    /// When the queue is full the server sheds new calls with a retryable
+    /// `Busy` reply instead of letting them time out behind the backlog.
+    /// `None` restores the unbounded queue.
+    pub server_queue_limit: Option<usize>,
 }
 
 impl Default for Options {
@@ -61,6 +79,9 @@ impl Default for Options {
             lease: None,
             fifo_variant: false,
             batch_cleans: true,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            server_queue_limit: Some(1024),
         }
     }
 }
@@ -90,6 +111,11 @@ mod tests {
         assert!(o.lease.is_none());
         assert!(o.ping_interval.is_none());
         assert!(o.workers >= 1);
+        // Ambiguous failures are not retried by default (no per-attempt
+        // deadline means one attempt consumes the whole budget).
+        assert!(o.retry.attempt_timeout.is_none());
+        assert!(o.breaker.enabled);
+        assert!(o.server_queue_limit.is_some());
     }
 
     #[test]

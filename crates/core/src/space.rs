@@ -6,12 +6,16 @@
 //! original system had exactly one of these per address space; tests and
 //! simulations here create many in one process.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
-use netobj_rpc::{CallClient, CallReply, Dispatch, Dispatcher, RpcServer};
+use netobj_rpc::{
+    Admission, Backoff, CallClient, CallReply, CircuitBreaker, Dispatch, Dispatcher, FailureClass,
+    RpcError, RpcServer,
+};
 use netobj_transport::{Endpoint, TransportRegistry};
 use netobj_wire::{ObjIx, SpaceId, TypeList, WireRep};
 use parking_lot::Mutex;
@@ -30,6 +34,9 @@ pub(crate) struct SpaceInner {
     pub(crate) options: Options,
     pub(crate) registry: TransportRegistry,
     pub(crate) clients: Mutex<HashMap<Endpoint, Arc<CallClient>>>,
+    pub(crate) breakers: Mutex<HashMap<Endpoint, Arc<CircuitBreaker>>>,
+    pub(crate) dead_owners: Mutex<HashSet<SpaceId>>,
+    pub(crate) retry_seed: AtomicU64,
     pub(crate) server: Mutex<Option<RpcServer>>,
     pub(crate) local_ep: Mutex<Option<Endpoint>>,
     pub(crate) table: ObjectTable,
@@ -99,6 +106,9 @@ impl SpaceBuilder {
             options: self.options,
             registry: self.registry,
             clients: Mutex::new(HashMap::new()),
+            breakers: Mutex::new(HashMap::new()),
+            dead_owners: Mutex::new(HashSet::new()),
+            retry_seed: AtomicU64::new(0),
             server: Mutex::new(None),
             local_ep: Mutex::new(None),
             table: ObjectTable::new(),
@@ -116,7 +126,12 @@ impl SpaceBuilder {
             let local = listener.local_endpoint();
             let dispatcher: Arc<dyn Dispatcher> =
                 Arc::new(SpaceDispatcher(Arc::downgrade(&space.inner)));
-            let server = RpcServer::start(listener, dispatcher, space.inner.options.workers);
+            let server = RpcServer::start_with_queue(
+                listener,
+                dispatcher,
+                space.inner.options.workers,
+                space.inner.options.server_queue_limit,
+            );
             *space.inner.local_ep.lock() = Some(local);
             *space.inner.server.lock() = Some(server);
         }
@@ -340,24 +355,179 @@ impl Space {
     /// Returns a cached (or fresh) RPC client to `ep`.
     pub(crate) fn rpc_client(&self, ep: &Endpoint) -> NetResult<Arc<CallClient>> {
         self.ensure_running()?;
-        {
+        let had_stale = {
             let clients = self.inner.clients.lock();
-            if let Some(c) = clients.get(ep) {
-                if !c.is_closed() {
-                    return Ok(Arc::clone(c));
-                }
+            match clients.get(ep) {
+                Some(c) if !c.is_closed() => return Ok(Arc::clone(c)),
+                Some(_) => true,
+                None => false,
             }
-        }
+        };
         let conn = self.inner.registry.connect(ep)?;
         let fresh = CallClient::new(Arc::from(conn), self.id());
         let mut clients = self.inner.clients.lock();
         match clients.get(ep) {
             Some(c) if !c.is_closed() => Ok(Arc::clone(c)),
             _ => {
+                if had_stale {
+                    self.inner.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
                 clients.insert(ep.clone(), Arc::clone(&fresh));
                 Ok(fresh)
             }
         }
+    }
+
+    /// Drops `client` from the connection cache (if it is still the cached
+    /// entry) so the next call reconnects instead of reusing a broken
+    /// connection.
+    pub(crate) fn invalidate_client(&self, ep: &Endpoint, client: &Arc<CallClient>) {
+        client.close();
+        let mut clients = self.inner.clients.lock();
+        if let Some(c) = clients.get(ep) {
+            if Arc::ptr_eq(c, client) {
+                clients.remove(ep);
+                self.inner.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The circuit breaker guarding calls to `ep`.
+    pub(crate) fn breaker_for(&self, ep: &Endpoint) -> Arc<CircuitBreaker> {
+        let mut breakers = self.inner.breakers.lock();
+        Arc::clone(
+            breakers.entry(ep.clone()).or_insert_with(|| {
+                Arc::new(CircuitBreaker::new(self.inner.options.breaker.clone()))
+            }),
+        )
+    }
+
+    /// Records that the owner space `id` is dead: every surrogate into it
+    /// becomes *broken* and fails fast with [`Error::OwnerDead`].
+    pub(crate) fn mark_owner_dead(&self, id: SpaceId) {
+        if id == self.id() {
+            return;
+        }
+        self.inner.dead_owners.lock().insert(id);
+    }
+
+    /// True if `id` has been declared dead.
+    pub fn owner_is_dead(&self, id: SpaceId) -> bool {
+        self.inner.dead_owners.lock().contains(&id)
+    }
+
+    /// Issues one logical call through the resilience machinery: breaker
+    /// admission, classification-aware retries with backoff, connection
+    /// invalidation, and broken-surrogate fail-fast.
+    ///
+    /// *Not-delivered* failures retry unconditionally (within the retry
+    /// budget); *ambiguous* failures retry only when `idempotent`, and are
+    /// otherwise surfaced after a transparent reconnect so the next call
+    /// finds a live connection; *definite* failures are the result.
+    pub(crate) fn resilient_call(
+        &self,
+        target: WireRep,
+        ep: &Endpoint,
+        method: u32,
+        args: Vec<u8>,
+        timeout: Duration,
+        idempotent: bool,
+    ) -> NetResult<CallReply> {
+        let stats = &self.inner.stats;
+        if self.owner_is_dead(target.space) {
+            stats.calls_failed_fast.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::OwnerDead(target.space));
+        }
+        let breaker = self.breaker_for(ep);
+        let seed = self.inner.retry_seed.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = Backoff::new(self.inner.options.retry.clone(), seed);
+        let deadline = Instant::now() + timeout;
+        loop {
+            if breaker.admit() == Admission::Reject {
+                stats.calls_failed_fast.fetch_add(1, Ordering::Relaxed);
+                return Err(Error::from(CircuitBreaker::rejection_error()));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(Error::Rpc(RpcError::Timeout));
+            }
+            // Connect failures never delivered anything: retryable.
+            let client = match self.rpc_client(ep) {
+                Ok(c) => c,
+                Err(e) => {
+                    if matches!(e, Error::SpaceStopped) {
+                        return Err(e);
+                    }
+                    if breaker.on_failure() {
+                        stats.breaker_opened.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if !self.retry_pause(&mut backoff, deadline) {
+                        return Err(e);
+                    }
+                    continue;
+                }
+            };
+            let attempt_deadline = backoff.policy().attempt_deadline(remaining);
+            let failure =
+                match client.call_raw_classified(target, method, args.clone(), attempt_deadline) {
+                    Ok(reply) => {
+                        breaker.on_success();
+                        return Ok(reply);
+                    }
+                    Err(f) => f,
+                };
+            if failure.counts_against_peer() {
+                if breaker.on_failure() {
+                    stats.breaker_opened.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                // A definite remote error proves the peer alive.
+                breaker.on_success();
+            }
+            let conn_broken = client.is_closed()
+                || matches!(failure.error, RpcError::Transport(_) | RpcError::Closed);
+            if conn_broken {
+                self.invalidate_client(ep, &client);
+            }
+            match failure.class {
+                FailureClass::Definite => return Err(Error::from(failure.error)),
+                FailureClass::NotDelivered => {}
+                FailureClass::Ambiguous => {
+                    if !idempotent {
+                        // The call's effect is unknown; a retry could
+                        // execute it twice. Reconnect transparently (so
+                        // later calls are not taxed by the broken
+                        // connection) and surface the ambiguity.
+                        if conn_broken {
+                            let _ = self.rpc_client(ep);
+                        }
+                        return Err(Error::from(failure.error));
+                    }
+                }
+            }
+            if !self.retry_pause(&mut backoff, deadline) {
+                return Err(Error::from(failure.error));
+            }
+        }
+    }
+
+    /// Sleeps out the next backoff delay if another attempt is allowed and
+    /// budget remains; returns false when the caller should give up.
+    fn retry_pause(&self, backoff: &mut Backoff, deadline: Instant) -> bool {
+        if !backoff.attempts_remain() {
+            return false;
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return false;
+        }
+        let delay = backoff.next_delay().min(remaining);
+        std::thread::sleep(delay);
+        self.inner
+            .stats
+            .retries_attempted
+            .fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     pub(crate) fn remote_call(
@@ -365,12 +535,17 @@ impl Space {
         core: &SurrogateCore,
         method: u32,
         args: Vec<u8>,
+        idempotent: bool,
     ) -> NetResult<CallReply> {
         self.inner.stats.calls_sent.fetch_add(1, Ordering::Relaxed);
-        let client = self.rpc_client(&core.owner_ep)?;
-        client
-            .call_raw(core.wirerep, method, args, self.inner.options.call_timeout)
-            .map_err(Error::from)
+        self.resilient_call(
+            core.wirerep,
+            &core.owner_ep,
+            method,
+            args,
+            self.inner.options.call_timeout,
+            idempotent,
+        )
     }
 
     pub(crate) fn ensure_running(&self) -> NetResult<()> {

@@ -48,6 +48,16 @@ pub struct Stats {
     pub exports_collected: AtomicU64,
     /// Dirty-set entries expired by the lease sweeper.
     pub leases_expired: AtomicU64,
+    /// Pooled connections replaced after the transport reported them
+    /// broken (the resilient caller reconnected).
+    pub reconnects: AtomicU64,
+    /// Outgoing call attempts that were retried by the resilient caller.
+    pub retries_attempted: AtomicU64,
+    /// Times a per-endpoint circuit breaker tripped open.
+    pub breaker_opened: AtomicU64,
+    /// Outgoing calls rejected immediately (open breaker or dead owner)
+    /// without touching the network.
+    pub calls_failed_fast: AtomicU64,
     /// Total nanoseconds unmarshal threads spent blocked waiting for
     /// reference registration (dirty round-trips).
     pub blocked_ns: AtomicU64,
@@ -81,6 +91,10 @@ impl Stats {
             surrogates_resurrected: self.surrogates_resurrected.load(Ordering::Relaxed),
             exports_collected: self.exports_collected.load(Ordering::Relaxed),
             leases_expired: self.leases_expired.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
+            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
+            calls_failed_fast: self.calls_failed_fast.load(Ordering::Relaxed),
             blocked_ns: self.blocked_ns.load(Ordering::Relaxed),
         }
     }
@@ -109,6 +123,10 @@ pub struct StatsSnapshot {
     pub surrogates_resurrected: u64,
     pub exports_collected: u64,
     pub leases_expired: u64,
+    pub reconnects: u64,
+    pub retries_attempted: u64,
+    pub breaker_opened: u64,
+    pub calls_failed_fast: u64,
     pub blocked_ns: u64,
 }
 

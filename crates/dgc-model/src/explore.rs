@@ -175,12 +175,12 @@ pub fn assert_drained(c: &Config) {
     for r in c.refs() {
         let owner = c.owner(r);
         assert!(
-            c.pdirty.get(&(owner, r)).is_none_or(|s| s.is_empty()),
+            c.pdirty.get(&(owner, r)).map_or(true, |s| s.is_empty()),
             "liveness: pdirty({owner:?},{r:?}) not empty: {:?}",
             c.pdirty.get(&(owner, r))
         );
         assert!(
-            c.tdirty.get(&(owner, r)).is_none_or(|s| s.is_empty()),
+            c.tdirty.get(&(owner, r)).map_or(true, |s| s.is_empty()),
             "liveness: tdirty({owner:?},{r:?}) not empty"
         );
         for p in c.procs() {

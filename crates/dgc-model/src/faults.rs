@@ -698,7 +698,7 @@ mod tests {
         c.step(FtStep::TimeoutDirty(client, r));
         assert_eq!(c.slots[&(client, r)].state, FtState::CcitNil);
         c.step(FtStep::Deliver(client, owner, 0)); // strong clean applied
-        assert!(c.pdirty.get(&(owner, r)).is_none(), "listing removed");
+        assert!(!c.pdirty.contains_key(&(owner, r)), "listing removed");
 
         // Clean ack returns; the client re-registers with dirty(3).
         c.step(FtStep::Deliver(owner, client, 0));
@@ -717,12 +717,12 @@ mod tests {
         c.live.remove(&(client, r));
         c.step(FtStep::Finalize(client, r)); // clean(4)
         c.step(FtStep::Deliver(client, owner, 0));
-        assert!(c.pdirty.get(&(owner, r)).is_none());
+        assert!(!c.pdirty.contains_key(&(owner, r)));
         // Forge the delayed dirty(1).
         c.post(client, owner, FtMsg::Dirty(r, 1));
         c.step(FtStep::Deliver(client, owner, 0));
         assert!(
-            c.pdirty.get(&(owner, r)).is_none(),
+            !c.pdirty.contains_key(&(owner, r)),
             "stale dirty must not resurrect the entry"
         );
     }
@@ -746,7 +746,7 @@ mod tests {
         c.step(FtStep::Deliver(client, owner, 0)); // applied
         c.step(FtStep::TimeoutClean(client, r)); // paranoid resend
         c.step(FtStep::Deliver(client, owner, 0)); // duplicate: no-op
-        assert!(c.pdirty.get(&(owner, r)).is_none());
+        assert!(!c.pdirty.contains_key(&(owner, r)));
         // Both acks return; the first finishes the slot, the second is
         // stale and ignored.
         c.step(FtStep::Deliver(owner, client, 0));

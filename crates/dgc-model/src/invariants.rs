@@ -100,27 +100,25 @@ pub fn invariant1(c: &Config) -> Check {
     for (&(from, to), msgs) in &c.channels {
         for &m in msgs {
             match m {
-                Msg::Copy(r, id) => {
+                Msg::Copy(r, id)
                     if !c
                         .tdirty
                         .get(&(from, r))
-                        .is_some_and(|s| s.contains(&(from, to, id)))
-                    {
-                        return fail(format_args!(
-                            "invariant1: copy({r:?},{id}) in transit without transient entry"
-                        ));
-                    }
+                        .is_some_and(|s| s.contains(&(from, to, id))) =>
+                {
+                    return fail(format_args!(
+                        "invariant1: copy({r:?},{id}) in transit without transient entry"
+                    ));
                 }
-                Msg::CopyAck(r, id) => {
+                Msg::CopyAck(r, id)
                     if !c
                         .tdirty
                         .get(&(to, r))
-                        .is_some_and(|s| s.contains(&(to, from, id)))
-                    {
-                        return fail(format_args!(
-                            "invariant1: copy_ack({r:?},{id}) in transit without transient entry"
-                        ));
-                    }
+                        .is_some_and(|s| s.contains(&(to, from, id))) =>
+                {
+                    return fail(format_args!(
+                        "invariant1: copy_ack({r:?},{id}) in transit without transient entry"
+                    ));
                 }
                 _ => {}
             }

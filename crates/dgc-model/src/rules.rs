@@ -236,7 +236,7 @@ pub fn apply(c: &mut Config, t: Transition) {
         Transition::Finalize(p, r) => {
             assert!(!c.is_live(p, r), "finalize requires unreachability");
             assert!(
-                c.tdirty.get(&(p, r)).is_none_or(|s| s.is_empty()),
+                c.tdirty.get(&(p, r)).map_or(true, |s| s.is_empty()),
                 "transient dirty entries keep the reference locally reachable"
             );
             assert_eq!(c.rec(p, r), RecState::Ok);
@@ -323,7 +323,7 @@ mod tests {
         // The copy ack was deferred until after the dirty ack (Note 7).
         fire(&mut c, |t| matches!(t, Transition::DoCopyAck(..)));
         fire(&mut c, |t| matches!(t, Transition::ReceiveCopyAck(..)));
-        assert!(c.tdirty.get(&(owner, r)).is_none(), "transient released");
+        assert!(!c.tdirty.contains_key(&(owner, r)), "transient released");
 
         // The mutator drops the reference; the collector cleans up.
         c.drop_ref(client, r);
@@ -331,7 +331,7 @@ mod tests {
         fire(&mut c, |t| matches!(t, Transition::DoCleanCall(..)));
         assert_eq!(c.rec(client, r), RecState::Ccit);
         fire(&mut c, |t| matches!(t, Transition::ReceiveClean(..)));
-        assert!(c.pdirty.get(&(owner, r)).is_none(), "dirty set emptied");
+        assert!(!c.pdirty.contains_key(&(owner, r)), "dirty set emptied");
         fire(&mut c, |t| matches!(t, Transition::DoCleanAck(..)));
         fire(&mut c, |t| matches!(t, Transition::ReceiveCleanAck(..)));
         assert_eq!(c.rec(client, r), RecState::Bot);

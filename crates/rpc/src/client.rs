@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 
 use crate::error::RpcError;
 use crate::msg::{Request, RpcMsg};
+use crate::resilience::CallFailure;
 use crate::Result;
 
 /// Default per-call deadline.
@@ -73,6 +74,15 @@ pub struct CallReply {
     pub bytes: Vec<u8>,
     /// Present when the reply had `needs_ack` set.
     pub ack: Option<AckToken>,
+}
+
+impl std::fmt::Debug for CallReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CallReply")
+            .field("bytes", &self.bytes.len())
+            .field("needs_ack", &self.ack.is_some())
+            .finish()
+    }
 }
 
 /// A client end of an RPC connection: issues calls, demultiplexes replies.
@@ -145,8 +155,24 @@ impl CallClient {
         args: Vec<u8>,
         timeout: Duration,
     ) -> Result<CallReply> {
+        self.call_raw_classified(target, method, args, timeout)
+            .map_err(|f| f.error)
+    }
+
+    /// Like [`CallClient::call_raw`], but a failure carries its
+    /// [`FailureClass`]: this is the only layer that knows whether the
+    /// request was written to the connection before the failure, which is
+    /// what separates *not delivered* (safe to retry) from *ambiguous*
+    /// (the callee may have executed the call).
+    pub fn call_raw_classified(
+        &self,
+        target: WireRep,
+        method: u32,
+        args: Vec<u8>,
+        timeout: Duration,
+    ) -> std::result::Result<CallReply, CallFailure> {
         if self.shared.closed.load(Ordering::Acquire) {
-            return Err(RpcError::Closed);
+            return Err(CallFailure::classify(RpcError::Closed, false));
         }
         let call_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
@@ -161,7 +187,7 @@ impl CallClient {
         });
         if let Err(e) = self.conn.send(msg.to_pickle_bytes()) {
             self.shared.pending.lock().remove(&call_id);
-            return Err(e.into());
+            return Err(CallFailure::classify(e.into(), false));
         }
 
         match rx.recv_timeout(timeout) {
@@ -173,12 +199,14 @@ impl CallClient {
                     sent: false,
                 }),
             }),
-            Ok(Err(e)) => Err(e),
+            Ok(Err(e)) => Err(CallFailure::classify(e, true)),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 self.shared.pending.lock().remove(&call_id);
-                Err(RpcError::Timeout)
+                Err(CallFailure::classify(RpcError::Timeout, true))
             }
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(RpcError::Closed),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(CallFailure::classify(RpcError::Closed, true))
+            }
         }
     }
 
@@ -198,11 +226,7 @@ impl CallClient {
 }
 
 fn demux_loop(conn: Arc<dyn Conn>, shared: Arc<Shared>) {
-    loop {
-        let frame = match conn.recv() {
-            Ok(f) => f,
-            Err(_) => break,
-        };
+    while let Ok(frame) = conn.recv() {
         let msg = match RpcMsg::from_pickle_bytes(&frame) {
             Ok(m) => m,
             // A malformed frame poisons the connection: drop it so callers
@@ -369,6 +393,115 @@ mod tests {
             client.call(target(), 0, vec![]).unwrap_err(),
             RpcError::Closed
         );
+    }
+
+    /// A server answering one request with `needs_ack` set, then counting
+    /// every `ReplyAck` that arrives.
+    fn acking_server(
+        server: Box<dyn Conn>,
+    ) -> (
+        Arc<std::sync::atomic::AtomicU64>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let acks = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let acks2 = Arc::clone(&acks);
+        let h = std::thread::spawn(move || {
+            while let Ok(frame) = server.recv() {
+                match RpcMsg::from_pickle_bytes(&frame) {
+                    Ok(RpcMsg::Request(rq)) => {
+                        let reply = RpcMsg::Reply(Reply {
+                            call_id: rq.call_id,
+                            outcome: Ok(vec![0xab]),
+                            needs_ack: true,
+                        });
+                        if server.send(reply.to_pickle_bytes()).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(RpcMsg::ReplyAck(_)) => {
+                        acks2.fetch_add(1, Ordering::SeqCst);
+                    }
+                    _ => break,
+                }
+            }
+        });
+        (acks, h)
+    }
+
+    #[test]
+    fn dropped_ack_token_sends_ack_exactly_once() {
+        let (client, server) = wired_client();
+        let (acks, _h) = acking_server(server);
+        let reply = client
+            .call_raw(target(), 0, vec![], Duration::from_secs(5))
+            .unwrap();
+        assert!(reply.ack.is_some());
+        // Simulates unmarshaling failing partway: the reply (token
+        // included) is dropped on an error path without an explicit ack.
+        drop(reply);
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(acks.load(Ordering::SeqCst), 1);
+        // No second ack ever follows.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(acks.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn explicit_ack_is_not_duplicated_by_drop() {
+        let (client, server) = wired_client();
+        let (acks, _h) = acking_server(server);
+        let reply = client
+            .call_raw(target(), 0, vec![], Duration::from_secs(5))
+            .unwrap();
+        reply.ack.unwrap().ack(); // consumes the token; Drop runs after send_once
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(acks.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn late_reply_after_timeout_is_acked_by_demux() {
+        let (client, server) = wired_client();
+        // First call times out (no server running yet)...
+        let got = client.call_with_timeout(target(), 0, vec![], Duration::from_millis(50));
+        assert_eq!(got.unwrap_err(), RpcError::Timeout);
+        // ...then the reply arrives late, with an ack obligation. The demux
+        // thread must discharge it: nobody else will.
+        let frame = server.recv().unwrap();
+        let RpcMsg::Request(rq) = RpcMsg::from_pickle_bytes(&frame).unwrap() else {
+            panic!("expected request");
+        };
+        let reply = RpcMsg::Reply(Reply {
+            call_id: rq.call_id,
+            outcome: Ok(vec![]),
+            needs_ack: true,
+        });
+        server.send(reply.to_pickle_bytes()).unwrap();
+        let frame = server.recv().unwrap();
+        assert!(matches!(
+            RpcMsg::from_pickle_bytes(&frame).unwrap(),
+            RpcMsg::ReplyAck(id) if id == rq.call_id
+        ));
+    }
+
+    #[test]
+    fn classified_timeout_is_ambiguous() {
+        let (client, _server) = wired_client();
+        let err = client
+            .call_raw_classified(target(), 0, vec![], Duration::from_millis(50))
+            .unwrap_err();
+        assert_eq!(err.error, RpcError::Timeout);
+        assert_eq!(err.class, crate::resilience::FailureClass::Ambiguous);
+    }
+
+    #[test]
+    fn classified_send_failure_is_not_delivered() {
+        let (client, server) = wired_client();
+        server.close();
+        std::thread::sleep(Duration::from_millis(100));
+        let err = client
+            .call_raw_classified(target(), 0, vec![], Duration::from_millis(200))
+            .unwrap_err();
+        assert_eq!(err.class, crate::resilience::FailureClass::NotDelivered);
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub enum RemoteErrorKind {
     Application,
     /// The callee's runtime rejected the call for another reason.
     Runtime,
+    /// The callee's worker pool was saturated and shed the call *before*
+    /// dispatching it. The method did not execute; retrying is safe.
+    Busy,
 }
 
 impl RemoteErrorKind {
@@ -29,6 +32,7 @@ impl RemoteErrorKind {
             RemoteErrorKind::BadArguments => 2,
             RemoteErrorKind::Application => 3,
             RemoteErrorKind::Runtime => 4,
+            RemoteErrorKind::Busy => 5,
         }
     }
 
@@ -39,6 +43,7 @@ impl RemoteErrorKind {
             2 => RemoteErrorKind::BadArguments,
             3 => RemoteErrorKind::Application,
             4 => RemoteErrorKind::Runtime,
+            5 => RemoteErrorKind::Busy,
             _ => return None,
         })
     }
@@ -168,6 +173,7 @@ mod tests {
             RemoteErrorKind::BadArguments,
             RemoteErrorKind::Application,
             RemoteErrorKind::Runtime,
+            RemoteErrorKind::Busy,
         ] {
             let e = RemoteError::new(kind, "boom");
             let bytes = e.to_pickle_bytes();

@@ -25,10 +25,15 @@ pub mod client;
 pub mod error;
 pub mod msg;
 pub mod pool;
+pub mod resilience;
 pub mod server;
 
 pub use client::{AckToken, CallClient, CallReply};
 pub use error::{RemoteError, RemoteErrorKind, RpcError};
+pub use resilience::{
+    Admission, Backoff, BreakerConfig, BreakerState, CallFailure, CircuitBreaker, FailureClass,
+    RetryPolicy,
+};
 pub use server::{Dispatch, Dispatcher, RpcServer};
 
 /// Result alias for RPC operations.

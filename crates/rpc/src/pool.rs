@@ -1,16 +1,35 @@
-//! A fixed-size worker thread pool.
+//! A fixed-size worker thread pool with optional admission control.
 //!
 //! The original runtime dispatched each incoming call to a free server
 //! thread from a pool; [`ThreadPool`] reproduces that. Jobs are closures;
-//! the pool drains its queue on shutdown.
+//! the pool drains its queue on shutdown. A pool may be built with a
+//! bounded queue, in which case [`ThreadPool::try_execute`] *sheds* excess
+//! load instead of queueing without limit — the server turns that into a
+//! retryable `Busy` reply rather than letting callers time out behind an
+//! unbounded backlog.
+//!
+//! This is the only worker pool in the workspace: both the RPC server and
+//! the runtime above it share this implementation (the transport crate's
+//! `pool` module is a *connection* pool, not a thread pool).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 /// A job runnable on a pool worker.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The outcome of offering a job to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// The job was queued (or is already running).
+    Queued,
+    /// The queue is full; the job was rejected without running.
+    Saturated,
+    /// The pool has shut down; the job was rejected without running.
+    ShutDown,
+}
 
 /// A fixed-size pool of worker threads executing queued jobs.
 pub struct ThreadPool {
@@ -20,10 +39,24 @@ pub struct ThreadPool {
 }
 
 impl ThreadPool {
-    /// Spawns a pool with `workers` threads (at least one).
+    /// Spawns a pool with `workers` threads (at least one) and an
+    /// unbounded job queue.
     pub fn new(workers: usize, name: &str) -> ThreadPool {
+        Self::build(workers, name, None)
+    }
+
+    /// Spawns a pool whose queue holds at most `queue_limit` waiting jobs;
+    /// beyond that, [`ThreadPool::try_execute`] reports saturation.
+    pub fn with_queue_limit(workers: usize, name: &str, queue_limit: usize) -> ThreadPool {
+        Self::build(workers, name, Some(queue_limit.max(1)))
+    }
+
+    fn build(workers: usize, name: &str, queue_limit: Option<usize>) -> ThreadPool {
         let workers = workers.max(1);
-        let (tx, rx) = unbounded::<Job>();
+        let (tx, rx) = match queue_limit {
+            Some(limit) => bounded::<Job>(limit),
+            None => unbounded::<Job>(),
+        };
         let active = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers)
             .map(|i| {
@@ -48,11 +81,24 @@ impl ThreadPool {
         }
     }
 
-    /// Queues a job. Returns false if the pool is shut down.
+    /// Queues a job, blocking if a bounded queue is full. Returns false if
+    /// the pool is shut down.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
         match &self.tx {
             Some(tx) => tx.send(Box::new(job)).is_ok(),
             None => false,
+        }
+    }
+
+    /// Offers a job without blocking; a full bounded queue rejects it.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Admit {
+        match &self.tx {
+            Some(tx) => match tx.try_send(Box::new(job)) {
+                Ok(()) => Admit::Queued,
+                Err(TrySendError::Full(_)) => Admit::Saturated,
+                Err(TrySendError::Disconnected(_)) => Admit::ShutDown,
+            },
+            None => Admit::ShutDown,
         }
     }
 
@@ -134,5 +180,48 @@ mod tests {
         let mut pool = ThreadPool::new(1, "t");
         pool.shutdown();
         assert!(!pool.execute(|| {}));
+        assert_eq!(pool.try_execute(|| {}), Admit::ShutDown);
+    }
+
+    #[test]
+    fn bounded_pool_sheds_when_saturated() {
+        let pool = ThreadPool::with_queue_limit(1, "t", 2);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        // Occupy the single worker...
+        assert_eq!(
+            pool.try_execute(move || {
+                g.wait();
+            }),
+            Admit::Queued
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        // ...fill the queue...
+        assert_eq!(pool.try_execute(|| {}), Admit::Queued);
+        assert_eq!(pool.try_execute(|| {}), Admit::Queued);
+        // ...and the next offer is shed.
+        assert_eq!(pool.try_execute(|| {}), Admit::Saturated);
+        gate.wait();
+    }
+
+    #[test]
+    fn bounded_pool_recovers_after_drain() {
+        let pool = ThreadPool::with_queue_limit(1, "t", 1);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..20 {
+            let c = Arc::clone(&counter);
+            // Mixed offers: whatever is admitted must eventually run.
+            if pool.try_execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }) == Admit::Queued
+            {
+                counter.fetch_add(0, Ordering::Relaxed);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(counter.load(Ordering::Relaxed) > 0);
+        // Once drained, offers are admitted again.
+        assert_eq!(pool.try_execute(|| {}), Admit::Queued);
     }
 }

@@ -1,0 +1,498 @@
+//! Failure classification, retry backoff, and per-endpoint circuit
+//! breakers for the call layer.
+//!
+//! The paper's failure model makes one distinction load-bearing: a failed
+//! call either *never reached* the callee (it is safe to retry
+//! unconditionally) or its effect is *ambiguous* (the callee may have
+//! executed it, so a transparent retry is sound only for idempotent
+//! methods). [`FailureClass`] captures that distinction; the
+//! [`crate::client::CallClient`] assigns it at the only place where the
+//! necessary fact — was the request written to the connection? — is known.
+//!
+//! [`RetryPolicy`]/[`Backoff`] implement capped exponential backoff with
+//! decorrelated jitter, and [`CircuitBreaker`] is a per-endpoint
+//! closed → open → half-open breaker so that a dead or misbehaving peer
+//! costs one probe per cooldown instead of a full timeout per call.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::error::{RemoteErrorKind, RpcError};
+use netobj_transport::TransportError;
+
+// ---------------------------------------------------------------------------
+// Failure classification
+// ---------------------------------------------------------------------------
+
+/// What a failed call tells us about whether the callee executed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The request never reached the callee (connect refused, send failed
+    /// before the request was written, server shed the call before
+    /// dispatch). Always safe to retry.
+    NotDelivered,
+    /// The request was written but no reply arrived (timeout, connection
+    /// lost mid-call). The callee may or may not have executed it; retry
+    /// only idempotent methods.
+    Ambiguous,
+    /// The callee definitively answered with an error. Retrying would
+    /// re-execute; the failure is the result.
+    Definite,
+}
+
+/// A failed call together with its [`FailureClass`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallFailure {
+    /// The underlying error, unchanged from what the plain call API returns.
+    pub error: RpcError,
+    /// Whether the callee may have executed the call.
+    pub class: FailureClass,
+}
+
+impl CallFailure {
+    /// Classifies `error` given whether the request was written to the
+    /// connection before the failure.
+    pub fn classify(error: RpcError, request_sent: bool) -> CallFailure {
+        let class = match &error {
+            // The server answered: it is alive and made a decision. A
+            // `Busy` rejection is issued before the call is dispatched, so
+            // it is a not-delivered failure despite arriving as a reply.
+            RpcError::Remote(e) if e.kind == RemoteErrorKind::Busy => FailureClass::NotDelivered,
+            RpcError::Remote(_) | RpcError::Wire(_) => FailureClass::Definite,
+            // Transport or client-shutdown failures: ambiguity hinges on
+            // whether the request went out.
+            RpcError::Transport(_) | RpcError::Timeout | RpcError::Closed => {
+                if request_sent {
+                    FailureClass::Ambiguous
+                } else {
+                    FailureClass::NotDelivered
+                }
+            }
+        };
+        CallFailure { error, class }
+    }
+
+    /// True for failures where the peer (not the call) is suspect — the
+    /// kind a circuit breaker should count. Any failure carried in a
+    /// *reply* (including a retryable `Busy` shed) proves the peer alive
+    /// and does not count: an overloaded server must not trip the breaker
+    /// and starve the very retries that would get through once the burst
+    /// drains.
+    pub fn counts_against_peer(&self) -> bool {
+        !matches!(self.error, RpcError::Remote(_)) && self.class != FailureClass::Definite
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry with backoff
+// ---------------------------------------------------------------------------
+
+/// How (and how much) to retry a failed call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first. `1` disables retries.
+    pub max_attempts: u32,
+    /// First backoff delay; also the decorrelated-jitter floor.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Deadline for each individual attempt. `None` gives every attempt
+    /// the whole remaining call budget — which means an attempt that times
+    /// out exhausts the budget and is never retried, exactly the base
+    /// algorithm's behaviour. Set it to make timed-out idempotent calls
+    /// actually retry within the overall deadline.
+    pub attempt_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            attempt_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The deadline to give attempt `attempt` (0-based) when `remaining`
+    /// of the overall budget is left.
+    pub fn attempt_deadline(&self, remaining: Duration) -> Duration {
+        match self.attempt_timeout {
+            Some(per) => per.min(remaining),
+            None => remaining,
+        }
+    }
+}
+
+/// Backoff state across the attempts of one logical call.
+///
+/// Implements "decorrelated jitter": each delay is drawn uniformly from
+/// `[base, prev * 3]`, capped at `max_delay`. Successive delays grow
+/// roughly exponentially but never synchronise across competing callers.
+pub struct Backoff {
+    policy: RetryPolicy,
+    prev: Duration,
+    rng: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Starts a backoff sequence; `seed` decorrelates concurrent callers.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Backoff {
+        Backoff {
+            prev: policy.base_delay,
+            policy,
+            // splitmix64 scrambles even trivial seeds (0, 1, 2...).
+            rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+            attempt: 0,
+        }
+    }
+
+    /// The policy this sequence runs under.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Attempts made so far (incremented by [`Backoff::next_delay`]).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// True if another attempt is allowed by `max_attempts`.
+    pub fn attempts_remain(&self) -> bool {
+        // The first attempt is made before any `next_delay` call, so
+        // `attempt` counts *retries*.
+        self.attempt + 1 < self.policy.max_attempts
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Draws the next backoff delay and counts the retry.
+    pub fn next_delay(&mut self) -> Duration {
+        self.attempt += 1;
+        let base = self.policy.base_delay.as_nanos() as u64;
+        let hi = (self.prev.as_nanos() as u64)
+            .saturating_mul(3)
+            .max(base + 1);
+        let span = hi - base;
+        let jittered = base + self.next_u64() % span.max(1);
+        let delay = Duration::from_nanos(jittered).min(self.policy.max_delay);
+        self.prev = delay.max(self.policy.base_delay);
+        delay
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Master switch; a disabled breaker admits everything.
+    pub enabled: bool,
+    /// Consecutive peer failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before admitting one probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            enabled: true,
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The observable state of a breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are rejected without touching the network.
+    Open,
+    /// One probe call is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+/// A per-endpoint closed → open → half-open circuit breaker.
+///
+/// The caller reports outcomes via [`CircuitBreaker::on_success`] /
+/// [`CircuitBreaker::on_failure`]; only failures where the *peer* is
+/// suspect should be reported (see [`CallFailure::counts_against_peer`]) —
+/// a definite application error proves the peer alive and counts as
+/// success for the breaker's purposes.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+/// Whether a call may proceed through the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Proceed (breaker closed, disabled, or this is the half-open probe).
+    Allow,
+    /// Rejected: the breaker is open (or a probe is already in flight).
+    Reject,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+            }),
+        }
+    }
+
+    /// The current state (for observability; may be stale immediately).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// Asks to send a call. An open breaker past its cooldown converts to
+    /// half-open and admits exactly one probe; further calls are rejected
+    /// until the probe reports.
+    pub fn admit(&self) -> Admission {
+        if !self.config.enabled {
+            return Admission::Allow;
+        }
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => {
+                // (map_or, not is_none_or: the workspace MSRV is 1.75.)
+                let cooled = inner
+                    .opened_at
+                    .map_or(true, |t| t.elapsed() >= self.config.cooldown);
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    Admission::Allow
+                } else {
+                    Admission::Reject
+                }
+            }
+            BreakerState::HalfOpen => Admission::Reject,
+        }
+    }
+
+    /// Reports a successful (or peer-proving) call outcome.
+    pub fn on_success(&self) {
+        if !self.config.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+    }
+
+    /// Reports a peer-suspect failure. Returns `true` when this report
+    /// transitioned the breaker to open (for the `breaker_opened` stat).
+    pub fn on_failure(&self) -> bool {
+        if !self.config.enabled {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    true
+                } else {
+                    false
+                }
+            }
+            // Failed probe: reopen and restart the cooldown.
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// The error returned on rejection, shaped as a transport failure so
+    /// existing match arms treat it like any unreachable peer.
+    pub fn rejection_error() -> RpcError {
+        RpcError::Transport(TransportError::ConnectionRefused(
+            "circuit breaker open".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RemoteError;
+
+    #[test]
+    fn classification_hinges_on_request_sent() {
+        let f = CallFailure::classify(RpcError::Timeout, true);
+        assert_eq!(f.class, FailureClass::Ambiguous);
+        let f = CallFailure::classify(RpcError::Transport(TransportError::Closed), false);
+        assert_eq!(f.class, FailureClass::NotDelivered);
+        let f = CallFailure::classify(RpcError::Closed, true);
+        assert_eq!(f.class, FailureClass::Ambiguous);
+    }
+
+    #[test]
+    fn remote_errors_are_definite_except_busy() {
+        let f = CallFailure::classify(RpcError::Remote(RemoteError::app("boom")), true);
+        assert_eq!(f.class, FailureClass::Definite);
+        assert!(!f.counts_against_peer());
+        let busy = RemoteError::new(RemoteErrorKind::Busy, "shed");
+        let f = CallFailure::classify(RpcError::Remote(busy), true);
+        assert_eq!(f.class, FailureClass::NotDelivered);
+        // A shed is retryable but arrived as a reply: the peer is alive,
+        // so it must not count toward opening the breaker.
+        assert!(!f.counts_against_peer());
+    }
+
+    #[test]
+    fn backoff_delays_bounded_and_grow() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            attempt_timeout: None,
+        };
+        let mut b = Backoff::new(policy.clone(), 42);
+        let mut prev_cap = policy.base_delay;
+        for _ in 0..20 {
+            let d = b.next_delay();
+            assert!(d >= policy.base_delay, "below floor: {d:?}");
+            assert!(d <= policy.max_delay, "above cap: {d:?}");
+            // Decorrelated jitter: next delay ≤ 3 × previous (tracked cap).
+            assert!(d <= prev_cap * 3 + Duration::from_millis(10));
+            prev_cap = d.max(policy.base_delay);
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut b = Backoff::new(RetryPolicy::default(), seed);
+            (0..5).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn attempts_remain_counts_retries() {
+        let mut b = Backoff::new(
+            RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+            0,
+        );
+        assert!(b.attempts_remain()); // before retry 1
+        b.next_delay();
+        assert!(b.attempts_remain()); // before retry 2
+        b.next_delay();
+        assert!(!b.attempts_remain()); // 3 attempts used up
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_recovers() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            enabled: true,
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+        });
+        assert_eq!(b.admit(), Admission::Allow);
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert!(b.on_failure()); // third failure opens it
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Admission::Reject);
+
+        std::thread::sleep(Duration::from_millis(25));
+        // Cooldown elapsed: exactly one probe gets through.
+        assert_eq!(b.admit(), Admission::Allow);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(), Admission::Reject);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            enabled: true,
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(10),
+        });
+        assert!(b.on_failure());
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.admit(), Admission::Allow); // probe
+        assert!(b.on_failure()); // probe failed: open again, stat counts it
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Admission::Reject);
+    }
+
+    #[test]
+    fn disabled_breaker_admits_everything() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            enabled: false,
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(10),
+        });
+        for _ in 0..10 {
+            assert!(!b.on_failure());
+            assert_eq!(b.admit(), Admission::Allow);
+        }
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            enabled: true,
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(10),
+        });
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

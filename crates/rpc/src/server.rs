@@ -13,9 +13,9 @@ use netobj_transport::{Conn, Listener};
 use netobj_wire::pickle::Pickle;
 use netobj_wire::{SpaceId, WireRep};
 
-use crate::error::RemoteError;
+use crate::error::{RemoteError, RemoteErrorKind};
 use crate::msg::{Reply, RpcMsg};
-use crate::pool::ThreadPool;
+use crate::pool::{Admit, ThreadPool};
 
 /// The result of dispatching one call.
 pub struct Dispatch {
@@ -72,6 +72,7 @@ struct ServerStats {
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// A running RPC server bound to one listener.
@@ -83,15 +84,33 @@ pub struct RpcServer {
 }
 
 impl RpcServer {
-    /// Starts serving `listener` with `workers` worker threads.
+    /// Starts serving `listener` with `workers` worker threads and an
+    /// unbounded job queue.
     pub fn start(
         listener: Box<dyn Listener>,
         dispatcher: Arc<dyn Dispatcher>,
         workers: usize,
     ) -> RpcServer {
+        Self::start_with_queue(listener, dispatcher, workers, None)
+    }
+
+    /// Starts serving `listener` with `workers` worker threads. With
+    /// `queue_limit` set, at most that many decoded requests wait for a
+    /// worker; excess requests are *shed* — answered immediately with a
+    /// retryable [`RemoteErrorKind::Busy`] error instead of queueing
+    /// without bound behind slow calls.
+    pub fn start_with_queue(
+        listener: Box<dyn Listener>,
+        dispatcher: Arc<dyn Dispatcher>,
+        workers: usize,
+        queue_limit: Option<usize>,
+    ) -> RpcServer {
         let stopped = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
-        let pool = Arc::new(ThreadPool::new(workers, "rpc-worker"));
+        let pool = Arc::new(match queue_limit {
+            Some(limit) => ThreadPool::with_queue_limit(workers, "rpc-worker", limit),
+            None => ThreadPool::new(workers, "rpc-worker"),
+        });
         let listener: Arc<dyn Listener> = Arc::from(listener);
 
         let accept_stopped = Arc::clone(&stopped);
@@ -149,6 +168,12 @@ impl RpcServer {
         self.stats.errors.load(Ordering::Relaxed)
     }
 
+    /// Total requests shed with a `Busy` reply because the worker queue
+    /// was full.
+    pub fn shed(&self) -> u64 {
+        self.stats.shed.load(Ordering::Relaxed)
+    }
+
     /// Stops accepting and tears the server down.
     pub fn stop(&mut self) {
         self.stopped.store(true, Ordering::Release);
@@ -186,10 +211,10 @@ impl AckTable {
     fn acknowledge(&self, call_id: u64) {
         let found = {
             let mut pending = self.pending.lock();
-            match pending.iter().position(|(id, _, _)| *id == call_id) {
-                Some(i) => Some(pending.swap_remove(i).2),
-                None => None,
-            }
+            pending
+                .iter()
+                .position(|(id, _, _)| *id == call_id)
+                .map(|i| pending.swap_remove(i).2)
         };
         if let Some(run) = found {
             run();
@@ -310,11 +335,16 @@ fn connection_loop(
             }
         };
         stats.requests.fetch_add(1, Ordering::Relaxed);
+        let call_id = rq.call_id;
         let conn = Arc::clone(&conn);
+        let job_conn = Arc::clone(&conn);
         let dispatcher = Arc::clone(&dispatcher);
         let stats = Arc::clone(&stats);
+        let job_stats = Arc::clone(&stats);
         let acks = Arc::clone(&acks);
-        pool.execute(move || {
+        let admitted = pool.try_execute(move || {
+            let conn = job_conn;
+            let stats = job_stats;
             let dispatch = dispatcher.dispatch(rq.caller, rq.target, rq.method, &rq.args);
             if dispatch.outcome.is_err() {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -339,6 +369,24 @@ fn connection_loop(
                 acks.acknowledge(rq.call_id);
             }
         });
+        if admitted == Admit::Saturated {
+            // Shed before dispatch: the method did not (and will not) run,
+            // so the rejection is a *not delivered* failure the caller may
+            // retry freely. Answer from the reader thread — by definition
+            // no worker is free to do it.
+            stats.shed.fetch_add(1, Ordering::Relaxed);
+            let reply = RpcMsg::Reply(Reply {
+                call_id,
+                outcome: Err(RemoteError::new(
+                    RemoteErrorKind::Busy,
+                    "server worker pool saturated",
+                )),
+                needs_ack: false,
+            });
+            if conn.send(reply.to_pickle_bytes()).is_err() {
+                break;
+            }
+        }
     }
     conn.close();
     // Connection over: no acks can arrive; release everything.
@@ -448,6 +496,87 @@ mod tests {
             "fast call was blocked by slow call"
         );
         assert_eq!(slow.join().unwrap().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn dropped_ack_token_releases_server_completion() {
+        use std::sync::atomic::AtomicU64;
+
+        struct Pinning {
+            released: Arc<AtomicU64>,
+        }
+        impl Dispatcher for Pinning {
+            fn dispatch(&self, _c: SpaceId, _t: WireRep, _m: u32, _a: &[u8]) -> Dispatch {
+                let released = Arc::clone(&self.released);
+                Dispatch {
+                    outcome: Ok(vec![]),
+                    completion: Some(Box::new(move || {
+                        released.fetch_add(1, Ordering::SeqCst);
+                    })),
+                }
+            }
+        }
+
+        let released = Arc::new(AtomicU64::new(0));
+        let t = Loopback::new();
+        let l = t.listen(&Endpoint::loopback("srv")).unwrap();
+        let _server = RpcServer::start(
+            l,
+            Arc::new(Pinning {
+                released: Arc::clone(&released),
+            }),
+            2,
+        );
+        let conn = t.connect(&Endpoint::loopback("srv")).unwrap();
+        let client = CallClient::new(Arc::from(conn), SpaceId::from_raw(1));
+
+        let reply = client
+            .call_raw(target(0), 0, vec![], Duration::from_secs(5))
+            .unwrap();
+        assert!(reply.ack.is_some());
+        // Not yet acknowledged: the callee's transient pins must still be
+        // held (the caller may be registering references).
+        assert_eq!(released.load(Ordering::SeqCst), 0);
+        drop(reply); // error-path drop sends the ack
+        let t0 = std::time::Instant::now();
+        while released.load(Ordering::SeqCst) == 0 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(released.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn saturated_pool_sheds_with_busy() {
+        let t = Loopback::new();
+        let l = t.listen(&Endpoint::loopback("srv")).unwrap();
+        let dispatcher: Arc<dyn Dispatcher> =
+            Arc::new(|_c: SpaceId, _t: WireRep, _m: u32, _a: &[u8]| {
+                std::thread::sleep(Duration::from_millis(200));
+                Ok(vec![])
+            });
+        let server = RpcServer::start_with_queue(l, dispatcher, 1, Some(1));
+        let conn = t.connect(&Endpoint::loopback("srv")).unwrap();
+        let client = CallClient::new(Arc::from(conn), SpaceId::from_raw(1));
+
+        // 1 worker + 1 queue slot: of six concurrent calls at least one
+        // must be shed, and shed calls answer far faster than the 200 ms
+        // the method takes.
+        let mut joins = Vec::new();
+        for _ in 0..6 {
+            let c = Arc::clone(&client);
+            joins.push(std::thread::spawn(move || {
+                c.call_with_timeout(target(0), 0, vec![], Duration::from_secs(5))
+            }));
+        }
+        let mut busy = 0;
+        for j in joins {
+            if let Err(RpcError::Remote(e)) = j.join().unwrap() {
+                assert_eq!(e.kind, RemoteErrorKind::Busy);
+                busy += 1;
+            }
+        }
+        assert!(busy >= 1, "no call was shed");
+        assert_eq!(server.shed(), busy);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -86,6 +86,51 @@ impl LinkConfig {
     }
 }
 
+/// A seeded, per-link flake plan: bursty frame loss driven by a private
+/// RNG so one link's weather is independent of (and reproducible
+/// regardless of) traffic on other links.
+///
+/// Each frame routed over the link draws from the link's own generator:
+/// with probability `loss` it starts a *burst* in which that frame and the
+/// following `burst_len - 1` frames are dropped. `burst_len == 1` gives
+/// plain independent loss.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlakePlan {
+    /// Probability that a frame starts a loss burst.
+    pub loss: f64,
+    /// Frames dropped per burst (≥ 1).
+    pub burst_len: u32,
+}
+
+impl FlakePlan {
+    /// Independent per-frame loss.
+    pub const fn uniform(loss: f64) -> FlakePlan {
+        FlakePlan { loss, burst_len: 1 }
+    }
+}
+
+struct LinkFlake {
+    plan: FlakePlan,
+    rng: SmallRng,
+    /// Frames still to drop in the current burst.
+    burst_remaining: u32,
+}
+
+impl LinkFlake {
+    /// True if this frame should be dropped.
+    fn drops(&mut self) -> bool {
+        if self.burst_remaining > 0 {
+            self.burst_remaining -= 1;
+            return true;
+        }
+        if self.plan.loss > 0.0 && self.rng.gen_bool(self.plan.loss.clamp(0.0, 1.0)) {
+            self.burst_remaining = self.plan.burst_len.saturating_sub(1);
+            return true;
+        }
+        false
+    }
+}
+
 /// Counters describing what the simulated network did to traffic.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SimStats {
@@ -134,6 +179,10 @@ struct SimState {
     listeners: HashMap<String, Sender<Box<dyn Conn>>>,
     config: LinkConfig,
     down: HashMap<String, bool>,
+    /// Established connections per listener tag, for [`SimNet::crash`].
+    conns: HashMap<String, Vec<Weak<CloseFlag>>>,
+    /// Seeded per-link flake schedules, keyed by listener tag.
+    flakes: HashMap<String, LinkFlake>,
     rng: SmallRng,
     heap: BinaryHeap<Scheduled>,
     shutdown: bool,
@@ -160,6 +209,8 @@ impl SimNet {
                 listeners: HashMap::new(),
                 config,
                 down: HashMap::new(),
+                conns: HashMap::new(),
+                flakes: HashMap::new(),
                 rng: SmallRng::seed_from_u64(seed),
                 heap: BinaryHeap::new(),
                 shutdown: false,
@@ -207,6 +258,55 @@ impl SimNet {
     /// crashed or unreachable process.
     pub fn set_down(&self, name: &str, down: bool) {
         self.state.lock().down.insert(name.to_owned(), down);
+    }
+
+    /// Crashes the process behind listener `name`: every established
+    /// connection to it is dropped (both directions observe `Closed`, not
+    /// silence) and new connects are refused until [`SimNet::restart`].
+    ///
+    /// This is a harsher fault than [`SimNet::set_down`], which leaves
+    /// connections up and silently eats frames: a crash is what makes
+    /// reconnect paths (rather than timeout paths) fire.
+    pub fn crash(&self, name: &str) {
+        let flags = {
+            let mut state = self.state.lock();
+            state.down.insert(name.to_owned(), true);
+            state.conns.remove(name).unwrap_or_default()
+        };
+        for flag in flags {
+            if let Some(flag) = flag.upgrade() {
+                flag.close();
+            }
+        }
+    }
+
+    /// Heals a [`SimNet::crash`]: new connects to `name` succeed again
+    /// (the crashed side must re-listen to accept them — a restarted
+    /// process is a new process).
+    pub fn restart(&self, name: &str) {
+        self.state.lock().down.insert(name.to_owned(), false);
+    }
+
+    /// Installs (or clears, with `None`) a seeded flake schedule on the
+    /// link to listener `name`. Flake drops are counted in
+    /// [`SimStats::dropped_loss`].
+    pub fn set_flake(&self, name: &str, plan: Option<FlakePlan>, seed: u64) {
+        let mut state = self.state.lock();
+        match plan {
+            Some(plan) => {
+                state.flakes.insert(
+                    name.to_owned(),
+                    LinkFlake {
+                        plan,
+                        rng: SmallRng::seed_from_u64(seed),
+                        burst_remaining: 0,
+                    },
+                );
+            }
+            None => {
+                state.flakes.remove(name);
+            }
+        }
     }
 
     /// Returns traffic counters.
@@ -260,6 +360,12 @@ impl SimNet {
         if *state.down.get(tag).unwrap_or(&false) {
             self.dropped_partition.fetch_add(1, Ordering::Relaxed);
             return;
+        }
+        if let Some(flake) = state.flakes.get_mut(tag) {
+            if flake.drops() {
+                self.dropped_loss.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         }
         let config = state.config;
         if config.is_instant() {
@@ -422,6 +528,12 @@ impl Transport for Arc<SimNet> {
         let (c2s_tx, c2s_rx) = unbounded();
         let (s2c_tx, s2c_rx) = unbounded();
         let closed = Arc::new(CloseFlag::default());
+        {
+            let mut state = self.state.lock();
+            let conns = state.conns.entry(name.clone()).or_default();
+            conns.retain(|w| w.upgrade().is_some_and(|f| !f.is_closed()));
+            conns.push(Arc::downgrade(&closed));
+        }
         let client = SimConn {
             net: Arc::clone(self),
             tag: name.clone(),
@@ -576,6 +688,86 @@ mod tests {
             c.recv_timeout(Duration::from_millis(80)).unwrap_err(),
             TransportError::Timeout
         );
+    }
+
+    #[test]
+    fn crash_closes_established_connections() {
+        let net = SimNet::instant();
+        let l = net.listen(&Endpoint::sim("srv")).unwrap();
+        let c = net.connect(&Endpoint::sim("srv")).unwrap();
+        let s = l.accept().unwrap();
+        net.crash("srv");
+        // Both halves observe Closed — not silence, as under set_down.
+        assert_eq!(c.send(b"x".to_vec()).unwrap_err(), TransportError::Closed);
+        assert_eq!(
+            s.recv_timeout(Duration::from_millis(200)).unwrap_err(),
+            TransportError::Closed
+        );
+        assert!(matches!(
+            net.connect(&Endpoint::sim("srv")),
+            Err(TransportError::Partitioned)
+        ));
+        // After restart (and a fresh listen, here the old listener still
+        // stands in) connects succeed again.
+        net.restart("srv");
+        let c2 = net.connect(&Endpoint::sim("srv")).unwrap();
+        c2.send(b"y".to_vec()).unwrap();
+    }
+
+    #[test]
+    fn crash_spares_other_listeners() {
+        let net = SimNet::instant();
+        let (c_a, s_a) = pair(&net, "a");
+        let (c_b, s_b) = pair(&net, "b");
+        net.crash("a");
+        assert!(c_a.send(b"x".to_vec()).is_err());
+        let _ = s_a;
+        c_b.send(b"ok".to_vec()).unwrap();
+        assert_eq!(s_b.recv_timeout(Duration::from_secs(1)).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn flake_schedule_is_seeded_and_per_link() {
+        let observed: Vec<u64> = (0..2)
+            .map(|_| {
+                let net = SimNet::instant();
+                let (c_a, _s_a) = pair(&net, "a");
+                let (c_b, s_b) = pair(&net, "b");
+                net.set_flake("a", Some(FlakePlan::uniform(0.5)), 77);
+                for _ in 0..100 {
+                    c_a.send(vec![1]).unwrap();
+                    c_b.send(vec![2]).unwrap();
+                }
+                // The clean link is untouched by "a"'s weather.
+                for _ in 0..100 {
+                    assert_eq!(s_b.recv_timeout(Duration::from_secs(1)).unwrap(), vec![2]);
+                }
+                net.stats().dropped_loss
+            })
+            .collect();
+        assert_eq!(observed[0], observed[1], "same seed, same drops");
+        assert!(observed[0] > 20 && observed[0] < 80);
+    }
+
+    #[test]
+    fn flake_bursts_drop_consecutive_frames() {
+        let net = SimNet::instant();
+        let (c, s) = pair(&net, "a");
+        net.set_flake(
+            "a",
+            Some(FlakePlan {
+                loss: 1.0,
+                burst_len: 3,
+            }),
+            1,
+        );
+        for i in 0..3u8 {
+            c.send(vec![i]).unwrap();
+        }
+        assert_eq!(net.stats().dropped_loss, 3);
+        net.set_flake("a", None, 0);
+        c.send(b"through".to_vec()).unwrap();
+        assert_eq!(s.recv_timeout(Duration::from_secs(1)).unwrap(), b"through");
     }
 
     #[test]

@@ -1176,10 +1176,7 @@ mod tests {
 
     #[test]
     fn deep_nesting_is_bounded() {
-        let mut bytes = Vec::new();
-        for _ in 0..(Value::MAX_DEPTH + 10) {
-            bytes.push(tag::SOME);
-        }
+        let mut bytes = vec![tag::SOME; Value::MAX_DEPTH + 10];
         bytes.push(tag::UNIT);
         let got = Value::from_pickle_bytes(&bytes);
         assert!(got.is_err());

@@ -152,12 +152,7 @@ mod framing {
         fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let mut decoder = FrameDecoder::new(1024);
             decoder.extend(&bytes);
-            loop {
-                match decoder.next_frame() {
-                    Ok(Some(_)) => continue,
-                    Ok(None) | Err(_) => break,
-                }
-            }
+            while let Ok(Some(_)) = decoder.next_frame() {}
         }
     }
 }

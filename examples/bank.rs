@@ -160,7 +160,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 alice.balance()?,
                 bob.balance()?
             );
-            Ok(bank.total_assets()?)
+            bank.total_assets()
         }));
     }
     for t in tellers {

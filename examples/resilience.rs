@@ -1,0 +1,191 @@
+//! Demonstrates the resilient call layer: transparent retry of
+//! `[idempotent]` methods over a flaky link, the per-endpoint circuit
+//! breaker, broken-surrogate fail-fast after an owner dies, and
+//! re-binding to a restarted owner.
+//!
+//! ```sh
+//! cargo run --release -p netobj-bench --example resilience
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netobj::transport::sim::{FlakePlan, SimNet};
+use netobj::transport::Endpoint;
+use netobj::wire::ObjIx;
+use netobj::{network_object, Error, NetResult, Options, RetryPolicy, Space};
+use parking_lot::Mutex;
+
+network_object! {
+    /// A counter whose read is marked idempotent (retryable on ambiguity).
+    pub interface Counter ("demo.ResilientCounter"):
+        client CounterClient, export CounterExport
+    {
+        0 => fn add(&self, n: i64) -> i64;
+        1 [idempotent] => fn read(&self) -> i64;
+    }
+}
+
+struct Impl {
+    value: Mutex<i64>,
+    executions: AtomicU64,
+}
+
+impl Counter for Impl {
+    fn add(&self, n: i64) -> NetResult<i64> {
+        self.executions.fetch_add(1, Ordering::SeqCst);
+        let mut v = self.value.lock();
+        *v += n;
+        Ok(*v)
+    }
+    fn read(&self) -> NetResult<i64> {
+        Ok(*self.value.lock())
+    }
+}
+
+fn space_on(net: &Arc<SimNet>, name: &str, opts: Options) -> Space {
+    Space::builder()
+        .transport(Arc::new(Arc::clone(net)))
+        .listen(Endpoint::sim(name))
+        .options(opts)
+        .build()
+        .unwrap()
+}
+
+fn counter_at(client: &Space, name: &str) -> CounterClient {
+    CounterClient::narrow(
+        client
+            .import_root(&Endpoint::sim(name), ObjIx::FIRST_USER)
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+fn main() {
+    let net = SimNet::with_seed(Default::default(), 2026);
+    let mut opts = Options::fast();
+    opts.call_timeout = Duration::from_secs(2);
+    opts.retry = RetryPolicy {
+        max_attempts: 20,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(25),
+        attempt_timeout: Some(Duration::from_millis(120)),
+    };
+    opts.breaker.failure_threshold = 3;
+    opts.breaker.cooldown = Duration::from_millis(300);
+
+    let imp = Arc::new(Impl {
+        value: Mutex::new(0),
+        executions: AtomicU64::new(0),
+    });
+    let owner = space_on(&net, "owner", opts.clone());
+    owner
+        .export(Arc::new(CounterExport(Arc::clone(&imp))))
+        .unwrap();
+    let client = space_on(&net, "client", opts.clone());
+    let c = counter_at(&client, "owner");
+    c.add(1).unwrap();
+
+    println!("== 1. idempotent reads through a 25% flaky link ==");
+    // A separate client with the breaker off: a low-threshold breaker
+    // would otherwise open mid-retry-loop on consecutive ambiguous
+    // timeouts and fail the call fast instead of retrying through.
+    let mut retry_opts = opts.clone();
+    retry_opts.breaker.enabled = false;
+    let retry_client = space_on(&net, "retry-client", retry_opts);
+    let rc = counter_at(&retry_client, "owner");
+    net.set_flake("owner", Some(FlakePlan::uniform(0.25)), 7);
+    let t0 = Instant::now();
+    for _ in 0..20 {
+        rc.read().expect("retried transparently");
+    }
+    net.set_flake("owner", None, 0);
+    println!(
+        "  20/20 reads ok in {:?}; retries_attempted={}",
+        t0.elapsed(),
+        retry_client.stats().retries_attempted
+    );
+    drop(rc);
+
+    println!("== 2. silent partition: breaker opens, then calls fail fast ==");
+    net.set_down("owner", true);
+    while client.stats().breaker_opened == 0 {
+        let _ = c.add(1);
+    }
+    let t0 = Instant::now();
+    let err = c.add(1).unwrap_err();
+    println!(
+        "  breaker open: call failed in {:?} (timeout is 2s): {err}",
+        t0.elapsed()
+    );
+    net.set_down("owner", false);
+    std::thread::sleep(opts.breaker.cooldown + Duration::from_millis(50));
+    while c.add(1).is_err() {}
+    println!(
+        "  healed: calls flow again; calls_failed_fast={}",
+        client.stats().calls_failed_fast
+    );
+
+    println!("== 3. owner crash: lease renewals fail, surrogate breaks ==");
+    // A lease-mode client: its renewals are what detect the owner's death.
+    // (A partition longer than a few renewal rounds would equally break the
+    // surrogate — correctly so, since the owner expires the lease too.)
+    let mut lease_opts = opts.clone();
+    lease_opts.lease = Some(Duration::from_millis(400));
+    lease_opts.dirty_timeout = Duration::from_millis(150);
+    let lease_client = space_on(&net, "lease-client", lease_opts);
+    let lc = counter_at(&lease_client, "owner");
+    lc.add(1).unwrap();
+    owner.crash();
+    net.crash("owner");
+    loop {
+        match lc.read() {
+            Err(Error::OwnerDead(id)) => {
+                println!("  owner {id} declared dead");
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let t0 = Instant::now();
+    let err = lc.add(1).unwrap_err();
+    println!("  broken surrogate failed in {:?}: {err}", t0.elapsed());
+
+    println!("== 4. restart: fresh import binds the new incarnation ==");
+    net.restart("owner");
+    let owner2 = space_on(&net, "owner", opts);
+    let imp2 = Arc::new(Impl {
+        value: Mutex::new(0),
+        executions: AtomicU64::new(0),
+    });
+    owner2
+        .export(Arc::new(CounterExport(Arc::clone(&imp2))))
+        .unwrap();
+    // The lease client's breaker for this endpoint is still open from the
+    // crash: binds fail fast until the cooldown admits a probe. Retry the
+    // import as a real client would.
+    let t0 = Instant::now();
+    let fresh = loop {
+        match lease_client.import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER) {
+            Ok(h) => break CounterClient::narrow(h).unwrap(),
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    };
+    println!(
+        "  re-bound after {:?} (breaker cooldown + probe)",
+        t0.elapsed()
+    );
+    println!(
+        "  new incarnation: add(5) -> {}; stale stub -> {:?}",
+        fresh.add(5).unwrap(),
+        lc.add(1).map_err(|e| e.to_string())
+    );
+    println!(
+        "  stats: reconnects={} breaker_opened={} calls_failed_fast={}",
+        lease_client.stats().reconnects,
+        client.stats().breaker_opened,
+        client.stats().calls_failed_fast
+    );
+    println!("ok");
+}

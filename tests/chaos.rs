@@ -1,0 +1,407 @@
+//! Chaos tests: seeded fault schedules driving the resilient call layer.
+//!
+//! Each scenario builds a `SimNet` with a fixed seed (reproducible fault
+//! schedules) and asserts *invariants* — at-most-once execution observed
+//! through server-side counters, eventual convergence after healing,
+//! fail-fast latency bounds — rather than exact traces, so the tests are
+//! deterministic in outcome even though thread interleavings vary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netobj::transport::sim::{FlakePlan, LinkConfig, SimNet};
+use netobj::transport::Endpoint;
+use netobj::wire::ObjIx;
+use netobj::{network_object, Error, NetResult, Options, RetryPolicy, Space};
+use parking_lot::Mutex;
+
+network_object! {
+    /// A counter with one at-most-once method and one idempotent method.
+    pub interface Counter ("chaos.Counter"): client CounterClient, export CounterExport {
+        0 => fn add(&self, n: i64) -> i64;
+        1 [idempotent] => fn read(&self) -> i64;
+    }
+}
+
+/// Server-side implementation that counts *executions* (not replies): the
+/// ground truth for at-most-once assertions.
+struct CounterImpl {
+    value: Mutex<i64>,
+    adds_executed: AtomicU64,
+    reads_executed: AtomicU64,
+    /// Artificial per-call service time (for saturation scenarios).
+    service_time: Duration,
+}
+
+impl CounterImpl {
+    fn new() -> Arc<CounterImpl> {
+        CounterImpl::slow(Duration::ZERO)
+    }
+
+    fn slow(service_time: Duration) -> Arc<CounterImpl> {
+        Arc::new(CounterImpl {
+            value: Mutex::new(0),
+            adds_executed: AtomicU64::new(0),
+            reads_executed: AtomicU64::new(0),
+            service_time,
+        })
+    }
+}
+
+impl Counter for CounterImpl {
+    fn add(&self, n: i64) -> NetResult<i64> {
+        self.adds_executed.fetch_add(1, Ordering::SeqCst);
+        if !self.service_time.is_zero() {
+            std::thread::sleep(self.service_time);
+        }
+        let mut v = self.value.lock();
+        *v += n;
+        Ok(*v)
+    }
+
+    fn read(&self) -> NetResult<i64> {
+        self.reads_executed.fetch_add(1, Ordering::SeqCst);
+        Ok(*self.value.lock())
+    }
+}
+
+fn space_on(net: &Arc<SimNet>, name: &str, options: Options) -> Space {
+    Space::builder()
+        .transport(Arc::new(Arc::clone(net)))
+        .listen(Endpoint::sim(name))
+        .options(options)
+        .build()
+        .unwrap()
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out: {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn import_counter(client: &Space, owner: &str) -> CounterClient {
+    CounterClient::narrow(
+        client
+            .import_root(&Endpoint::sim(owner), ObjIx::FIRST_USER)
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+/// Scenario 1: a seeded flaky link drops ~25% of frames. Calls to the
+/// `[idempotent]` method, under a retry policy with a per-attempt
+/// deadline, all succeed transparently — and the retries are observable
+/// in the stats.
+#[test]
+fn flaky_link_idempotent_calls_retry_transparently() {
+    let net = SimNet::with_seed(LinkConfig::instant(), 0xC0FFEE);
+    let mut opts = Options::fast();
+    opts.call_timeout = Duration::from_secs(6);
+    opts.retry = RetryPolicy {
+        max_attempts: 20,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(25),
+        attempt_timeout: Some(Duration::from_millis(120)),
+    };
+    // The flake would also open the breaker mid-run and fail calls fast;
+    // this scenario isolates the retry path.
+    opts.breaker.enabled = false;
+    let owner = space_on(&net, "owner", opts.clone());
+    let imp = CounterImpl::new();
+    owner
+        .export(Arc::new(CounterExport(Arc::clone(&imp))))
+        .unwrap();
+    let client = space_on(&net, "client", opts);
+    let c = import_counter(&client, "owner");
+
+    net.set_flake("owner", Some(FlakePlan::uniform(0.25)), 42);
+    for _ in 0..20 {
+        c.read().expect("idempotent call must survive the flake");
+    }
+    net.set_flake("owner", None, 0);
+
+    assert!(
+        client.stats().retries_attempted >= 1,
+        "a 25% flake over 20 calls must force at least one retry: {:?}",
+        client.stats()
+    );
+    // Idempotent retries may re-execute; executions ≥ calls is expected.
+    assert!(imp.reads_executed.load(Ordering::SeqCst) >= 20);
+}
+
+/// Scenario 2: the same flaky link, but the *at-most-once* method. Failed
+/// calls are ambiguous (the frame vanished silently) and must NOT be
+/// retried: the server-side execution counter never exceeds one execution
+/// per issued call.
+#[test]
+fn ambiguous_failures_never_double_execute() {
+    let net = SimNet::with_seed(LinkConfig::instant(), 7);
+    let mut opts = Options::fast();
+    opts.call_timeout = Duration::from_millis(300);
+    opts.breaker.enabled = false; // isolate the classification logic
+    let owner = space_on(&net, "owner", opts.clone());
+    let imp = CounterImpl::new();
+    owner
+        .export(Arc::new(CounterExport(Arc::clone(&imp))))
+        .unwrap();
+    let client = space_on(&net, "client", opts);
+    let c = import_counter(&client, "owner");
+
+    net.set_flake("owner", Some(FlakePlan::uniform(0.25)), 1234);
+    let total = 24;
+    let mut successes = 0u64;
+    let mut failures = 0u64;
+    for _ in 0..total {
+        match c.add(1) {
+            Ok(_) => successes += 1,
+            Err(e) => {
+                assert!(
+                    e.is_ambiguous(),
+                    "silent drops must surface as ambiguous, got {e:?}"
+                );
+                failures += 1;
+            }
+        }
+    }
+    net.set_flake("owner", None, 0);
+
+    let executed = imp.adds_executed.load(Ordering::SeqCst);
+    assert_eq!(successes + failures, total);
+    assert!(failures >= 1, "seed 1234 must produce at least one failure");
+    assert!(executed >= successes, "every success executed");
+    assert!(
+        executed <= successes + failures,
+        "at-most-once violated: {executed} executions for {successes} \
+         successes + {failures} ambiguous failures"
+    );
+    // The load-bearing default: no transparent retries of ambiguous
+    // failures on a non-idempotent method.
+    assert_eq!(client.stats().retries_attempted, 0);
+}
+
+/// Scenario 3: worker-pool saturation sheds calls with a retryable `Busy`
+/// reply. Shed calls never executed, so transparent retries preserve
+/// exactly-once-per-success — verified against the server-side counter.
+#[test]
+fn shed_calls_retry_and_never_double_execute() {
+    let net = SimNet::with_seed(LinkConfig::instant(), 3);
+    let mut opts = Options::fast();
+    opts.workers = 1;
+    opts.server_queue_limit = Some(1);
+    opts.retry = RetryPolicy {
+        max_attempts: 20,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(100),
+        attempt_timeout: None,
+    };
+    let owner = space_on(&net, "owner", opts.clone());
+    let imp = CounterImpl::slow(Duration::from_millis(50));
+    owner
+        .export(Arc::new(CounterExport(Arc::clone(&imp))))
+        .unwrap();
+    let client = space_on(&net, "client", opts);
+    let c = import_counter(&client, "owner");
+
+    let threads: Vec<_> = (0..6)
+        .map(|_| {
+            let c = c.clone();
+            std::thread::spawn(move || c.add(1))
+        })
+        .collect();
+    let mut ok = 0;
+    for t in threads {
+        if t.join().unwrap().is_ok() {
+            ok += 1;
+        }
+    }
+    assert_eq!(ok, 6, "every call must eventually get through");
+    assert_eq!(
+        imp.adds_executed.load(Ordering::SeqCst),
+        6,
+        "a shed call must not have executed; retries must not double-execute"
+    );
+    assert_eq!(*imp.value.lock(), 6);
+}
+
+/// Scenario 4: the owner crashes; lease renewals fail until the client
+/// declares the owner dead. From then on its surrogates are *broken*:
+/// calls fail immediately with `OwnerDead` instead of burning the full
+/// call timeout.
+#[test]
+fn crashed_owner_breaks_surrogates_to_fail_fast() {
+    let net = SimNet::with_seed(LinkConfig::instant(), 5);
+    let mut opts = Options::fast();
+    opts.call_timeout = Duration::from_secs(5);
+    opts.lease = Some(Duration::from_millis(400));
+    opts.dirty_timeout = Duration::from_millis(150);
+    let owner = space_on(&net, "owner", opts.clone());
+    let imp = CounterImpl::new();
+    owner
+        .export(Arc::new(CounterExport(Arc::clone(&imp))))
+        .unwrap();
+    let client = space_on(&net, "client", opts);
+    let c = import_counter(&client, "owner");
+    assert_eq!(c.add(1).unwrap(), 1);
+
+    owner.crash();
+    net.crash("owner");
+
+    // Renewal failures accumulate until the owner is declared dead.
+    wait_until("owner declared dead", || {
+        matches!(c.read(), Err(Error::OwnerDead(_)))
+    });
+
+    // Broken surrogate: fail-fast, not a timeout-sized stall.
+    let t0 = Instant::now();
+    let got = c.add(1);
+    let elapsed = t0.elapsed();
+    assert!(matches!(got, Err(Error::OwnerDead(_))), "{got:?}");
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "broken surrogate must fail fast, took {elapsed:?} \
+         (call_timeout is 5s)"
+    );
+    assert!(client.stats().calls_failed_fast >= 1);
+    assert_eq!(
+        imp.adds_executed.load(Ordering::SeqCst),
+        1,
+        "no call reached the dead owner"
+    );
+}
+
+/// Scenario 5: crash and restart. The restarted process is a *new* space
+/// (fresh id) at the old endpoint: stale surrogates fail definitively,
+/// fresh imports work, and the reconnect is visible in the stats.
+#[test]
+fn restarted_owner_serves_fresh_imports_and_rejects_stale_stubs() {
+    let net = SimNet::with_seed(LinkConfig::instant(), 11);
+    let opts = Options::fast();
+    let owner = space_on(&net, "owner", opts.clone());
+    let imp = CounterImpl::new();
+    owner
+        .export(Arc::new(CounterExport(Arc::clone(&imp))))
+        .unwrap();
+    let client = space_on(&net, "client", opts.clone());
+    let old = import_counter(&client, "owner");
+    assert_eq!(old.add(1).unwrap(), 1);
+
+    owner.crash();
+    net.crash("owner");
+    net.restart("owner");
+    let owner2 = space_on(&net, "owner", opts);
+    let imp2 = CounterImpl::new();
+    owner2
+        .export(Arc::new(CounterExport(Arc::clone(&imp2))))
+        .unwrap();
+    assert_ne!(owner2.id(), owner.id(), "a restart is a new space");
+
+    // Fresh import binds to the new incarnation and starts clean.
+    let fresh = import_counter(&client, "owner");
+    assert_eq!(fresh.add(5).unwrap(), 5);
+    assert_eq!(imp2.adds_executed.load(Ordering::SeqCst), 1);
+
+    // The stale stub carries the dead incarnation's wireRep: the new owner
+    // answers NoSuchObject — a definite failure, never silently re-bound.
+    let got = old.add(1);
+    assert!(matches!(got, Err(Error::Rpc(_))), "{got:?}");
+    assert_eq!(*imp2.value.lock(), 5, "stale stub must not touch new state");
+
+    // The crash killed the pooled connection; the fresh import reconnected.
+    assert!(
+        client.stats().reconnects >= 1,
+        "expected a counted reconnect: {:?}",
+        client.stats()
+    );
+}
+
+/// Scenario 6: a silent partition makes consecutive calls time out until
+/// the circuit breaker opens; from then on calls fail fast. After healing
+/// and the cooldown, a probe closes the breaker and calls flow again.
+#[test]
+fn breaker_opens_fails_fast_and_recovers_after_heal() {
+    let net = SimNet::with_seed(LinkConfig::instant(), 21);
+    let mut opts = Options::fast();
+    opts.call_timeout = Duration::from_millis(250);
+    opts.breaker.failure_threshold = 3;
+    opts.breaker.cooldown = Duration::from_millis(200);
+    let owner = space_on(&net, "owner", opts.clone());
+    let imp = CounterImpl::new();
+    owner
+        .export(Arc::new(CounterExport(Arc::clone(&imp))))
+        .unwrap();
+    let client = space_on(&net, "client", opts);
+    let c = import_counter(&client, "owner");
+    assert_eq!(c.add(1).unwrap(), 1);
+
+    net.set_down("owner", true);
+    wait_until("breaker opens", || {
+        let _ = c.add(1);
+        client.stats().breaker_opened >= 1
+    });
+
+    // Open breaker: rejection without touching the network.
+    let failed_fast_before = client.stats().calls_failed_fast;
+    let t0 = Instant::now();
+    let got = c.add(1);
+    let elapsed = t0.elapsed();
+    assert!(got.is_err());
+    assert!(
+        elapsed < Duration::from_millis(100),
+        "open breaker must fail fast, took {elapsed:?}"
+    );
+    assert!(client.stats().calls_failed_fast > failed_fast_before);
+
+    net.set_down("owner", false);
+    // After the cooldown the next call is admitted as a probe, succeeds,
+    // and closes the breaker.
+    wait_until("breaker recovers", || c.add(1).is_ok());
+    // Failed adds during the partition never executed (their frames were
+    // silently eaten), so the value equals the execution count.
+    assert_eq!(
+        c.read().unwrap(),
+        imp.adds_executed.load(Ordering::SeqCst) as i64
+    );
+}
+
+/// Scenario 7: clean calls issued into heavy seeded flake keep retrying
+/// with the same sequence number; once the weather clears, cleanup
+/// converges — the owner hears the clean and the client reclaims its slot.
+#[test]
+fn cleans_converge_after_flake_clears() {
+    let net = SimNet::with_seed(LinkConfig::instant(), 31);
+    let mut opts = Options::fast();
+    opts.clean_timeout = Duration::from_millis(150);
+    opts.clean_retry = Duration::from_millis(50);
+    opts.max_clean_retries = 100;
+    let owner = space_on(&net, "owner", opts.clone());
+    let imp = CounterImpl::new();
+    owner
+        .export(Arc::new(CounterExport(Arc::clone(&imp))))
+        .unwrap();
+    let client = space_on(&net, "client", opts);
+    let c = import_counter(&client, "owner");
+    assert_eq!(c.add(1).unwrap(), 1);
+
+    // Heavy bursty loss: most clean attempts die on the wire.
+    net.set_flake(
+        "owner",
+        Some(FlakePlan {
+            loss: 0.8,
+            burst_len: 3,
+        }),
+        4242,
+    );
+    let cleans_before = owner.stats().clean_received;
+    drop(c);
+    std::thread::sleep(Duration::from_millis(400));
+    net.set_flake("owner", None, 0);
+
+    wait_until("clean lands after heal", || {
+        owner.stats().clean_received > cleans_before
+    });
+    wait_until("client slot reclaimed", || client.imported_count() == 0);
+}

@@ -1,0 +1,190 @@
+//! Vendored subset of the `bytes` crate API.
+//!
+//! The workspace builds in environments with no registry access, so the
+//! external crate is replaced by this shim. `BytesMut` here is a plain
+//! `Vec<u8>` plus a consumed-prefix offset: `advance`/`split_to` move the
+//! offset instead of memmoving, and the buffer compacts once the dead
+//! prefix dominates. No shared-slab refcounting — none of the wire code
+//! relies on it.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer readable from the front and writable at the back.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Bytes before this offset have been consumed by `advance`/`split_to`.
+    start: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.start = 0;
+    }
+
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Splits off and returns the first `n` readable bytes.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of range");
+        let front = self.data[self.start..self.start + n].to_vec();
+        self.start += n;
+        self.maybe_compact();
+        BytesMut {
+            data: front,
+            start: 0,
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.start..].to_vec()
+    }
+
+    fn maybe_compact(&mut self) {
+        // Reclaim the consumed prefix once it outweighs the live bytes, so
+        // a long-lived decode buffer doesn't grow without bound.
+        if self.start > 4096 && self.start >= self.data.len() - self.start {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Read-side cursor operations (subset of `bytes::Buf`).
+pub trait Buf {
+    fn advance(&mut self, n: usize);
+    fn remaining(&self) -> usize;
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of range");
+        self.start += n;
+        self.maybe_compact();
+    }
+
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Write-side append operations (subset of `bytes::BufMut`).
+pub trait BufMut {
+    fn put_slice(&mut self, bytes: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_read_back() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32_le(7);
+        b.put_slice(b"abc");
+        assert_eq!(b.len(), 7);
+        assert_eq!(&b[..4], 7u32.to_le_bytes());
+        assert_eq!(&b[4..], b"abc");
+    }
+
+    #[test]
+    fn advance_then_split_to() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"0123456789");
+        b.advance(4);
+        assert_eq!(&*b, b"456789");
+        let front = b.split_to(2);
+        assert_eq!(front.to_vec(), b"45");
+        assert_eq!(&*b, b"6789");
+    }
+
+    #[test]
+    fn compaction_keeps_contents() {
+        let mut b = BytesMut::new();
+        let chunk = [0xabu8; 1024];
+        for _ in 0..16 {
+            b.extend_from_slice(&chunk);
+        }
+        b.advance(9 * 1024);
+        assert_eq!(b.len(), 7 * 1024);
+        assert!(b.iter().all(|&x| x == 0xab));
+    }
+
+    #[test]
+    #[should_panic(expected = "advance out of range")]
+    fn advance_past_end_panics() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"xy");
+        b.advance(3);
+    }
+}

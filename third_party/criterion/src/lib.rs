@@ -1,0 +1,233 @@
+//! Vendored subset of the `criterion` API.
+//!
+//! The workspace builds in environments with no registry access, so the
+//! external crate is replaced by this shim. Bench sources compile and run
+//! unchanged; instead of criterion's statistical machinery, each benchmark
+//! is timed with a simple warmup + measured-batch loop and reported as one
+//! plain-text line (mean ns/iter plus derived throughput when configured).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("ungrouped");
+        g.bench_function(id, &mut f);
+        g.finish();
+        self
+    }
+}
+
+/// Units for derived-throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            // Cap the per-benchmark budget so full bench binaries stay
+            // quick; criterion's defaults assume minutes of runtime.
+            budget: self.measurement_time.min(Duration::from_millis(500)),
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / mean_ns * 1e9)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: {mean_ns:.0} ns/iter ({} iters){rate}",
+            self.name, b.iters
+        );
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one untimed call (page in code, fill caches).
+        black_box(routine());
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Gives the routine an iteration count and trusts its own timing —
+    /// used when per-iteration setup must be excluded.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let iters = 10u64;
+        self.total += routine(iters);
+        self.iters += iters;
+    }
+}
+
+/// Expands to a function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(5).measurement_time(Duration::from_millis(10));
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs > 1);
+    }
+
+    #[test]
+    fn iter_custom_accumulates() {
+        let mut b = Bencher {
+            budget: Duration::from_millis(10),
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter_custom(|iters| Duration::from_nanos(iters * 100));
+        assert_eq!(b.iters, 10);
+        assert_eq!(b.total, Duration::from_nanos(1000));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("send", 4096).0, "send/4096");
+        assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+    }
+}

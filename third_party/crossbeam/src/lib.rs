@@ -1,0 +1,10 @@
+//! Vendored subset of the `crossbeam` API: the `channel` module.
+//!
+//! The workspace builds in environments with no registry access, so the
+//! external crate is replaced by this shim. It provides multi-producer
+//! *multi-consumer* channels (std's mpsc receiver is single-consumer, so
+//! the queue is built directly on a mutex + condvars) with crossbeam's
+//! disconnect semantics: a receive drains queued messages before reporting
+//! disconnection, and a send fails once every receiver is gone.
+
+pub mod channel;

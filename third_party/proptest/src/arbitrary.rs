@@ -1,0 +1,133 @@
+//! `any::<T>()` — the default strategy for a type.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a default generation strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Returns the default strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias 1-in-8 draws toward the boundary values where
+                // encoders historically break (zero, ±1, extremes).
+                if rng.next_u64() % 8 == 0 {
+                    let edges = [0 as $t, 1 as $t, <$t>::MAX, <$t>::MIN, <$t>::MAX - 1];
+                    edges[rng.below(edges.len())]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! arbitrary_wide_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                if rng.next_u64() % 8 == 0 {
+                    let edges = [0 as $t, 1 as $t, <$t>::MAX, <$t>::MIN];
+                    edges[rng.below(edges.len())]
+                } else {
+                    (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_wide_int!(u128, i128);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        crate::string::arbitrary_char(rng)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mostly finite values across many magnitudes; occasional specials.
+        match rng.next_u64() % 16 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            _ => {
+                let mantissa = rng.unit_f64() * 2.0 - 1.0;
+                let exp = (rng.next_u64() % 600) as i32 - 300;
+                mantissa * 10f64.powi(exp)
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_hit_edges_eventually() {
+        let mut zeros = 0;
+        let mut maxes = 0;
+        for case in 0..400 {
+            let mut rng = TestRng::deterministic("arb", case);
+            let v = u64::arbitrary(&mut rng);
+            if v == 0 {
+                zeros += 1;
+            }
+            if v == u64::MAX {
+                maxes += 1;
+            }
+        }
+        assert!(zeros > 0 && maxes > 0);
+    }
+
+    #[test]
+    fn any_is_a_strategy() {
+        let s = any::<i32>();
+        let mut rng = TestRng::deterministic("any", 0);
+        let _: i32 = s.generate(&mut rng);
+    }
+}

@@ -1,0 +1,55 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy for `Vec`s whose length is drawn from `len` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range in collection::vec");
+    VecStrategy { element, len }
+}
+
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end - self.len.start;
+        let n = self.len.start + rng.below(span);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_respect_range() {
+        let s = vec(any::<u8>(), 2..5);
+        for case in 0..100 {
+            let mut rng = TestRng::deterministic("vec", case);
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn zero_length_possible() {
+        let s = vec(any::<u8>(), 0..3);
+        let mut saw_empty = false;
+        for case in 0..60 {
+            let mut rng = TestRng::deterministic("vec0", case);
+            saw_empty |= s.generate(&mut rng).is_empty();
+        }
+        assert!(saw_empty);
+    }
+}

@@ -1,0 +1,285 @@
+//! The `Strategy` trait and the combinators the test suites use.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value-tree/shrinking layer: a
+/// strategy simply produces a value from the case RNG.
+pub trait Strategy: Clone {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies a function to every generated value.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates the leaves, and `f`
+    /// wraps an inner strategy into one producing the next nesting level.
+    /// `depth` bounds the nesting; the size/branch hints are accepted for
+    /// API compatibility but not used.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // Each level is "a leaf, or one more wrapping of the previous
+            // level", so generated nesting depths vary from 0 to `depth`.
+            current = Union::new(vec![leaf.clone(), f(current).boxed()]).boxed();
+        }
+        current
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view of a strategy, for [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> BoxedStrategy<V> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U + Clone> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies (the `prop_oneof!` result).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Union<V> {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let ix = rng.below(self.arms.len());
+        self.arms[ix].generate(rng)
+    }
+}
+
+/// A strategy always producing clones of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Half-open numeric ranges are strategies over their element type.
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// Tuples of strategies generate tuples of values.
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+// String patterns (`".*"`, `"[a-z]{1,20}"`) are strategies over String.
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_matching(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy::tests", 0)
+    }
+
+    #[test]
+    fn just_yields_value() {
+        assert_eq!(Just(41).generate(&mut rng()), 41);
+    }
+
+    #[test]
+    fn map_applies() {
+        let s = (0u32..10).prop_map(|v| v * 2);
+        for case in 0..100 {
+            let mut r = TestRng::deterministic("map", case);
+            let v = s.generate(&mut r);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let s = crate::prop_oneof![Just(1), Just(2), Just(3)];
+        let mut seen = [false; 3];
+        for case in 0..64 {
+            let mut r = TestRng::deterministic("union", case);
+            seen[s.generate(&mut r) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn recursive_varies_depth() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(c) => 1 + depth(c),
+            }
+        }
+        let s = Just(Tree::Leaf).prop_recursive(4, 64, 8, |inner| {
+            inner.prop_map(|t| Tree::Node(Box::new(t)))
+        });
+        let mut depths = std::collections::HashSet::new();
+        for case in 0..200 {
+            let mut r = TestRng::deterministic("rec", case);
+            let d = depth(&s.generate(&mut r));
+            assert!(d <= 4);
+            depths.insert(d);
+        }
+        assert!(depths.len() >= 3, "expected varied depths, got {depths:?}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        for case in 0..200 {
+            let mut r = TestRng::deterministic("range", case);
+            let a = (1usize..40).generate(&mut r);
+            assert!((1..40).contains(&a));
+            let b = (-1e300f64..1e300).generate(&mut r);
+            assert!(b.is_finite());
+            let c = (-5i64..-1).generate(&mut r);
+            assert!((-5..-1).contains(&c));
+        }
+    }
+}

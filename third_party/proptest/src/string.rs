@@ -1,0 +1,141 @@
+//! String generation for `&str` pattern strategies.
+//!
+//! Supports the two pattern shapes used in this workspace:
+//!
+//! - `".*"` — arbitrary strings (possibly empty, possibly non-ASCII);
+//! - `"[class]{m,n}"` — `m..=n` characters drawn from a character class
+//!   with literal characters and `a-z`-style ranges.
+//!
+//! Anything unparsable falls back to the `".*"` behaviour, which keeps
+//! unknown patterns generating *something* rather than failing the build
+//! of an otherwise-passing suite.
+
+use crate::test_runner::TestRng;
+
+/// An arbitrary char: mostly printable ASCII, sometimes further afield so
+/// multi-byte UTF-8 paths get exercised.
+pub fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.next_u64() % 8 {
+        // Printable ASCII most of the time.
+        0..=5 => (0x20 + rng.below(0x5f) as u32) as u8 as char,
+        6 => {
+            // Latin-1 / BMP two- and three-byte encodings.
+            const SAMPLES: &[char] = &['é', 'ß', 'λ', '日', '本', '語', '—', '€', '\u{80}'];
+            SAMPLES[rng.below(SAMPLES.len())]
+        }
+        _ => {
+            // Anywhere in the supplementary planes (four-byte encodings),
+            // avoiding the surrogate gap by construction.
+            char::from_u32(0x10000 + (rng.next_u64() % 0xFFFF) as u32).unwrap_or('\u{10348}')
+        }
+    }
+}
+
+/// Generates a string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    match parse_class_repeat(pattern) {
+        Some((chars, lo, hi)) if !chars.is_empty() => {
+            let n = lo + rng.below(hi - lo + 1);
+            (0..n).map(|_| chars[rng.below(chars.len())]).collect()
+        }
+        _ => {
+            // ".*" and fallback: length skewed toward short strings.
+            let n = match rng.next_u64() % 4 {
+                0 => 0,
+                1 => rng.below(4),
+                2 => rng.below(16),
+                _ => rng.below(64),
+            };
+            (0..n).map(|_| arbitrary_char(rng)).collect()
+        }
+    }
+}
+
+/// Parses `[class]{m,n}` into (member chars, m, n).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    if lo > hi {
+        return None;
+    }
+
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        // `a-z` is a range when the dash is between two chars; a leading
+        // or trailing dash is a literal.
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (start, end) = (cs[i] as u32, cs[i + 2] as u32);
+            if start > end {
+                return None;
+            }
+            chars.extend((start..=end).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    Some((chars, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_pattern_respected() {
+        for case in 0..100 {
+            let mut rng = TestRng::deterministic("class", case);
+            let s = generate_matching("[a-z.]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.chars().count()), "len of {s:?}");
+            assert!(s.chars().all(|c| c == '.' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn class_with_literal_dash() {
+        for case in 0..100 {
+            let mut rng = TestRng::deterministic("dash", case);
+            let s = generate_matching("[a-zA-Z0-9._-]{1,40}", &mut rng);
+            assert!((1..=40).contains(&s.chars().count()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || ".-_".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_star_produces_varied_strings() {
+        let mut empties = 0;
+        let mut non_ascii = 0;
+        for case in 0..200 {
+            let mut rng = TestRng::deterministic("dotstar", case);
+            let s = generate_matching(".*", &mut rng);
+            if s.is_empty() {
+                empties += 1;
+            }
+            if !s.is_ascii() {
+                non_ascii += 1;
+            }
+        }
+        assert!(empties > 0, "should generate empty strings");
+        assert!(non_ascii > 0, "should exercise multi-byte UTF-8");
+    }
+
+    #[test]
+    fn generated_chars_are_valid() {
+        for case in 0..500 {
+            let mut rng = TestRng::deterministic("chars", case);
+            let c = arbitrary_char(&mut rng);
+            let mut buf = [0u8; 4];
+            let _ = c.encode_utf8(&mut buf);
+        }
+    }
+}
