@@ -19,9 +19,10 @@ use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, RecvTimeoutError};
-use netobj_transport::Endpoint;
+use netobj_transport::clock::recv_deadline;
+use netobj_transport::{ClockHandle, Endpoint};
 use netobj_wire::pickle::Pickle;
-use netobj_wire::{ObjIx, SpaceId, TypeList, WireRep};
+use netobj_wire::{ObjIx, SpaceId, TraceKind, TypeList, WireRep};
 
 use crate::error::{Error, NetResult};
 use crate::handle::{Handle, HandleKind, SurrogateCore};
@@ -79,12 +80,13 @@ pub(crate) fn dispatch_gc(
     match method {
         methods::DIRTY => {
             let (ix, seqno, client_ep) = <(u64, u64, Option<Endpoint>)>::from_pickle_bytes(args)?;
+            let target = WireRep::new(space.id(), ObjIx(ix));
             let outcome = space.inner.table.exports.lock().apply_dirty(
                 ObjIx(ix),
                 caller,
                 seqno,
                 client_ep,
-                Instant::now(),
+                space.inner.options.clock.now(),
             );
             match outcome {
                 DirtyOutcome::Applied(types) => {
@@ -93,6 +95,12 @@ pub(crate) fn dispatch_gc(
                         .stats
                         .dirty_received
                         .fetch_add(1, Ordering::Relaxed);
+                    space.emit(TraceKind::DirtyApplied {
+                        owner: space.id(),
+                        client: caller,
+                        target,
+                        seqno,
+                    });
                     Ok(types.to_pickle_bytes())
                 }
                 DirtyOutcome::Stale => {
@@ -105,9 +113,21 @@ pub(crate) fn dispatch_gc(
                         .stats
                         .dirty_stale
                         .fetch_add(1, Ordering::Relaxed);
+                    space.emit(TraceKind::DirtyStale {
+                        owner: space.id(),
+                        client: caller,
+                        target,
+                        seqno,
+                    });
                     Err(Error::ImportFailed("stale dirty call".into()))
                 }
                 DirtyOutcome::NoSuchObject => {
+                    space.emit(TraceKind::DirtyRefused {
+                        owner: space.id(),
+                        client: caller,
+                        target,
+                        seqno,
+                    });
                     Err(Error::NoSuchObject(WireRep::new(space.id(), ObjIx(ix))))
                 }
             }
@@ -125,6 +145,7 @@ pub(crate) fn dispatch_gc(
                 .stats
                 .clean_received
                 .fetch_add(1, Ordering::Relaxed);
+            trace_clean_outcome(space, caller, ObjIx(ix), seqno, strong, outcome);
             if outcome == CleanOutcome::Collected {
                 space
                     .inner
@@ -132,20 +153,31 @@ pub(crate) fn dispatch_gc(
                     .exports_collected
                     .fetch_add(1, Ordering::Relaxed);
             }
-            let _ = strong; // Strength only affects client bookkeeping; the
-                            // seqno floor already makes the clean final.
             Ok(().to_pickle_bytes())
         }
         methods::CLEAN_BATCH => {
             let entries = <Vec<(u64, u64, bool)>>::from_pickle_bytes(args)?;
-            let mut exports = space.inner.table.exports.lock();
+            let outcomes: Vec<(u64, u64, bool, CleanOutcome)> = {
+                let mut exports = space.inner.table.exports.lock();
+                entries
+                    .iter()
+                    .map(|&(ix, seqno, strong)| {
+                        (
+                            ix,
+                            seqno,
+                            strong,
+                            exports.apply_clean(ObjIx(ix), caller, seqno),
+                        )
+                    })
+                    .collect()
+            };
             let mut collected = 0u64;
-            for (ix, seqno, _strong) in &entries {
-                if exports.apply_clean(ObjIx(*ix), caller, *seqno) == CleanOutcome::Collected {
+            for &(ix, seqno, strong, outcome) in &outcomes {
+                trace_clean_outcome(space, caller, ObjIx(ix), seqno, strong, outcome);
+                if outcome == CleanOutcome::Collected {
                     collected += 1;
                 }
             }
-            drop(exports);
             space
                 .inner
                 .stats
@@ -164,10 +196,49 @@ pub(crate) fn dispatch_gc(
                 .stats
                 .pings_received
                 .fetch_add(1, Ordering::Relaxed);
+            space.emit(TraceKind::PingReceived {
+                space: space.id(),
+                from: caller,
+            });
             Ok(().to_pickle_bytes())
         }
         methods::IDENTIFY => Ok((space.id(), space.endpoint()).to_pickle_bytes()),
         _ => Err(Error::app(format!("gc service has no method {method}"))),
+    }
+}
+
+/// Records the trace events for one applied (or rejected) clean call.
+fn trace_clean_outcome(
+    space: &Space,
+    caller: SpaceId,
+    ix: ObjIx,
+    seqno: u64,
+    strong: bool,
+    outcome: CleanOutcome,
+) {
+    let target = WireRep::new(space.id(), ix);
+    match outcome {
+        CleanOutcome::Stale => space.emit(TraceKind::CleanStale {
+            owner: space.id(),
+            client: caller,
+            target,
+            seqno,
+        }),
+        CleanOutcome::Removed | CleanOutcome::Collected | CleanOutcome::NoOp => {
+            space.emit(TraceKind::CleanApplied {
+                owner: space.id(),
+                client: caller,
+                target,
+                seqno,
+                strong,
+            });
+            if outcome == CleanOutcome::Collected {
+                space.emit(TraceKind::ExportCollected {
+                    owner: space.id(),
+                    target,
+                });
+            }
+        }
     }
 }
 
@@ -224,8 +295,14 @@ fn send_dirty(
     seqno: u64,
 ) -> NetResult<TypeList> {
     space.inner.stats.dirty_sent.fetch_add(1, Ordering::Relaxed);
+    space.emit(TraceKind::DirtySent {
+        client: space.id(),
+        owner: wirerep.space,
+        target: wirerep,
+        seqno,
+    });
     let args = (wirerep.ix.0, seqno, space.endpoint()).to_pickle_bytes();
-    let bytes = gc_call(
+    let result = gc_call(
         space,
         wirerep.space,
         owner_ep,
@@ -233,8 +310,27 @@ fn send_dirty(
         args,
         space.inner.options.dirty_timeout,
         false,
-    )?;
-    Ok(TypeList::from_pickle_bytes(&bytes)?)
+    );
+    // An ambiguous failure means no answer arrived — there is no ack to
+    // record, and a strong clean will resolve the uncertainty.
+    match &result {
+        Ok(_) => space.emit(TraceKind::DirtyAcked {
+            client: space.id(),
+            owner: wirerep.space,
+            target: wirerep,
+            seqno,
+            ok: true,
+        }),
+        Err(e) if !e.is_ambiguous() => space.emit(TraceKind::DirtyAcked {
+            client: space.id(),
+            owner: wirerep.space,
+            target: wirerep,
+            seqno,
+            ok: false,
+        }),
+        Err(_) => {}
+    }
+    Ok(TypeList::from_pickle_bytes(&result?)?)
 }
 
 fn send_clean(
@@ -253,6 +349,14 @@ fn send_clean(
     } else {
         space.inner.stats.clean_sent.fetch_add(1, Ordering::Relaxed);
     }
+    space.emit(TraceKind::CleanSent {
+        client: space.id(),
+        owner: wirerep.space,
+        target: wirerep,
+        seqno,
+        strong,
+        batched: false,
+    });
     let args = (wirerep.ix.0, seqno, strong).to_pickle_bytes();
     let bytes = gc_call(
         space,
@@ -263,6 +367,12 @@ fn send_clean(
         space.inner.options.clean_timeout,
         false,
     )?;
+    space.emit(TraceKind::CleanAcked {
+        client: space.id(),
+        owner: wirerep.space,
+        target: wirerep,
+        seqno,
+    });
     Ok(<()>::from_pickle_bytes(&bytes)?)
 }
 
@@ -311,11 +421,15 @@ pub(crate) fn import_ref(
                 );
                 drop(imports);
                 let seqno = space.next_gc_seqno();
-                let t0 = Instant::now();
+                let clock = space.inner.options.clock.clone();
+                let t0 = clock.now();
                 let result = send_dirty(space, wirerep, &owner_ep, seqno);
                 // The registering thread is "suspended deserialisation" for
                 // the dirty round-trip, exactly like the waiters behind it.
-                space.inner.stats.add_blocked(t0.elapsed());
+                space
+                    .inner
+                    .stats
+                    .add_blocked(clock.now().saturating_duration_since(t0));
                 let mut imports = space.inner.table.imports.lock();
                 let Some(slot) = imports.get_mut(&wirerep) else {
                     // Space raced shutdown; nothing to clean locally.
@@ -339,6 +453,11 @@ pub(crate) fn import_ref(
                             .stats
                             .surrogates_created
                             .fetch_add(1, Ordering::Relaxed);
+                        space.emit(TraceKind::SurrogateCreated {
+                            client: space.id(),
+                            target: wirerep,
+                            epoch: core.epoch,
+                        });
                         space.inner.table.import_cv.notify_all();
                         return Ok(Handle(HandleKind::Remote(core)));
                     }
@@ -394,6 +513,11 @@ pub(crate) fn import_ref(
                             .stats
                             .surrogates_resurrected
                             .fetch_add(1, Ordering::Relaxed);
+                        space.emit(TraceKind::SurrogateCreated {
+                            client: space.id(),
+                            target: wirerep,
+                            epoch: core.epoch,
+                        });
                         return Ok(Handle(HandleKind::Remote(core)));
                     }
                     ImportState::Creating
@@ -414,20 +538,41 @@ pub(crate) fn import_ref(
                             // clean call is in transit. The dirty call must
                             // wait for the clean acknowledgement.
                             slot.state = ImportState::CleanWaitResurrect;
+                            space.emit(TraceKind::SurrogateResurrecting {
+                                client: space.id(),
+                                target: wirerep,
+                                epoch: slot.epoch,
+                            });
                         }
                         // Block the deserialisation thread until the slot
                         // becomes usable (the paper suspends the
                         // unmarshaling thread).
                         slot.waiters += 1;
-                        let t0 = Instant::now();
+                        let clock = space.inner.options.clock.clone();
+                        let t0 = clock.now();
                         let deadline = t0 + space.inner.options.dirty_timeout * 2;
+                        let vc_token = clock.as_virtual().map(|vc| vc.register_deadline(deadline));
                         let outcome = loop {
-                            let timeout = space
-                                .inner
-                                .table
-                                .import_cv
-                                .wait_until(&mut imports, deadline)
-                                .timed_out();
+                            // Under a virtual clock the condvar cannot wait
+                            // until a virtual instant; poll briefly and let
+                            // auto-advance move time to the deadline.
+                            let timeout = match clock.as_virtual() {
+                                Some(vc) => {
+                                    space
+                                        .inner
+                                        .table
+                                        .import_cv
+                                        .wait_for(&mut imports, Duration::from_millis(1));
+                                    vc.maybe_auto_advance();
+                                    clock.now() >= deadline
+                                }
+                                None => space
+                                    .inner
+                                    .table
+                                    .import_cv
+                                    .wait_until(&mut imports, deadline)
+                                    .timed_out(),
+                            };
                             match imports.get_mut(&wirerep) {
                                 None => break WaitOutcome::Gone,
                                 Some(slot) => {
@@ -443,7 +588,13 @@ pub(crate) fn import_ref(
                                 }
                             }
                         };
-                        space.inner.stats.add_blocked(t0.elapsed());
+                        if let (Some(vc), Some(token)) = (clock.as_virtual(), vc_token) {
+                            vc.deregister(token);
+                        }
+                        space
+                            .inner
+                            .stats
+                            .add_blocked(clock.now().saturating_duration_since(t0));
                         match outcome {
                             WaitOutcome::Gone => {
                                 // Slot vanished (cleanup completed, or a
@@ -470,6 +621,11 @@ pub(crate) fn import_ref(
                                     .stats
                                     .surrogates_created
                                     .fetch_add(1, Ordering::Relaxed);
+                                space.emit(TraceKind::SurrogateCreated {
+                                    client: space.id(),
+                                    target: wirerep,
+                                    epoch: core.epoch,
+                                });
                                 return Ok(Handle(HandleKind::Remote(core)));
                             }
                             WaitOutcome::Failed => {
@@ -565,6 +721,11 @@ fn import_ref_fifo(
         .surrogates_created
         .fetch_add(1, Ordering::Relaxed);
     drop(imports);
+    space.emit(TraceKind::SurrogateCreated {
+        client: space.id(),
+        target: wirerep,
+        epoch: core.epoch,
+    });
 
     if needs_dirty {
         let (tx, rx) = crossbeam::channel::bounded(1);
@@ -599,9 +760,12 @@ pub(crate) fn start_demons(space: &Space) {
     let (tx, rx) = unbounded::<GcJob>();
     *space.inner.gc_tx.lock() = Some(tx);
     let weak = Arc::downgrade(&space.inner);
+    // Demons keep only a Weak to the space but a strong clock handle: the
+    // clock outliving the space is harmless, the reverse would leak it.
+    let clock = space.inner.options.clock.clone();
     let demon = std::thread::Builder::new()
         .name("netobj-cleanup".into())
-        .spawn(move || cleanup_loop(weak, rx))
+        .spawn(move || cleanup_loop(weak, rx, clock))
         .expect("spawn cleanup demon");
     *space.inner.demon.lock() = Some(demon);
 
@@ -609,9 +773,10 @@ pub(crate) fn start_demons(space: &Space) {
         space.inner.options.ping_interval.is_some() || space.inner.options.lease.is_some();
     if needs_pinger {
         let weak = Arc::downgrade(&space.inner);
+        let clock = space.inner.options.clock.clone();
         let pinger = std::thread::Builder::new()
             .name("netobj-pinger".into())
-            .spawn(move || ping_loop(weak))
+            .spawn(move || ping_loop(weak, clock))
             .expect("spawn ping demon");
         *space.inner.pinger.lock() = Some(pinger);
     }
@@ -633,16 +798,20 @@ struct CleanIntent {
     attempts: u32,
 }
 
-fn cleanup_loop(weak: Weak<SpaceInner>, rx: crossbeam::channel::Receiver<GcJob>) {
+fn cleanup_loop(
+    weak: Weak<SpaceInner>,
+    rx: crossbeam::channel::Receiver<GcJob>,
+    clock: ClockHandle,
+) {
     // Retry queue: (due time, intent).
     let mut retries: VecDeque<(Instant, CleanIntent)> = VecDeque::new();
     loop {
         let step = retries
             .front()
-            .map(|(due, _)| due.saturating_duration_since(Instant::now()))
+            .map(|(due, _)| due.saturating_duration_since(clock.now()))
             .unwrap_or(Duration::from_millis(100))
             .min(Duration::from_millis(100));
-        let first = rx.recv_timeout(step);
+        let first = recv_deadline(clock.as_dyn(), &rx, step);
         let Some(inner) = weak.upgrade() else { return };
         if inner.stopped.load(Ordering::Acquire) {
             return;
@@ -697,7 +866,7 @@ fn cleanup_loop(weak: Weak<SpaceInner>, rx: crossbeam::channel::Receiver<GcJob>)
         }
 
         // Due retries join the same dispatch round (and may batch).
-        let now = Instant::now();
+        let now = clock.now();
         let mut n = retries.len();
         while n > 0 {
             n -= 1;
@@ -864,7 +1033,7 @@ fn clean_failed(
             .clean_retries
             .fetch_add(1, Ordering::Relaxed);
         retries.push_back((
-            Instant::now() + space.inner.options.clean_retry,
+            space.inner.options.clock.now() + space.inner.options.clean_retry,
             CleanIntent {
                 attempts: intent.attempts + 1,
                 ..intent
@@ -907,6 +1076,16 @@ fn send_clean_batch(space: &Space, owner_ep: &Endpoint, intents: &[CleanIntent])
         .stats
         .clean_batches
         .fetch_add(1, Ordering::Relaxed);
+    for intent in intents {
+        space.emit(TraceKind::CleanSent {
+            client: space.id(),
+            owner: intent.wirerep.space,
+            target: intent.wirerep,
+            seqno: intent.seqno,
+            strong: intent.strong,
+            batched: true,
+        });
+    }
     let entries: Vec<(u64, u64, bool)> = intents
         .iter()
         .map(|i| (i.wirerep.ix.0, i.seqno, i.strong))
@@ -920,6 +1099,14 @@ fn send_clean_batch(space: &Space, owner_ep: &Endpoint, intents: &[CleanIntent])
         space.inner.options.clean_timeout,
         false,
     )?;
+    for intent in intents {
+        space.emit(TraceKind::CleanAcked {
+            client: space.id(),
+            owner: intent.wirerep.space,
+            target: intent.wirerep,
+            seqno: intent.seqno,
+        });
+    }
     Ok(<()>::from_pickle_bytes(&bytes)?)
 }
 
@@ -1004,16 +1191,16 @@ fn handle_clean_ack(space: &Space, wirerep: WireRep) {
 // Termination detection: pings and leases
 // ---------------------------------------------------------------------------
 
-fn ping_loop(weak: Weak<SpaceInner>) {
+fn ping_loop(weak: Weak<SpaceInner>, clock: ClockHandle) {
     let mut fail_counts: std::collections::HashMap<SpaceId, u32> = std::collections::HashMap::new();
     // Client role: consecutive failed lease-renewal *rounds* per owner. An
     // owner that misses `ping_failures` rounds in a row is declared dead.
     let mut renew_fail_rounds: std::collections::HashMap<SpaceId, u32> =
         std::collections::HashMap::new();
-    let mut last_ping = Instant::now();
-    let mut last_renew = Instant::now();
+    let mut last_ping = clock.now();
+    let mut last_renew = clock.now();
     loop {
-        std::thread::sleep(Duration::from_millis(25));
+        clock.sleep(Duration::from_millis(25));
         let Some(inner) = weak.upgrade() else { return };
         if inner.stopped.load(Ordering::Acquire) {
             return;
@@ -1023,8 +1210,8 @@ fn ping_loop(weak: Weak<SpaceInner>) {
 
         // Owner role: ping clients holding dirty entries.
         if let Some(interval) = options.ping_interval {
-            if last_ping.elapsed() >= interval {
-                last_ping = Instant::now();
+            if clock.now().saturating_duration_since(last_ping) >= interval {
+                last_ping = clock.now();
                 let clients = space.inner.table.exports.lock().dirty_clients();
                 for (client, ep) in clients {
                     let Some(ep) = ep else { continue };
@@ -1038,6 +1225,10 @@ fn ping_loop(weak: Weak<SpaceInner>) {
                             // "The client is assumed to have died, and is
                             // removed from all dirty sets at that owner."
                             let collected = space.inner.table.exports.lock().purge_client(client);
+                            space.emit(TraceKind::ClientPurged {
+                                owner: space.id(),
+                                client,
+                            });
                             space
                                 .inner
                                 .stats
@@ -1057,24 +1248,31 @@ fn ping_loop(weak: Weak<SpaceInner>) {
 
         // Lease mode.
         if let Some(lease) = options.lease {
-            // Owner role: expire unrenewed entries.
-            let cutoff = Instant::now() - lease;
-            let (expired, collected) = space.inner.table.exports.lock().expire_leases(cutoff);
-            if expired > 0 {
-                space
-                    .inner
-                    .stats
-                    .leases_expired
-                    .fetch_add(expired, Ordering::Relaxed);
-                space
-                    .inner
-                    .stats
-                    .exports_collected
-                    .fetch_add(collected, Ordering::Relaxed);
+            // Owner role: expire unrenewed entries. (checked_sub: a virtual
+            // clock starts with headroom, but a very young system clock may
+            // not reach back a full lease.)
+            if let Some(cutoff) = clock.now().checked_sub(lease) {
+                let (expired, collected) = space.inner.table.exports.lock().expire_leases(cutoff);
+                if expired > 0 {
+                    space.emit(TraceKind::LeaseExpired {
+                        owner: space.id(),
+                        expired,
+                    });
+                    space
+                        .inner
+                        .stats
+                        .leases_expired
+                        .fetch_add(expired, Ordering::Relaxed);
+                    space
+                        .inner
+                        .stats
+                        .exports_collected
+                        .fetch_add(collected, Ordering::Relaxed);
+                }
             }
             // Client role: renew live surrogates.
-            if last_renew.elapsed() >= lease / 3 {
-                last_renew = Instant::now();
+            if clock.now().saturating_duration_since(last_renew) >= lease / 3 {
+                last_renew = clock.now();
                 let live: Vec<(WireRep, Endpoint)> = {
                     let imports = space.inner.table.imports.lock();
                     imports
@@ -1118,6 +1316,10 @@ fn ping_loop(weak: Weak<SpaceInner>) {
 
 fn ping_client(space: &Space, client: SpaceId, ep: &Endpoint) -> bool {
     space.inner.stats.pings_sent.fetch_add(1, Ordering::Relaxed);
+    space.emit(TraceKind::PingSent {
+        owner: space.id(),
+        client,
+    });
     gc_call(
         space,
         client,

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use netobj_rpc::{BreakerConfig, RetryPolicy};
+use netobj_transport::ClockHandle;
 
 /// Configuration for a [`crate::Space`].
 ///
@@ -63,6 +64,12 @@ pub struct Options {
     /// `Busy` reply instead of letting them time out behind the backlog.
     /// `None` restores the unbounded queue.
     pub server_queue_limit: Option<usize>,
+    /// The clock every runtime timer reads: retry backoff pauses, breaker
+    /// cool-downs, the cleanup demon's retry schedule, ping and lease
+    /// periods, call deadlines. The default is the real system clock;
+    /// tests install a shared virtual clock (usually the one from
+    /// `SimNet::virtual_time`) to run timeouts in simulated time.
+    pub clock: ClockHandle,
 }
 
 impl Default for Options {
@@ -82,6 +89,7 @@ impl Default for Options {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             server_queue_limit: Some(1024),
+            clock: ClockHandle::system(),
         }
     }
 }

@@ -17,7 +17,7 @@ use netobj_rpc::{
     RpcError, RpcServer,
 };
 use netobj_transport::{Endpoint, TransportRegistry};
-use netobj_wire::{ObjIx, SpaceId, TypeList, WireRep};
+use netobj_wire::{ObjIx, SpaceId, TraceEvent, TraceKind, TypeList, WireRep};
 use parking_lot::Mutex;
 
 use crate::dgc::{self, GcJob};
@@ -28,6 +28,7 @@ use crate::obj::NetObject;
 use crate::options::Options;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::table::ObjectTable;
+use crate::trace::{TraceRing, DEFAULT_TRACE_CAPACITY};
 
 pub(crate) struct SpaceInner {
     pub(crate) id: SpaceId,
@@ -46,6 +47,7 @@ pub(crate) struct SpaceInner {
     pub(crate) demon: Mutex<Option<std::thread::JoinHandle<()>>>,
     pub(crate) pinger: Mutex<Option<std::thread::JoinHandle<()>>>,
     pub(crate) stopped: AtomicBool,
+    pub(crate) trace: Arc<TraceRing>,
 }
 
 /// A participating process: the unit of ownership in Network Objects.
@@ -101,6 +103,7 @@ impl SpaceBuilder {
 
     /// Creates the space, starting its server (if listening) and demons.
     pub fn build(self) -> NetResult<Space> {
+        let trace = TraceRing::new(self.options.clock.clone(), DEFAULT_TRACE_CAPACITY);
         let inner = Arc::new(SpaceInner {
             id: SpaceId::fresh(),
             options: self.options,
@@ -118,6 +121,7 @@ impl SpaceBuilder {
             demon: Mutex::new(None),
             pinger: Mutex::new(None),
             stopped: AtomicBool::new(false),
+            trace,
         });
         let space = Space { inner };
 
@@ -126,11 +130,12 @@ impl SpaceBuilder {
             let local = listener.local_endpoint();
             let dispatcher: Arc<dyn Dispatcher> =
                 Arc::new(SpaceDispatcher(Arc::downgrade(&space.inner)));
-            let server = RpcServer::start_with_queue(
+            let server = RpcServer::start_with_clock(
                 listener,
                 dispatcher,
                 space.inner.options.workers,
                 space.inner.options.server_queue_limit,
+                space.inner.options.clock.clone(),
             );
             *space.inner.local_ep.lock() = Some(local);
             *space.inner.server.lock() = Some(server);
@@ -167,6 +172,21 @@ impl Space {
         self.inner.stats.snapshot()
     }
 
+    /// The space's trace ring (the collector's flight recorder).
+    pub fn trace_ring(&self) -> &Arc<TraceRing> {
+        &self.inner.trace
+    }
+
+    /// A snapshot of the surviving trace events, in emission order.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner.trace.snapshot()
+    }
+
+    /// Records one collector trace event.
+    pub(crate) fn emit(&self, kind: TraceKind) {
+        self.inner.trace.record(kind);
+    }
+
     /// Number of concrete objects currently held in the object table.
     pub fn exported_count(&self) -> usize {
         self.inner.table.exports.lock().len()
@@ -193,7 +213,13 @@ impl Space {
     /// roots that will be registered with the agent or served forever.
     pub fn export(&self, obj: Arc<dyn NetObject>) -> NetResult<Handle> {
         self.ensure_running()?;
-        self.inner.table.exports.lock().export(&obj, true);
+        let (ix, _, created) = self.inner.table.exports.lock().export(&obj, true);
+        if created {
+            self.emit(TraceKind::ExportCreated {
+                owner: self.id(),
+                target: WireRep::new(self.id(), ix),
+            });
+        }
         Ok(Handle(HandleKind::Local {
             space: self.clone(),
             obj,
@@ -216,14 +242,19 @@ impl Space {
         let HandleKind::Local { obj, .. } = &handle.0 else {
             return Err(Error::app("unexport requires a local handle"));
         };
-        let mut exports = self.inner.table.exports.lock();
-        if let Some(ix) = exports.lookup(obj) {
-            if exports.unpin(ix) {
-                self.inner
-                    .stats
-                    .exports_collected
-                    .fetch_add(1, Ordering::Relaxed);
-            }
+        let collected = {
+            let mut exports = self.inner.table.exports.lock();
+            exports.lookup(obj).map(|ix| (ix, exports.unpin(ix)))
+        };
+        if let Some((ix, true)) = collected {
+            self.inner
+                .stats
+                .exports_collected
+                .fetch_add(1, Ordering::Relaxed);
+            self.emit(TraceKind::ExportCollected {
+                owner: self.id(),
+                target: WireRep::new(self.id(), ix),
+            });
         }
         Ok(())
     }
@@ -278,9 +309,24 @@ impl Space {
                     return Err(Error::app("handle belongs to a different space"));
                 }
                 let owner_ep = self.endpoint().ok_or(Error::NotListening)?;
-                let mut exports = self.inner.table.exports.lock();
-                let (ix, types) = exports.export(obj, false);
-                let pin = exports.add_transient(ix).expect("entry just ensured");
+                let (ix, types, pin, created) = {
+                    let mut exports = self.inner.table.exports.lock();
+                    let (ix, types, created) = exports.export(obj, false);
+                    let pin = exports.add_transient(ix).expect("entry just ensured");
+                    (ix, types, pin, created)
+                };
+                let target = WireRep::new(self.id(), ix);
+                if created {
+                    self.emit(TraceKind::ExportCreated {
+                        owner: self.id(),
+                        target,
+                    });
+                }
+                self.emit(TraceKind::TransientPinned {
+                    owner: self.id(),
+                    target,
+                    pin,
+                });
                 Ok(SentRef {
                     wirerep: WireRep::new(self.id(), ix),
                     owner_ep,
@@ -328,11 +374,21 @@ impl Space {
 
     pub(crate) fn release_transient(&self, ix: ObjIx, pin: u64) {
         let collected = self.inner.table.exports.lock().remove_transient(ix, pin);
+        let target = WireRep::new(self.id(), ix);
+        self.emit(TraceKind::TransientReleased {
+            owner: self.id(),
+            target,
+            pin,
+        });
         if collected {
             self.inner
                 .stats
                 .exports_collected
                 .fetch_add(1, Ordering::Relaxed);
+            self.emit(TraceKind::ExportCollected {
+                owner: self.id(),
+                target,
+            });
         }
     }
 
@@ -340,6 +396,11 @@ impl Space {
         if self.is_stopped() {
             return;
         }
+        self.emit(TraceKind::SurrogateDropped {
+            client: self.id(),
+            target: wirerep,
+            epoch,
+        });
         let tx = self.inner.gc_tx.lock().clone();
         if let Some(tx) = tx {
             let _ = tx.send(GcJob::Unreachable { wirerep, epoch });
@@ -364,7 +425,8 @@ impl Space {
             }
         };
         let conn = self.inner.registry.connect(ep)?;
-        let fresh = CallClient::new(Arc::from(conn), self.id());
+        let fresh =
+            CallClient::with_clock(Arc::from(conn), self.id(), self.inner.options.clock.clone());
         let mut clients = self.inner.clients.lock();
         match clients.get(ep) {
             Some(c) if !c.is_closed() => Ok(Arc::clone(c)),
@@ -395,11 +457,12 @@ impl Space {
     /// The circuit breaker guarding calls to `ep`.
     pub(crate) fn breaker_for(&self, ep: &Endpoint) -> Arc<CircuitBreaker> {
         let mut breakers = self.inner.breakers.lock();
-        Arc::clone(
-            breakers.entry(ep.clone()).or_insert_with(|| {
-                Arc::new(CircuitBreaker::new(self.inner.options.breaker.clone()))
-            }),
-        )
+        Arc::clone(breakers.entry(ep.clone()).or_insert_with(|| {
+            Arc::new(CircuitBreaker::with_clock(
+                self.inner.options.breaker.clone(),
+                self.inner.options.clock.clone(),
+            ))
+        }))
     }
 
     /// Records that the owner space `id` is dead: every surrogate into it
@@ -408,7 +471,12 @@ impl Space {
         if id == self.id() {
             return;
         }
-        self.inner.dead_owners.lock().insert(id);
+        if self.inner.dead_owners.lock().insert(id) {
+            self.emit(TraceKind::OwnerDead {
+                client: self.id(),
+                owner: id,
+            });
+        }
     }
 
     /// True if `id` has been declared dead.
@@ -441,13 +509,14 @@ impl Space {
         let breaker = self.breaker_for(ep);
         let seed = self.inner.retry_seed.fetch_add(1, Ordering::Relaxed);
         let mut backoff = Backoff::new(self.inner.options.retry.clone(), seed);
-        let deadline = Instant::now() + timeout;
+        let clock = &self.inner.options.clock;
+        let deadline = clock.now() + timeout;
         loop {
             if breaker.admit() == Admission::Reject {
                 stats.calls_failed_fast.fetch_add(1, Ordering::Relaxed);
                 return Err(Error::from(CircuitBreaker::rejection_error()));
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(clock.now());
             if remaining.is_zero() {
                 return Err(Error::Rpc(RpcError::Timeout));
             }
@@ -517,12 +586,13 @@ impl Space {
         if !backoff.attempts_remain() {
             return false;
         }
-        let remaining = deadline.saturating_duration_since(Instant::now());
+        let clock = &self.inner.options.clock;
+        let remaining = deadline.saturating_duration_since(clock.now());
         if remaining.is_zero() {
             return false;
         }
         let delay = backoff.next_delay().min(remaining);
-        std::thread::sleep(delay);
+        clock.sleep(delay);
         self.inner
             .stats
             .retries_attempted
@@ -585,6 +655,9 @@ impl Space {
     /// [`Space::shutdown`] (a crashed process sends no goodbyes either),
     /// provided separately so call sites document intent.
     pub fn crash(&self) {
+        if !self.is_stopped() {
+            self.emit(TraceKind::SpaceCrashed { space: self.id() });
+        }
         self.shutdown();
     }
 }

@@ -130,13 +130,15 @@ impl ObjectTable {
 }
 
 impl Exports {
-    /// Finds or creates the entry for `obj`, returning its index.
-    pub fn export(&mut self, obj: &Arc<dyn NetObject>, pinned: bool) -> (ObjIx, TypeList) {
+    /// Finds or creates the entry for `obj`, returning its index and
+    /// whether the entry was created by this call (a fresh export, which
+    /// the trace layer records as `ExportCreated`).
+    pub fn export(&mut self, obj: &Arc<dyn NetObject>, pinned: bool) -> (ObjIx, TypeList, bool) {
         let key = ptr_key(obj);
         if let Some(&ix) = self.by_ptr.get(&key) {
             let entry = self.by_ix.get_mut(&ix).expect("by_ptr/by_ix consistent");
             entry.pinned |= pinned;
-            return (ObjIx(ix), entry.types.clone());
+            return (ObjIx(ix), entry.types.clone(), false);
         }
         let ix = self.next_ix;
         self.next_ix += 1;
@@ -153,7 +155,7 @@ impl Exports {
             },
         );
         self.by_ptr.insert(key, ix);
-        (ObjIx(ix), types)
+        (ObjIx(ix), types, true)
     }
 
     /// Installs an object at a reserved index (agent bootstrap).
@@ -366,7 +368,7 @@ pub(crate) enum DirtyOutcome {
 }
 
 /// Result of applying a clean call at the owner.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum CleanOutcome {
     /// Client removed; entry survives (other claims remain).
     Removed,
@@ -416,12 +418,12 @@ mod tests {
     fn export_reuses_index_for_same_object() {
         let mut e = fresh();
         let obj = dummy();
-        let (ix1, _) = e.export(&obj, false);
-        let (ix2, _) = e.export(&obj, false);
+        let (ix1, _, _) = e.export(&obj, false);
+        let (ix2, _, _) = e.export(&obj, false);
         assert_eq!(ix1, ix2);
         assert_eq!(e.len(), 1);
         let other = dummy();
-        let (ix3, _) = e.export(&other, false);
+        let (ix3, _, _) = e.export(&other, false);
         assert_ne!(ix1, ix3);
     }
 
@@ -429,7 +431,7 @@ mod tests {
     fn unprotected_entry_collects_on_transient_release() {
         let mut e = fresh();
         let obj = dummy();
-        let (ix, _) = e.export(&obj, false);
+        let (ix, _, _) = e.export(&obj, false);
         let pin = e.add_transient(ix).unwrap();
         assert_eq!(e.len(), 1);
         assert!(e.remove_transient(ix, pin));
@@ -440,7 +442,7 @@ mod tests {
     fn pinned_entry_survives_until_unpinned() {
         let mut e = fresh();
         let obj = dummy();
-        let (ix, _) = e.export(&obj, true);
+        let (ix, _, _) = e.export(&obj, true);
         let pin = e.add_transient(ix).unwrap();
         assert!(!e.remove_transient(ix, pin));
         assert_eq!(e.len(), 1);
@@ -452,7 +454,7 @@ mod tests {
     fn dirty_then_clean_collects() {
         let mut e = fresh();
         let obj = dummy();
-        let (ix, _) = e.export(&obj, false);
+        let (ix, _, _) = e.export(&obj, false);
         let pin = e.add_transient(ix).unwrap();
         let now = Instant::now();
         assert!(matches!(
@@ -469,7 +471,7 @@ mod tests {
     fn stale_dirty_ignored() {
         let mut e = fresh();
         let obj = dummy();
-        let (ix, _) = e.export(&obj, true);
+        let (ix, _, _) = e.export(&obj, true);
         let now = Instant::now();
         assert!(matches!(
             e.apply_dirty(ix, client(1), 5, None, now),
@@ -496,7 +498,7 @@ mod tests {
         // dirty finally arrives and must NOT resurrect the entry.
         let mut e = fresh();
         let obj = dummy();
-        let (ix, _) = e.export(&obj, true);
+        let (ix, _, _) = e.export(&obj, true);
         let now = Instant::now();
         assert!(matches!(
             e.apply_dirty(ix, client(1), 5, None, now),
@@ -521,7 +523,7 @@ mod tests {
         let mut e = fresh();
         assert_eq!(e.apply_clean(ObjIx(99), client(1), 1), CleanOutcome::NoOp);
         let obj = dummy();
-        let (ix, _) = e.export(&obj, true);
+        let (ix, _, _) = e.export(&obj, true);
         assert_eq!(e.apply_clean(ix, client(1), 1), CleanOutcome::NoOp);
     }
 
@@ -530,8 +532,8 @@ mod tests {
         let mut e = fresh();
         let a = dummy();
         let b = dummy();
-        let (ia, _) = e.export(&a, false);
-        let (ib, _) = e.export(&b, false);
+        let (ia, _, _) = e.export(&a, false);
+        let (ib, _, _) = e.export(&b, false);
         let now = Instant::now();
         e.apply_dirty(ia, client(1), 1, None, now);
         e.apply_dirty(ib, client(1), 2, None, now);
@@ -544,7 +546,7 @@ mod tests {
     fn lease_expiry() {
         let mut e = fresh();
         let obj = dummy();
-        let (ix, _) = e.export(&obj, false);
+        let (ix, _, _) = e.export(&obj, false);
         let old = Instant::now() - std::time::Duration::from_secs(100);
         e.apply_dirty(ix, client(1), 1, None, old);
         let (expired, collected) =
@@ -556,7 +558,7 @@ mod tests {
     fn dirty_clients_lists_endpoints() {
         let mut e = fresh();
         let obj = dummy();
-        let (ix, _) = e.export(&obj, true);
+        let (ix, _, _) = e.export(&obj, true);
         let now = Instant::now();
         e.apply_dirty(ix, client(1), 1, Some(Endpoint::sim("c1")), now);
         e.apply_dirty(ix, client(2), 2, None, now);

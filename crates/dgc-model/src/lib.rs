@@ -30,6 +30,7 @@ pub mod faults;
 pub mod fifo;
 pub mod invariants;
 pub mod measure;
+pub mod replay;
 pub mod rules;
 pub mod state;
 pub mod variants;
@@ -37,5 +38,6 @@ pub mod variants;
 pub use explore::{assert_drained, exhaustive, random_walk, WalkPolicy};
 pub use invariants::check_all;
 pub use measure::termination_measure;
+pub use replay::{replay_traces, ReplayReport, Replayer};
 pub use rules::{apply, enabled, Transition};
 pub use state::{Config, Msg, Proc, RecState, Ref};

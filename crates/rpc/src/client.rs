@@ -12,7 +12,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Sender};
-use netobj_transport::Conn;
+use netobj_transport::clock::recv_deadline;
+use netobj_transport::{ClockHandle, Conn};
 use netobj_wire::pickle::Pickle;
 use netobj_wire::{SpaceId, WireRep};
 use parking_lot::Mutex;
@@ -89,6 +90,7 @@ impl std::fmt::Debug for CallReply {
 pub struct CallClient {
     conn: Arc<dyn Conn>,
     caller: SpaceId,
+    clock: ClockHandle,
     next_id: AtomicU64,
     shared: Arc<Shared>,
     demux: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -97,8 +99,15 @@ pub struct CallClient {
 impl CallClient {
     /// Wraps `conn`, identifying outgoing calls as coming from `caller`.
     ///
-    /// Spawns the demux thread immediately.
+    /// Spawns the demux thread immediately. Reply deadlines run on the
+    /// system clock; use [`CallClient::with_clock`] to time them on a
+    /// virtual clock instead.
     pub fn new(conn: Arc<dyn Conn>, caller: SpaceId) -> Arc<CallClient> {
+        CallClient::with_clock(conn, caller, ClockHandle::system())
+    }
+
+    /// Like [`CallClient::new`], but call timeouts are measured on `clock`.
+    pub fn with_clock(conn: Arc<dyn Conn>, caller: SpaceId, clock: ClockHandle) -> Arc<CallClient> {
         let shared = Arc::new(Shared {
             pending: Mutex::new(HashMap::new()),
             closed: AtomicBool::new(false),
@@ -106,6 +115,7 @@ impl CallClient {
         let client = Arc::new(CallClient {
             conn: Arc::clone(&conn),
             caller,
+            clock,
             next_id: AtomicU64::new(1),
             shared: Arc::clone(&shared),
             demux: Mutex::new(None),
@@ -190,7 +200,7 @@ impl CallClient {
             return Err(CallFailure::classify(e.into(), false));
         }
 
-        match rx.recv_timeout(timeout) {
+        match recv_deadline(self.clock.as_dyn(), &rx, timeout) {
             Ok(Ok((bytes, needs_ack))) => Ok(CallReply {
                 bytes,
                 ack: needs_ack.then(|| AckToken {

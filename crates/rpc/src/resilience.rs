@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use crate::error::{RemoteErrorKind, RpcError};
-use netobj_transport::TransportError;
+use netobj_transport::{ClockHandle, TransportError};
 
 // ---------------------------------------------------------------------------
 // Failure classification
@@ -251,6 +251,7 @@ struct BreakerInner {
 /// success for the breaker's purposes.
 pub struct CircuitBreaker {
     config: BreakerConfig,
+    clock: ClockHandle,
     inner: Mutex<BreakerInner>,
 }
 
@@ -264,10 +265,16 @@ pub enum Admission {
 }
 
 impl CircuitBreaker {
-    /// Creates a closed breaker.
+    /// Creates a closed breaker timing its cooldown on the system clock.
     pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker::with_clock(config, ClockHandle::system())
+    }
+
+    /// Creates a closed breaker timing its cooldown on `clock`.
+    pub fn with_clock(config: BreakerConfig, clock: ClockHandle) -> CircuitBreaker {
         CircuitBreaker {
             config,
+            clock,
             inner: Mutex::new(BreakerInner {
                 state: BreakerState::Closed,
                 consecutive_failures: 0,
@@ -293,9 +300,10 @@ impl CircuitBreaker {
             BreakerState::Closed => Admission::Allow,
             BreakerState::Open => {
                 // (map_or, not is_none_or: the workspace MSRV is 1.75.)
-                let cooled = inner
-                    .opened_at
-                    .map_or(true, |t| t.elapsed() >= self.config.cooldown);
+                let now = self.clock.now();
+                let cooled = inner.opened_at.map_or(true, |t| {
+                    now.saturating_duration_since(t) >= self.config.cooldown
+                });
                 if cooled {
                     inner.state = BreakerState::HalfOpen;
                     Admission::Allow
@@ -330,7 +338,7 @@ impl CircuitBreaker {
                 inner.consecutive_failures += 1;
                 if inner.consecutive_failures >= self.config.failure_threshold {
                     inner.state = BreakerState::Open;
-                    inner.opened_at = Some(Instant::now());
+                    inner.opened_at = Some(self.clock.now());
                     true
                 } else {
                     false
@@ -339,7 +347,7 @@ impl CircuitBreaker {
             // Failed probe: reopen and restart the cooldown.
             BreakerState::HalfOpen => {
                 inner.state = BreakerState::Open;
-                inner.opened_at = Some(Instant::now());
+                inner.opened_at = Some(self.clock.now());
                 true
             }
             BreakerState::Open => false,

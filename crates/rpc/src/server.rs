@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use netobj_transport::{Conn, Listener};
+use netobj_transport::{ClockHandle, Conn, Listener};
 use netobj_wire::pickle::Pickle;
 use netobj_wire::{SpaceId, WireRep};
 
@@ -105,6 +105,26 @@ impl RpcServer {
         workers: usize,
         queue_limit: Option<usize>,
     ) -> RpcServer {
+        Self::start_with_clock(
+            listener,
+            dispatcher,
+            workers,
+            queue_limit,
+            ClockHandle::system(),
+        )
+    }
+
+    /// Like [`RpcServer::start_with_queue`], but acknowledgement timeouts
+    /// are measured on `clock`, and under a virtual clock each in-flight
+    /// dispatch holds the clock so waiting callers cannot time out while
+    /// their call is still executing.
+    pub fn start_with_clock(
+        listener: Box<dyn Listener>,
+        dispatcher: Arc<dyn Dispatcher>,
+        workers: usize,
+        queue_limit: Option<usize>,
+        clock: ClockHandle,
+    ) -> RpcServer {
         let stopped = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let pool = Arc::new(match queue_limit {
@@ -133,9 +153,10 @@ impl RpcServer {
                 let pool = Arc::clone(&pool);
                 let stats = Arc::clone(&accept_stats);
                 let stopped = Arc::clone(&accept_stopped);
+                let clock = clock.clone();
                 std::thread::Builder::new()
                     .name("rpc-conn".into())
-                    .spawn(move || connection_loop(conn, dispatcher, pool, stats, stopped))
+                    .spawn(move || connection_loop(conn, dispatcher, pool, stats, stopped, clock))
                     .expect("spawn rpc connection reader");
             })
             .expect("spawn rpc accept thread");
@@ -289,6 +310,7 @@ fn connection_loop(
     pool: Arc<ThreadPool>,
     stats: Arc<ServerStats>,
     stopped: Arc<AtomicBool>,
+    clock: ClockHandle,
 ) {
     let acks = Arc::new(AckTable::default());
     let mut seen = SeenRequests::new();
@@ -301,12 +323,12 @@ fn connection_loop(
         let frame = match conn.recv_timeout(std::time::Duration::from_millis(500)) {
             Ok(f) => f,
             Err(netobj_transport::TransportError::Timeout) => {
-                acks.expire(std::time::Instant::now());
+                acks.expire(clock.now());
                 continue;
             }
             Err(_) => break,
         };
-        acks.expire(std::time::Instant::now());
+        acks.expire(clock.now());
         let msg = match RpcMsg::from_pickle_bytes(&frame) {
             Ok(m) => m,
             Err(_) => {
@@ -342,10 +364,16 @@ fn connection_loop(
         let stats = Arc::clone(&stats);
         let job_stats = Arc::clone(&stats);
         let acks = Arc::clone(&acks);
+        let job_clock = clock.clone();
         let admitted = pool.try_execute(move || {
             let conn = job_conn;
             let stats = job_stats;
+            let clock = job_clock;
+            // While the method runs, virtual time must not jump: the caller
+            // is waiting on real work the clock cannot see.
+            let hold = clock.as_virtual().map(|vc| vc.hold());
             let dispatch = dispatcher.dispatch(rq.caller, rq.target, rq.method, &rq.args);
+            drop(hold);
             if dispatch.outcome.is_err() {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
             }
@@ -353,11 +381,7 @@ fn connection_loop(
             // Register the completion *before* the reply leaves, so the ack
             // can never race past it.
             if let Some(completion) = dispatch.completion {
-                acks.insert(
-                    rq.call_id,
-                    std::time::Instant::now() + DEFAULT_ACK_TIMEOUT,
-                    completion,
-                );
+                acks.insert(rq.call_id, clock.now() + DEFAULT_ACK_TIMEOUT, completion);
             }
             let reply = RpcMsg::Reply(Reply {
                 call_id: rq.call_id,

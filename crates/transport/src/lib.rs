@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod chan;
+pub mod clock;
 pub mod endpoint;
 pub mod error;
 pub mod loopback;
@@ -34,6 +35,7 @@ pub mod registry;
 pub mod sim;
 pub mod tcp;
 
+pub use clock::{Clock, ClockHandle, SystemClock, VirtualClock};
 pub use endpoint::Endpoint;
 pub use error::TransportError;
 pub use registry::TransportRegistry;

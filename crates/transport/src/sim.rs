@@ -23,6 +23,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::chan::CloseFlag;
+use crate::clock::ClockHandle;
 use crate::endpoint::Endpoint;
 use crate::error::TransportError;
 use crate::{Conn, Listener, Result, Transport};
@@ -192,6 +193,7 @@ struct SimState {
 pub struct SimNet {
     state: Mutex<SimState>,
     wakeup: Condvar,
+    clock: ClockHandle,
     seq: AtomicU64,
     sent: AtomicU64,
     delivered: AtomicU64,
@@ -204,7 +206,23 @@ impl SimNet {
     /// Creates a simulated network with the given link behaviour and a
     /// fixed RNG seed (for reproducible fault schedules).
     pub fn with_seed(config: LinkConfig, seed: u64) -> Arc<SimNet> {
+        SimNet::with_seed_and_clock(config, seed, ClockHandle::system())
+    }
+
+    /// Creates a simulated network running on *virtual time*: frame
+    /// delivery delays, and every runtime timer configured with the
+    /// returned clock, are measured on a [`VirtualClock`] that advances
+    /// via [`SimNet::advance`] or auto-advance-when-idle. Tests built on
+    /// this run their nominal seconds of timeouts in milliseconds, and
+    /// deterministically.
+    pub fn virtual_time(config: LinkConfig, seed: u64) -> Arc<SimNet> {
+        SimNet::with_seed_and_clock(config, seed, ClockHandle::virtual_clock())
+    }
+
+    /// Creates a simulated network measuring delivery times on `clock`.
+    pub fn with_seed_and_clock(config: LinkConfig, seed: u64, clock: ClockHandle) -> Arc<SimNet> {
         let net = Arc::new(SimNet {
+            clock,
             state: Mutex::new(SimState {
                 listeners: HashMap::new(),
                 config,
@@ -239,6 +257,22 @@ impl SimNet {
     /// A perfect, instantaneous network.
     pub fn instant() -> Arc<SimNet> {
         SimNet::new(LinkConfig::instant())
+    }
+
+    /// The clock this network schedules deliveries on. Spaces under test
+    /// should put the same handle in their `Options` so that transport
+    /// delays and runtime timers share one notion of time.
+    pub fn clock(&self) -> ClockHandle {
+        self.clock.clone()
+    }
+
+    /// Advances virtual time by `d` (no-op under a system clock) and
+    /// nudges the scheduler.
+    pub fn advance(&self, d: Duration) {
+        if let Some(vc) = self.clock.as_virtual() {
+            vc.advance(d);
+        }
+        self.wakeup.notify_all();
     }
 
     /// Replaces the link behaviour for subsequently sent frames.
@@ -332,20 +366,34 @@ impl SimNet {
             if state.shutdown {
                 return;
             }
-            let now = Instant::now();
+            let now = self.clock.now();
             // Deliver everything due.
             while state.heap.peek().is_some_and(|s| s.due <= now) {
                 let s = state.heap.pop().expect("peeked");
+                if let Some(vc) = self.clock.as_virtual() {
+                    vc.note_activity();
+                }
                 // Ignore send errors: receiver may be gone.
                 if s.dest.send(s.frame).is_ok() {
                     self.delivered.fetch_add(1, Ordering::Relaxed);
                 }
             }
             match state.heap.peek() {
-                Some(s) => {
-                    let wait = s.due.saturating_duration_since(Instant::now());
-                    self.wakeup.wait_for(&mut state, wait);
-                }
+                Some(s) => match self.clock.as_virtual() {
+                    // Virtual time: register the next delivery as a
+                    // deadline so idle auto-advance jumps exactly to it,
+                    // and poll at the clock's grace granularity.
+                    Some(vc) => {
+                        let token = vc.register_deadline(s.due);
+                        self.wakeup.wait_for(&mut state, Duration::from_millis(1));
+                        vc.deregister(token);
+                        vc.maybe_auto_advance();
+                    }
+                    None => {
+                        let wait = s.due.saturating_duration_since(Instant::now());
+                        self.wakeup.wait_for(&mut state, wait);
+                    }
+                },
                 None => {
                     self.wakeup.wait(&mut state);
                 }
@@ -356,6 +404,9 @@ impl SimNet {
     /// Routes one frame according to the fault model.
     fn route(&self, tag: &str, dest: &Sender<Vec<u8>>, frame: Vec<u8>) {
         self.sent.fetch_add(1, Ordering::Relaxed);
+        if let Some(vc) = self.clock.as_virtual() {
+            vc.note_activity();
+        }
         let mut state = self.state.lock();
         if *state.down.get(tag).unwrap_or(&false) {
             self.dropped_partition.fetch_add(1, Ordering::Relaxed);
@@ -386,7 +437,7 @@ impl SimNet {
             } else {
                 1
             };
-        let now = Instant::now();
+        let now = self.clock.now();
         for _ in 0..copies {
             let mut delay = config.latency;
             if !config.jitter.is_zero() {

@@ -22,11 +22,13 @@ pub mod error;
 pub mod frame;
 pub mod ids;
 pub mod pickle;
+pub mod trace;
 pub mod typecode;
 
 pub use error::WireError;
 pub use ids::{ObjIx, SpaceId, WireRep};
 pub use pickle::{Pickle, PickleReader, PickleWriter, Value};
+pub use trace::{TraceEvent, TraceKind};
 pub use typecode::{TypeCode, TypeList};
 
 /// Result alias used throughout the wire layer.

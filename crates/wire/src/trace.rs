@@ -1,0 +1,184 @@
+//! Typed collector trace events.
+//!
+//! Every collector-relevant action in the runtime — dirty and clean calls
+//! sent, received and acknowledged; surrogates created, resurrected and
+//! dropped; transient pins taken and released; exports created and
+//! collected; pings, lease expiries and death verdicts — is recorded as a
+//! [`TraceEvent`] in the emitting space's trace ring. The conformance
+//! oracle (`netobj-dgc-model`'s `replay` module) merges the rings of all
+//! spaces in a scenario and folds the events back onto the formal model's
+//! transitions, checking every invariant after every step.
+//!
+//! Events live in this crate (rather than in `netobj`) so that both the
+//! runtime and the model crate can speak the type without a dependency
+//! cycle, and so that traces can be pickled for the flake-detector dumps
+//! the CI job diffs across runs.
+
+use crate::error::WireError;
+use crate::ids::SpaceId;
+use crate::pickle::{Pickle, PickleReader, PickleWriter};
+use crate::{Result, WireRep};
+
+macro_rules! trace_kinds {
+    ($( $disc:literal => $name:ident { $( $field:ident : $ty:ty ),* $(,)? } ),* $(,)?) => {
+        /// One kind of collector action, with the identities involved.
+        ///
+        /// `client` is always the space holding (or acquiring) the
+        /// surrogate; `owner` the space holding the concrete object;
+        /// `target` the wireRep of the object the action concerns.
+        /// Variants mirror the message and state-change vocabulary of the
+        /// collector: see the module docs of `netobj::dgc` for the
+        /// protocol itself.
+        #[allow(missing_docs)]
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub enum TraceKind {
+            $( $name { $( $field : $ty ),* } ),*
+        }
+
+        impl TraceKind {
+            /// Stable numeric discriminant used by the pickle encoding.
+            pub fn disc(&self) -> u64 {
+                match self { $( TraceKind::$name { .. } => $disc ),* }
+            }
+        }
+
+        impl Pickle for TraceKind {
+            fn pickle(&self, w: &mut PickleWriter) {
+                w.put_u64(self.disc());
+                match self {
+                    $( TraceKind::$name { $( $field ),* } => { $( $field.pickle(w); )* } ),*
+                }
+            }
+
+            fn unpickle(r: &mut PickleReader<'_>) -> Result<Self> {
+                let disc = r.get_u64()?;
+                Ok(match disc {
+                    $( $disc => TraceKind::$name {
+                        $( $field: <$ty as Pickle>::unpickle(r)? ),*
+                    }, )*
+                    _ => return Err(WireError::OutOfRange("unknown trace kind")),
+                })
+            }
+        }
+    };
+}
+
+trace_kinds! {
+    // Registration (dirty) exchange.
+    0 => DirtySent { client: SpaceId, owner: SpaceId, target: WireRep, seqno: u64 },
+    1 => DirtyApplied { owner: SpaceId, client: SpaceId, target: WireRep, seqno: u64 },
+    2 => DirtyStale { owner: SpaceId, client: SpaceId, target: WireRep, seqno: u64 },
+    3 => DirtyRefused { owner: SpaceId, client: SpaceId, target: WireRep, seqno: u64 },
+    4 => DirtyAcked { client: SpaceId, owner: SpaceId, target: WireRep, seqno: u64, ok: bool },
+    // Unregistration (clean) exchange.
+    5 => CleanSent {
+        client: SpaceId, owner: SpaceId, target: WireRep,
+        seqno: u64, strong: bool, batched: bool,
+    },
+    6 => CleanApplied {
+        owner: SpaceId, client: SpaceId, target: WireRep, seqno: u64, strong: bool,
+    },
+    7 => CleanStale { owner: SpaceId, client: SpaceId, target: WireRep, seqno: u64 },
+    8 => CleanAcked { client: SpaceId, owner: SpaceId, target: WireRep, seqno: u64 },
+    // Surrogate life cycle at the client.
+    9 => SurrogateCreated { client: SpaceId, target: WireRep, epoch: u64 },
+    10 => SurrogateResurrecting { client: SpaceId, target: WireRep, epoch: u64 },
+    11 => SurrogateDropped { client: SpaceId, target: WireRep, epoch: u64 },
+    // Transmission protection at the owner.
+    12 => TransientPinned { owner: SpaceId, target: WireRep, pin: u64 },
+    13 => TransientReleased { owner: SpaceId, target: WireRep, pin: u64 },
+    // Concrete-entry life cycle at the owner.
+    14 => ExportCreated { owner: SpaceId, target: WireRep },
+    15 => ExportCollected { owner: SpaceId, target: WireRep },
+    // Termination detection.
+    16 => PingSent { owner: SpaceId, client: SpaceId },
+    17 => PingReceived { space: SpaceId, from: SpaceId },
+    18 => LeaseExpired { owner: SpaceId, expired: u64 },
+    19 => ClientPurged { owner: SpaceId, client: SpaceId },
+    20 => OwnerDead { client: SpaceId, owner: SpaceId },
+    21 => SpaceCrashed { space: SpaceId },
+}
+
+/// One recorded collector action: what happened, where, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Emitting space's sequence number (dense, per-space).
+    pub seq: u64,
+    /// Microseconds since the emitting space's trace epoch, measured on
+    /// the space's configured clock (virtual time under a virtual clock).
+    pub at_micros: u64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl Pickle for TraceEvent {
+    fn pickle(&self, w: &mut PickleWriter) {
+        w.put_u64(self.seq);
+        w.put_u64(self.at_micros);
+        self.kind.pickle(w);
+    }
+
+    fn unpickle(r: &mut PickleReader<'_>) -> Result<Self> {
+        Ok(TraceEvent {
+            seq: r.get_u64()?,
+            at_micros: r.get_u64()?,
+            kind: TraceKind::unpickle(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObjIx;
+
+    fn rep(owner: u128, ix: u64) -> WireRep {
+        WireRep::new(SpaceId::from_raw(owner), ObjIx(ix))
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        let cases = vec![
+            TraceKind::DirtySent {
+                client: SpaceId::from_raw(1),
+                owner: SpaceId::from_raw(2),
+                target: rep(2, 7),
+                seqno: 42,
+            },
+            TraceKind::CleanSent {
+                client: SpaceId::from_raw(1),
+                owner: SpaceId::from_raw(2),
+                target: rep(2, 7),
+                seqno: 43,
+                strong: true,
+                batched: false,
+            },
+            TraceKind::ExportCollected {
+                owner: SpaceId::from_raw(2),
+                target: rep(2, 7),
+            },
+            TraceKind::SpaceCrashed {
+                space: SpaceId::from_raw(9),
+            },
+        ];
+        for (i, kind) in cases.into_iter().enumerate() {
+            let ev = TraceEvent {
+                seq: i as u64,
+                at_micros: 1_000 * i as u64,
+                kind,
+            };
+            let bytes = ev.to_pickle_bytes();
+            assert_eq!(TraceEvent::from_pickle_bytes(&bytes).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn unknown_discriminant_is_an_error() {
+        let mut w = PickleWriter::new();
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(9999);
+        let bytes = w.into_bytes();
+        assert!(TraceEvent::from_pickle_bytes(&bytes).is_err());
+    }
+}

@@ -157,6 +157,221 @@ mod framing {
     }
 }
 
+mod trace {
+    use netobj_wire::pickle::{Pickle, PickleWriter};
+    use netobj_wire::{ObjIx, SpaceId, TraceEvent, TraceKind, WireRep};
+    use proptest::prelude::*;
+
+    fn arb_space() -> impl Strategy<Value = SpaceId> {
+        any::<u128>().prop_map(SpaceId::from_raw)
+    }
+
+    fn arb_rep() -> impl Strategy<Value = WireRep> {
+        (any::<u128>(), any::<u64>())
+            .prop_map(|(s, ix)| WireRep::new(SpaceId::from_raw(s), ObjIx(ix)))
+    }
+
+    /// Every one of the 22 trace kinds, with arbitrary identities.
+    fn arb_kind() -> impl Strategy<Value = TraceKind> {
+        prop_oneof![
+            (arb_space(), arb_space(), arb_rep(), any::<u64>()).prop_map(
+                |(client, owner, target, seqno)| TraceKind::DirtySent {
+                    client,
+                    owner,
+                    target,
+                    seqno
+                }
+            ),
+            (arb_space(), arb_space(), arb_rep(), any::<u64>()).prop_map(
+                |(owner, client, target, seqno)| TraceKind::DirtyApplied {
+                    owner,
+                    client,
+                    target,
+                    seqno
+                }
+            ),
+            (arb_space(), arb_space(), arb_rep(), any::<u64>()).prop_map(
+                |(owner, client, target, seqno)| TraceKind::DirtyStale {
+                    owner,
+                    client,
+                    target,
+                    seqno
+                }
+            ),
+            (arb_space(), arb_space(), arb_rep(), any::<u64>()).prop_map(
+                |(owner, client, target, seqno)| TraceKind::DirtyRefused {
+                    owner,
+                    client,
+                    target,
+                    seqno
+                }
+            ),
+            (
+                (arb_space(), arb_space(), arb_rep()),
+                (any::<u64>(), any::<bool>())
+            )
+                .prop_map(|((client, owner, target), (seqno, ok))| {
+                    TraceKind::DirtyAcked {
+                        client,
+                        owner,
+                        target,
+                        seqno,
+                        ok,
+                    }
+                }),
+            (
+                (arb_space(), arb_space(), arb_rep()),
+                (any::<u64>(), any::<bool>(), any::<bool>())
+            )
+                .prop_map(|((client, owner, target), (seqno, strong, batched))| {
+                    TraceKind::CleanSent {
+                        client,
+                        owner,
+                        target,
+                        seqno,
+                        strong,
+                        batched,
+                    }
+                }),
+            (
+                (arb_space(), arb_space(), arb_rep()),
+                (any::<u64>(), any::<bool>())
+            )
+                .prop_map(|((owner, client, target), (seqno, strong))| {
+                    TraceKind::CleanApplied {
+                        owner,
+                        client,
+                        target,
+                        seqno,
+                        strong,
+                    }
+                }),
+            (arb_space(), arb_space(), arb_rep(), any::<u64>()).prop_map(
+                |(owner, client, target, seqno)| TraceKind::CleanStale {
+                    owner,
+                    client,
+                    target,
+                    seqno
+                }
+            ),
+            (arb_space(), arb_space(), arb_rep(), any::<u64>()).prop_map(
+                |(client, owner, target, seqno)| TraceKind::CleanAcked {
+                    client,
+                    owner,
+                    target,
+                    seqno
+                }
+            ),
+            (arb_space(), arb_rep(), any::<u64>()).prop_map(|(client, target, epoch)| {
+                TraceKind::SurrogateCreated {
+                    client,
+                    target,
+                    epoch,
+                }
+            }),
+            (arb_space(), arb_rep(), any::<u64>()).prop_map(|(client, target, epoch)| {
+                TraceKind::SurrogateResurrecting {
+                    client,
+                    target,
+                    epoch,
+                }
+            }),
+            (arb_space(), arb_rep(), any::<u64>()).prop_map(|(client, target, epoch)| {
+                TraceKind::SurrogateDropped {
+                    client,
+                    target,
+                    epoch,
+                }
+            }),
+            (arb_space(), arb_rep(), any::<u64>()).prop_map(|(owner, target, pin)| {
+                TraceKind::TransientPinned { owner, target, pin }
+            }),
+            (arb_space(), arb_rep(), any::<u64>()).prop_map(|(owner, target, pin)| {
+                TraceKind::TransientReleased { owner, target, pin }
+            }),
+            (arb_space(), arb_rep())
+                .prop_map(|(owner, target)| TraceKind::ExportCreated { owner, target }),
+            (arb_space(), arb_rep())
+                .prop_map(|(owner, target)| TraceKind::ExportCollected { owner, target }),
+            (arb_space(), arb_space())
+                .prop_map(|(owner, client)| TraceKind::PingSent { owner, client }),
+            (arb_space(), arb_space())
+                .prop_map(|(space, from)| TraceKind::PingReceived { space, from }),
+            (arb_space(), any::<u64>())
+                .prop_map(|(owner, expired)| TraceKind::LeaseExpired { owner, expired }),
+            (arb_space(), arb_space())
+                .prop_map(|(owner, client)| TraceKind::ClientPurged { owner, client }),
+            (arb_space(), arb_space())
+                .prop_map(|(client, owner)| TraceKind::OwnerDead { client, owner }),
+            arb_space().prop_map(|space| TraceKind::SpaceCrashed { space }),
+        ]
+    }
+
+    proptest! {
+        /// Every trace event — all 22 kinds, arbitrary identities —
+        /// survives the pickle encoding bit-exactly.
+        #[test]
+        fn trace_events_roundtrip(
+            seq in any::<u64>(),
+            at_micros in any::<u64>(),
+            kind in arb_kind(),
+        ) {
+            let ev = TraceEvent { seq, at_micros, kind };
+            let bytes = ev.to_pickle_bytes();
+            prop_assert_eq!(TraceEvent::from_pickle_bytes(&bytes).unwrap(), ev);
+        }
+
+        /// Arbitrary bytes never panic the trace decoder.
+        #[test]
+        fn trace_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = TraceEvent::from_pickle_bytes(&bytes);
+        }
+
+        /// The CLEAN_BATCH payload — a vector of `(ix, seqno, strong)`
+        /// intents — round-trips at every length, including empty and
+        /// far larger than any real batch.
+        #[test]
+        fn clean_batch_roundtrip(
+            batch in proptest::collection::vec(
+                (any::<u64>(), any::<u64>(), any::<bool>()), 0..300),
+        ) {
+            let bytes = batch.to_pickle_bytes();
+            let back = Vec::<(u64, u64, bool)>::from_pickle_bytes(&bytes).unwrap();
+            prop_assert_eq!(back, batch);
+        }
+
+        /// Truncating a clean batch anywhere yields an error or a shorter
+        /// prefix-decode failure — never a panic.
+        #[test]
+        fn clean_batch_truncation_never_panics(
+            batch in proptest::collection::vec(
+                (any::<u64>(), any::<u64>(), any::<bool>()), 0..16),
+            cut in any::<u16>(),
+        ) {
+            let bytes = batch.to_pickle_bytes();
+            let cut = (cut as usize) % (bytes.len() + 1);
+            let _ = Vec::<(u64, u64, bool)>::from_pickle_bytes(&bytes[..cut]);
+        }
+
+        /// An adversarial length prefix (a batch claiming up to 2^64
+        /// elements with no bytes behind it) errors cleanly instead of
+        /// allocating or panicking.
+        #[test]
+        fn clean_batch_hostile_length_is_rejected(
+            claimed in 16u64..u64::MAX,
+            junk in 0u64..4,
+        ) {
+            let mut w = PickleWriter::new();
+            w.put_u64(claimed);
+            for i in 0..junk {
+                w.put_u64(i);
+            }
+            let bytes = w.into_bytes();
+            prop_assert!(Vec::<(u64, u64, bool)>::from_pickle_bytes(&bytes).is_err());
+        }
+    }
+}
+
 mod endpoints {
     use netobj_wire::pickle::Pickle;
     use proptest::prelude::*;

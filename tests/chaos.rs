@@ -1,20 +1,27 @@
 //! Chaos tests: seeded fault schedules driving the resilient call layer.
 //!
 //! Each scenario builds a `SimNet` with a fixed seed (reproducible fault
-//! schedules) and asserts *invariants* — at-most-once execution observed
-//! through server-side counters, eventual convergence after healing,
-//! fail-fast latency bounds — rather than exact traces, so the tests are
-//! deterministic in outcome even though thread interleavings vary.
+//! schedules) on a **virtual clock**, so every timeout, backoff, lease
+//! and retry runs on simulated time: nominal seconds of waiting collapse
+//! into milliseconds of wall clock. The tests assert *invariants* —
+//! at-most-once execution observed through server-side counters, eventual
+//! convergence after healing, fail-fast latency bounds in simulated time
+//! — and finish by replaying every space's captured collector trace
+//! through the formal model (`assert_conformant`).
+
+#[path = "vt_util.rs"]
+mod vt_util;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use netobj::transport::sim::{FlakePlan, LinkConfig, SimNet};
-use netobj::transport::Endpoint;
+use netobj::transport::{ClockHandle, Endpoint};
 use netobj::wire::ObjIx;
 use netobj::{network_object, Error, NetResult, Options, RetryPolicy, Space};
 use parking_lot::Mutex;
+use vt_util::{assert_conformant, assert_sim_time_under, pass_time, space_on, wait_until};
 
 network_object! {
     /// A counter with one at-most-once method and one idempotent method.
@@ -30,21 +37,24 @@ struct CounterImpl {
     value: Mutex<i64>,
     adds_executed: AtomicU64,
     reads_executed: AtomicU64,
-    /// Artificial per-call service time (for saturation scenarios).
+    /// Artificial per-call service time (for saturation scenarios),
+    /// spent on the scenario's clock so it is simulated, not real.
     service_time: Duration,
+    clock: ClockHandle,
 }
 
 impl CounterImpl {
     fn new() -> Arc<CounterImpl> {
-        CounterImpl::slow(Duration::ZERO)
+        CounterImpl::slow(Duration::ZERO, ClockHandle::system())
     }
 
-    fn slow(service_time: Duration) -> Arc<CounterImpl> {
+    fn slow(service_time: Duration, clock: ClockHandle) -> Arc<CounterImpl> {
         Arc::new(CounterImpl {
             value: Mutex::new(0),
             adds_executed: AtomicU64::new(0),
             reads_executed: AtomicU64::new(0),
             service_time,
+            clock,
         })
     }
 }
@@ -53,7 +63,7 @@ impl Counter for CounterImpl {
     fn add(&self, n: i64) -> NetResult<i64> {
         self.adds_executed.fetch_add(1, Ordering::SeqCst);
         if !self.service_time.is_zero() {
-            std::thread::sleep(self.service_time);
+            self.clock.sleep(self.service_time);
         }
         let mut v = self.value.lock();
         *v += n;
@@ -66,21 +76,9 @@ impl Counter for CounterImpl {
     }
 }
 
-fn space_on(net: &Arc<SimNet>, name: &str, options: Options) -> Space {
-    Space::builder()
-        .transport(Arc::new(Arc::clone(net)))
-        .listen(Endpoint::sim(name))
-        .options(options)
-        .build()
-        .unwrap()
-}
-
-fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
-    let deadline = Instant::now() + Duration::from_secs(20);
-    while !cond() {
-        assert!(Instant::now() < deadline, "timed out: {what}");
-        std::thread::sleep(Duration::from_millis(10));
-    }
+/// Simulated time elapsed on the scenario clock.
+fn sim_now(clock: &ClockHandle) -> Duration {
+    clock.as_virtual().expect("virtual clock").elapsed()
 }
 
 fn import_counter(client: &Space, owner: &str) -> CounterClient {
@@ -98,7 +96,8 @@ fn import_counter(client: &Space, owner: &str) -> CounterClient {
 /// in the stats.
 #[test]
 fn flaky_link_idempotent_calls_retry_transparently() {
-    let net = SimNet::with_seed(LinkConfig::instant(), 0xC0FFEE);
+    let net = SimNet::virtual_time(LinkConfig::instant(), 0xC0FFEE);
+    let clock = net.clock();
     let mut opts = Options::fast();
     opts.call_timeout = Duration::from_secs(6);
     opts.retry = RetryPolicy {
@@ -131,6 +130,9 @@ fn flaky_link_idempotent_calls_retry_transparently() {
     );
     // Idempotent retries may re-execute; executions ≥ calls is expected.
     assert!(imp.reads_executed.load(Ordering::SeqCst) >= 20);
+
+    assert_conformant("flaky_link", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "flaky_link");
 }
 
 /// Scenario 2: the same flaky link, but the *at-most-once* method. Failed
@@ -139,7 +141,8 @@ fn flaky_link_idempotent_calls_retry_transparently() {
 /// per issued call.
 #[test]
 fn ambiguous_failures_never_double_execute() {
-    let net = SimNet::with_seed(LinkConfig::instant(), 7);
+    let net = SimNet::virtual_time(LinkConfig::instant(), 7);
+    let clock = net.clock();
     let mut opts = Options::fast();
     opts.call_timeout = Duration::from_millis(300);
     opts.breaker.enabled = false; // isolate the classification logic
@@ -181,6 +184,9 @@ fn ambiguous_failures_never_double_execute() {
     // The load-bearing default: no transparent retries of ambiguous
     // failures on a non-idempotent method.
     assert_eq!(client.stats().retries_attempted, 0);
+
+    assert_conformant("ambiguous_failures", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "ambiguous_failures");
 }
 
 /// Scenario 3: worker-pool saturation sheds calls with a retryable `Busy`
@@ -188,7 +194,8 @@ fn ambiguous_failures_never_double_execute() {
 /// exactly-once-per-success — verified against the server-side counter.
 #[test]
 fn shed_calls_retry_and_never_double_execute() {
-    let net = SimNet::with_seed(LinkConfig::instant(), 3);
+    let net = SimNet::virtual_time(LinkConfig::instant(), 3);
+    let clock = net.clock();
     let mut opts = Options::fast();
     opts.workers = 1;
     opts.server_queue_limit = Some(1);
@@ -199,7 +206,7 @@ fn shed_calls_retry_and_never_double_execute() {
         attempt_timeout: None,
     };
     let owner = space_on(&net, "owner", opts.clone());
-    let imp = CounterImpl::slow(Duration::from_millis(50));
+    let imp = CounterImpl::slow(Duration::from_millis(50), clock.clone());
     owner
         .export(Arc::new(CounterExport(Arc::clone(&imp))))
         .unwrap();
@@ -225,6 +232,9 @@ fn shed_calls_retry_and_never_double_execute() {
         "a shed call must not have executed; retries must not double-execute"
     );
     assert_eq!(*imp.value.lock(), 6);
+
+    assert_conformant("shed_calls", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "shed_calls");
 }
 
 /// Scenario 4: the owner crashes; lease renewals fail until the client
@@ -233,7 +243,8 @@ fn shed_calls_retry_and_never_double_execute() {
 /// call timeout.
 #[test]
 fn crashed_owner_breaks_surrogates_to_fail_fast() {
-    let net = SimNet::with_seed(LinkConfig::instant(), 5);
+    let net = SimNet::virtual_time(LinkConfig::instant(), 5);
+    let clock = net.clock();
     let mut opts = Options::fast();
     opts.call_timeout = Duration::from_secs(5);
     opts.lease = Some(Duration::from_millis(400));
@@ -251,18 +262,19 @@ fn crashed_owner_breaks_surrogates_to_fail_fast() {
     net.crash("owner");
 
     // Renewal failures accumulate until the owner is declared dead.
-    wait_until("owner declared dead", || {
+    wait_until(&clock, "owner declared dead", || {
         matches!(c.read(), Err(Error::OwnerDead(_)))
     });
 
-    // Broken surrogate: fail-fast, not a timeout-sized stall.
-    let t0 = Instant::now();
+    // Broken surrogate: fail-fast, not a timeout-sized stall (measured in
+    // simulated time — a stall would burn the 5s call timeout here).
+    let t0 = sim_now(&clock);
     let got = c.add(1);
-    let elapsed = t0.elapsed();
+    let elapsed = sim_now(&clock) - t0;
     assert!(matches!(got, Err(Error::OwnerDead(_))), "{got:?}");
     assert!(
         elapsed < Duration::from_millis(500),
-        "broken surrogate must fail fast, took {elapsed:?} \
+        "broken surrogate must fail fast, took {elapsed:?} simulated \
          (call_timeout is 5s)"
     );
     assert!(client.stats().calls_failed_fast >= 1);
@@ -271,6 +283,9 @@ fn crashed_owner_breaks_surrogates_to_fail_fast() {
         1,
         "no call reached the dead owner"
     );
+
+    assert_conformant("crashed_owner", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "crashed_owner");
 }
 
 /// Scenario 5: crash and restart. The restarted process is a *new* space
@@ -278,7 +293,8 @@ fn crashed_owner_breaks_surrogates_to_fail_fast() {
 /// fresh imports work, and the reconnect is visible in the stats.
 #[test]
 fn restarted_owner_serves_fresh_imports_and_rejects_stale_stubs() {
-    let net = SimNet::with_seed(LinkConfig::instant(), 11);
+    let net = SimNet::virtual_time(LinkConfig::instant(), 11);
+    let clock = net.clock();
     let opts = Options::fast();
     let owner = space_on(&net, "owner", opts.clone());
     let imp = CounterImpl::new();
@@ -299,8 +315,22 @@ fn restarted_owner_serves_fresh_imports_and_rejects_stale_stubs() {
         .unwrap();
     assert_ne!(owner2.id(), owner.id(), "a restart is a new space");
 
-    // Fresh import binds to the new incarnation and starts clean.
-    let fresh = import_counter(&client, "owner");
+    // Fresh import binds to the new incarnation and starts clean. The
+    // first attempt may surface the pooled connection the crash killed;
+    // the pool reconnects and the import then succeeds.
+    let mut fresh_handle = None;
+    wait_until(
+        &clock,
+        "fresh import binds to the new incarnation",
+        || match client.import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER) {
+            Ok(h) => {
+                fresh_handle = Some(h);
+                true
+            }
+            Err(_) => false,
+        },
+    );
+    let fresh = CounterClient::narrow(fresh_handle.unwrap()).unwrap();
     assert_eq!(fresh.add(5).unwrap(), 5);
     assert_eq!(imp2.adds_executed.load(Ordering::SeqCst), 1);
 
@@ -316,6 +346,9 @@ fn restarted_owner_serves_fresh_imports_and_rejects_stale_stubs() {
         "expected a counted reconnect: {:?}",
         client.stats()
     );
+
+    assert_conformant("restarted_owner", &[&owner, &owner2, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "restarted_owner");
 }
 
 /// Scenario 6: a silent partition makes consecutive calls time out until
@@ -323,7 +356,8 @@ fn restarted_owner_serves_fresh_imports_and_rejects_stale_stubs() {
 /// and the cooldown, a probe closes the breaker and calls flow again.
 #[test]
 fn breaker_opens_fails_fast_and_recovers_after_heal() {
-    let net = SimNet::with_seed(LinkConfig::instant(), 21);
+    let net = SimNet::virtual_time(LinkConfig::instant(), 21);
+    let clock = net.clock();
     let mut opts = Options::fast();
     opts.call_timeout = Duration::from_millis(250);
     opts.breaker.failure_threshold = 3;
@@ -338,33 +372,37 @@ fn breaker_opens_fails_fast_and_recovers_after_heal() {
     assert_eq!(c.add(1).unwrap(), 1);
 
     net.set_down("owner", true);
-    wait_until("breaker opens", || {
+    wait_until(&clock, "breaker opens", || {
         let _ = c.add(1);
         client.stats().breaker_opened >= 1
     });
 
-    // Open breaker: rejection without touching the network.
+    // Open breaker: rejection without touching the network — and without
+    // burning any meaningful simulated time.
     let failed_fast_before = client.stats().calls_failed_fast;
-    let t0 = Instant::now();
+    let t0 = sim_now(&clock);
     let got = c.add(1);
-    let elapsed = t0.elapsed();
+    let elapsed = sim_now(&clock) - t0;
     assert!(got.is_err());
     assert!(
         elapsed < Duration::from_millis(100),
-        "open breaker must fail fast, took {elapsed:?}"
+        "open breaker must fail fast, took {elapsed:?} simulated"
     );
     assert!(client.stats().calls_failed_fast > failed_fast_before);
 
     net.set_down("owner", false);
     // After the cooldown the next call is admitted as a probe, succeeds,
     // and closes the breaker.
-    wait_until("breaker recovers", || c.add(1).is_ok());
+    wait_until(&clock, "breaker recovers", || c.add(1).is_ok());
     // Failed adds during the partition never executed (their frames were
     // silently eaten), so the value equals the execution count.
     assert_eq!(
         c.read().unwrap(),
         imp.adds_executed.load(Ordering::SeqCst) as i64
     );
+
+    assert_conformant("breaker", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "breaker");
 }
 
 /// Scenario 7: clean calls issued into heavy seeded flake keep retrying
@@ -372,7 +410,8 @@ fn breaker_opens_fails_fast_and_recovers_after_heal() {
 /// converges — the owner hears the clean and the client reclaims its slot.
 #[test]
 fn cleans_converge_after_flake_clears() {
-    let net = SimNet::with_seed(LinkConfig::instant(), 31);
+    let net = SimNet::virtual_time(LinkConfig::instant(), 31);
+    let clock = net.clock();
     let mut opts = Options::fast();
     opts.clean_timeout = Duration::from_millis(150);
     opts.clean_retry = Duration::from_millis(50);
@@ -397,11 +436,16 @@ fn cleans_converge_after_flake_clears() {
     );
     let cleans_before = owner.stats().clean_received;
     drop(c);
-    std::thread::sleep(Duration::from_millis(400));
+    pass_time(&clock, Duration::from_millis(400));
     net.set_flake("owner", None, 0);
 
-    wait_until("clean lands after heal", || {
+    wait_until(&clock, "clean lands after heal", || {
         owner.stats().clean_received > cleans_before
     });
-    wait_until("client slot reclaimed", || client.imported_count() == 0);
+    wait_until(&clock, "client slot reclaimed", || {
+        client.imported_count() == 0
+    });
+
+    assert_conformant("cleans_converge", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "cleans_converge");
 }

@@ -1,17 +1,25 @@
 //! Model/runtime conformance: the runtime's observable collector traffic
 //! must match what the abstract specification prescribes for the same
-//! scenario, and the model's invariants hold across large random batches.
+//! scenario, the captured event traces must replay onto the model without
+//! violating any proof invariant, and the model's own invariants hold
+//! across large random batches.
+
+#[path = "vt_util.rs"]
+mod vt_util;
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use netobj::transport::sim::SimNet;
-use netobj::transport::Endpoint;
-use netobj::wire::ObjIx;
+use netobj::dgc::methods;
+use netobj::transport::sim::{LinkConfig, SimNet};
+use netobj::transport::{Endpoint, Transport};
+use netobj::wire::{ObjIx, Pickle, TraceKind, WireRep};
 use netobj::{network_object, NetResult, Options, Space};
 use netobj_dgc_model::explore::{assert_drained, random_walk, WalkPolicy};
-use netobj_dgc_model::{apply, Config, Msg, Proc, Ref, Transition};
+use netobj_dgc_model::{apply, Config, Msg, Proc, Ref, Replayer, Transition};
+use netobj_rpc::CallClient;
 use parking_lot::Mutex;
+use vt_util::{assert_conformant, assert_sim_time_under, space_on, wait_until};
 
 network_object! {
     /// Carrier interface for conformance scenarios.
@@ -24,14 +32,6 @@ struct BoxImpl;
 impl Box_ for BoxImpl {
     fn touch(&self) -> NetResult<()> {
         Ok(())
-    }
-}
-
-fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
-    let deadline = Instant::now() + Duration::from_secs(15);
-    while !cond() {
-        assert!(Instant::now() < deadline, "timed out: {what}");
-        std::thread::sleep(Duration::from_millis(10));
     }
 }
 
@@ -95,22 +95,13 @@ fn runtime_traffic_matches_model_for_one_lifecycle() {
     assert_eq!((dirty, dirty_ack, clean, clean_ack), (1, 1, 1, 1));
 
     // Runtime: same scenario — bind, use, drop, collect.
-    let net = SimNet::instant();
-    let owner = Space::builder()
-        .transport(Arc::new(Arc::clone(&net)))
-        .listen(Endpoint::sim("owner"))
-        .options(Options::fast())
-        .build()
-        .unwrap();
+    let net = SimNet::virtual_time(LinkConfig::instant(), 1);
+    let clock = net.clock();
+    let owner = space_on(&net, "owner", Options::fast());
     owner
         .export(Arc::new(BoxExport(Arc::new(BoxImpl))))
         .unwrap();
-    let client = Space::builder()
-        .transport(Arc::new(Arc::clone(&net)))
-        .listen(Endpoint::sim("client"))
-        .options(Options::fast())
-        .build()
-        .unwrap();
+    let client = space_on(&net, "client", Options::fast());
     let b = BoxClient::narrow(
         client
             .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
@@ -119,13 +110,33 @@ fn runtime_traffic_matches_model_for_one_lifecycle() {
     .unwrap();
     b.touch().unwrap();
     drop(b);
-    wait_until("collected", || client.imported_count() == 0);
+    wait_until(&clock, "collected", || client.imported_count() == 0);
 
     let stats = client.stats();
     assert_eq!(stats.dirty_sent, u64::from(dirty > 0), "one dirty call");
     assert_eq!(stats.clean_sent, u64::from(clean > 0), "one clean call");
     assert_eq!(owner.stats().dirty_received, 1);
     assert_eq!(owner.stats().clean_received, 1);
+
+    // The captured trace replays onto the model as exactly the thirteen
+    // transitions of the canonical life cycle, ending quiescent.
+    let mut replayer = Replayer::new();
+    replayer.ingest(owner.id(), owner.trace_events());
+    replayer.ingest(client.id(), client.trace_events());
+    let report = replayer.replay();
+    assert!(
+        report.is_conformant(),
+        "violations: {:#?}",
+        report.violations
+    );
+    assert!(report.unresolved.is_empty(), "{:#?}", report.unresolved);
+    assert_eq!(
+        report.transitions, 13,
+        "one life cycle is exactly 13 model transitions"
+    );
+    assert!(report.final_config.quiescent(), "trace must end quiescent");
+    assert_conformant("one_lifecycle", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "one_lifecycle");
 }
 
 #[test]
@@ -151,17 +162,89 @@ fn model_batch_large_scale() {
     assert!(total_steps > 10_000, "batch exercised {total_steps} steps");
 }
 
+/// Regression for the TR-116 transmission race: a dirty call whose
+/// sequence number is at or below the owner's per-client floor (i.e. it
+/// was superseded by a later clean) must be rejected, leave a `DirtyStale`
+/// mark in the trace, and the whole trace must still replay cleanly.
+#[test]
+fn stale_dirty_is_rejected_and_trace_replays_clean() {
+    let net = SimNet::virtual_time(LinkConfig::instant(), 116);
+    let clock = net.clock();
+    let owner = space_on(&net, "owner", Options::fast());
+    owner
+        .export(Arc::new(BoxExport(Arc::new(BoxImpl))))
+        .unwrap();
+    let client = space_on(&net, "client", Options::fast());
+
+    // One full life cycle: the clean raises the owner's seqno floor for
+    // this client above the dirty it superseded.
+    let b = BoxClient::narrow(
+        client
+            .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+            .unwrap(),
+    )
+    .unwrap();
+    b.touch().unwrap();
+    drop(b);
+    wait_until(&clock, "collected", || client.imported_count() == 0);
+    assert_eq!(owner.stats().dirty_stale, 0);
+
+    // Re-send the superseded dirty raw (seqno 0, below the floor), as if
+    // it had been delayed in the network past its own clean — the
+    // transmission race of TR-116 §2.3. The owner must refuse it rather
+    // than resurrect the dead registration.
+    let conn = Transport::connect(&net, &Endpoint::sim("owner")).unwrap();
+    let raw = CallClient::with_clock(Arc::from(conn), client.id(), clock.clone());
+    let stale = raw.call(
+        WireRep::gc_service(owner.id()),
+        methods::DIRTY,
+        (ObjIx::FIRST_USER.0, 0u64, None::<Endpoint>).to_pickle_bytes(),
+    );
+    assert!(stale.is_err(), "stale dirty must be rejected: {stale:?}");
+    assert_eq!(owner.stats().dirty_stale, 1);
+    assert!(
+        owner
+            .trace_events()
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::DirtyStale { .. })),
+        "rejection must be visible in the trace"
+    );
+    raw.close();
+
+    // The reference is still importable afterwards (fresh seqnos beat the
+    // floor) — the floor only fences the past, not the future.
+    let b2 = BoxClient::narrow(
+        client
+            .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
+            .unwrap(),
+    )
+    .unwrap();
+    b2.touch().unwrap();
+
+    // The full trace — including the refused dirty — replays onto the
+    // model without violations: the stale dirty is counted, not folded.
+    let mut replayer = Replayer::new();
+    replayer.ingest(owner.id(), owner.trace_events());
+    replayer.ingest(client.id(), client.trace_events());
+    let report = replayer.replay();
+    assert!(
+        report.is_conformant(),
+        "violations: {:#?}",
+        report.violations
+    );
+    assert!(report.unresolved.is_empty(), "{:#?}", report.unresolved);
+    assert!(report.stale_dirties >= 1, "the refusal must be counted");
+    assert_conformant("stale_dirty", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "stale_dirty");
+}
+
 #[test]
 fn runtime_mass_churn_reaches_fixpoint() {
     // Many clients churning handles against one owner: after everything
     // drops, the owner's table must return to exactly the pinned roots.
-    let net = SimNet::instant();
-    let owner = Space::builder()
-        .transport(Arc::new(Arc::clone(&net)))
-        .listen(Endpoint::sim("owner"))
-        .options(Options::fast())
-        .build()
-        .unwrap();
+    let net = SimNet::virtual_time(LinkConfig::instant(), 12);
+    let clock = net.clock();
+    let owner = space_on(&net, "owner", Options::fast());
     struct Factory {
         space: Space,
         made: Mutex<Vec<Arc<BoxExport<BoxImpl>>>>,
@@ -190,12 +273,7 @@ fn runtime_mass_churn_reaches_fixpoint() {
     for i in 0..4 {
         let net = Arc::clone(&net);
         clients.push(std::thread::spawn(move || {
-            let space = Space::builder()
-                .transport(Arc::new(net))
-                .listen(Endpoint::sim(format!("client{i}")))
-                .options(Options::fast())
-                .build()
-                .unwrap();
+            let space = space_on(&net, &format!("client{i}"), Options::fast());
             let mint = MintClient::narrow(
                 space
                     .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
@@ -212,10 +290,15 @@ fn runtime_mass_churn_reaches_fixpoint() {
     }
     let spaces: Vec<Space> = clients.into_iter().map(|j| j.join().unwrap()).collect();
     // 100 boxes were minted and dropped; only the mint may remain.
-    wait_until("owner table back to the pinned mint", || {
+    wait_until(&clock, "owner table back to the pinned mint", || {
         owner.exported_count() == 1
     });
     for s in &spaces {
-        wait_until("client imports drained", || s.imported_count() <= 1);
+        wait_until(&clock, "client imports drained", || s.imported_count() <= 1);
     }
+
+    let mut participants: Vec<&Space> = vec![&owner];
+    participants.extend(spaces.iter());
+    assert_conformant("mass_churn", &participants);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "mass_churn");
 }

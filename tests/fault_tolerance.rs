@@ -2,15 +2,23 @@
 //! clients and dead owners — the Section-2.3/2.4 behaviours of the
 //! original system (sequence numbers, strong cleans, clean retry, ping
 //! and lease termination detection).
+//!
+//! Every scenario runs on a virtual clock (timeouts, retries and leases
+//! all tick in simulated time) and ends by replaying the captured
+//! collector traces through the formal model.
+
+#[path = "vt_util.rs"]
+mod vt_util;
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use netobj::transport::sim::{LinkConfig, SimNet};
 use netobj::transport::Endpoint;
 use netobj::wire::ObjIx;
-use netobj::{network_object, Error, NetResult, Options, Space};
+use netobj::{network_object, Error, NetResult, Options};
 use parking_lot::Mutex;
+use vt_util::{assert_conformant, assert_sim_time_under, pass_time, space_on, wait_until};
 
 network_object! {
     /// Minimal service for fault scenarios.
@@ -33,23 +41,6 @@ fn cell() -> Arc<CellExport<CellImpl>> {
     Arc::new(CellExport(Arc::new(CellImpl(Mutex::new(0)))))
 }
 
-fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
-    let deadline = Instant::now() + Duration::from_secs(20);
-    while !cond() {
-        assert!(Instant::now() < deadline, "timed out: {what}");
-        std::thread::sleep(Duration::from_millis(10));
-    }
-}
-
-fn space_on(net: &Arc<SimNet>, name: &str, options: Options) -> Space {
-    Space::builder()
-        .transport(Arc::new(Arc::clone(net)))
-        .listen(Endpoint::sim(name))
-        .options(options)
-        .build()
-        .unwrap()
-}
-
 network_object! {
     /// Hands a cell reference to whoever asks (used to trigger the
     /// unmarshal-time dirty call without a bootstrap identify).
@@ -68,7 +59,8 @@ impl Giver for GiverImpl {
 
 #[test]
 fn failed_dirty_creates_no_surrogate_and_sends_strong_clean() {
-    let net = SimNet::instant();
+    let net = SimNet::virtual_time(LinkConfig::instant(), 1);
+    let clock = net.clock();
     let mut opts = Options::fast();
     opts.dirty_timeout = Duration::from_millis(300);
     opts.clean_timeout = Duration::from_millis(300);
@@ -99,7 +91,9 @@ fn failed_dirty_creates_no_surrogate_and_sends_strong_clean() {
         .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
         .unwrap();
     drop(warm);
-    wait_until("warm-up clean done", || client.imported_count() == 0);
+    wait_until(&clock, "warm-up clean done", || {
+        client.imported_count() == 0
+    });
     let cleans_before = owner.stats().clean_received;
 
     let giver = GiverClient::narrow(
@@ -120,24 +114,28 @@ fn failed_dirty_creates_no_surrogate_and_sends_strong_clean() {
         "only the giver surrogate may remain: no cell surrogate after a \
          failed dirty call"
     );
-    wait_until("strong clean scheduled and attempted", || {
+    wait_until(&clock, "strong clean scheduled and attempted", || {
         client.stats().strong_clean_sent >= 1
     });
 
     // Heal the partition: the strong clean must eventually land.
     net.set_down("owner", false);
-    wait_until("strong clean delivered", || {
+    wait_until(&clock, "strong clean delivered", || {
         owner.stats().clean_received > cleans_before
     });
 
     // The reference is importable and usable again afterwards.
     let c = giver.give().unwrap();
     assert_eq!(c.bump().unwrap(), 1);
+
+    assert_conformant("failed_dirty", &[&owner, &helper, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "failed_dirty");
 }
 
 #[test]
 fn clean_calls_retry_through_partitions() {
-    let net = SimNet::instant();
+    let net = SimNet::virtual_time(LinkConfig::instant(), 2);
+    let clock = net.clock();
     let mut opts = Options::fast();
     opts.clean_timeout = Duration::from_millis(200);
     opts.clean_retry = Duration::from_millis(100);
@@ -153,13 +151,18 @@ fn clean_calls_retry_through_partitions() {
     // with the same sequence number until the partition heals.
     net.set_down("owner", true);
     drop(h);
-    std::thread::sleep(Duration::from_millis(600));
+    pass_time(&clock, Duration::from_millis(600));
     assert!(client.stats().clean_retries >= 1, "retries while down");
     assert_eq!(owner.stats().clean_received, 0);
 
     net.set_down("owner", false);
-    wait_until("clean finally lands", || owner.stats().clean_received == 1);
-    wait_until("slot reclaimed", || client.imported_count() == 0);
+    wait_until(&clock, "clean finally lands", || {
+        owner.stats().clean_received == 1
+    });
+    wait_until(&clock, "slot reclaimed", || client.imported_count() == 0);
+
+    assert_conformant("clean_retry", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "clean_retry");
 }
 
 #[test]
@@ -168,7 +171,8 @@ fn duplicated_collector_messages_are_harmless() {
     // duplicating link, counts stay consistent and collection works.
     let mut config = LinkConfig::with_latency(Duration::from_micros(200));
     config.duplicate = 0.5;
-    let net = SimNet::with_seed(config, 99);
+    let net = SimNet::virtual_time(config, 99);
+    let clock = net.clock();
     let opts = Options::fast();
     let owner = space_on(&net, "owner", opts.clone());
     owner.export(cell()).unwrap();
@@ -181,18 +185,22 @@ fn duplicated_collector_messages_are_harmless() {
         let c = CellClient::narrow(h).unwrap();
         assert_eq!(c.bump().unwrap(), round + 1);
         drop(c);
-        wait_until("round cleaned", || client.imported_count() == 0);
+        wait_until(&clock, "round cleaned", || client.imported_count() == 0);
     }
     // The object survived every round and was never prematurely lost.
     let h = client
         .import_root(&Endpoint::sim("owner"), ObjIx::FIRST_USER)
         .unwrap();
     assert_eq!(CellClient::narrow(h).unwrap().bump().unwrap(), 11);
+
+    assert_conformant("duplicated_messages", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "duplicated_messages");
 }
 
 #[test]
 fn owner_death_abandons_surrogates_after_retries() {
-    let net = SimNet::instant();
+    let net = SimNet::virtual_time(LinkConfig::instant(), 4);
+    let clock = net.clock();
     let mut opts = Options::fast();
     opts.clean_timeout = Duration::from_millis(150);
     opts.clean_retry = Duration::from_millis(50);
@@ -210,13 +218,19 @@ fn owner_death_abandons_surrogates_after_retries() {
     drop(h);
     // After max_clean_retries failures the client gives up and reclaims
     // its local bookkeeping ("until the owner's termination is detected").
-    wait_until("import slot abandoned", || client.imported_count() == 0);
+    wait_until(&clock, "import slot abandoned", || {
+        client.imported_count() == 0
+    });
     assert!(client.stats().clean_retries >= 2);
+
+    assert_conformant("owner_death", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "owner_death");
 }
 
 #[test]
 fn calls_to_dead_owner_fail_with_transport_errors() {
-    let net = SimNet::instant();
+    let net = SimNet::virtual_time(LinkConfig::instant(), 6);
+    let clock = net.clock();
     let opts = Options::fast();
     let owner = space_on(&net, "owner", opts.clone());
     owner.export(cell()).unwrap();
@@ -235,13 +249,17 @@ fn calls_to_dead_owner_fail_with_transport_errors() {
         matches!(got, Err(Error::Rpc(_)) | Err(Error::Transport(_))),
         "{got:?}"
     );
+
+    assert_conformant("dead_owner_calls", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "dead_owner_calls");
 }
 
 #[test]
 fn lease_mode_survives_transient_partition_within_lease() {
     // A partition shorter than the lease must NOT cost the client its
     // reference: renewals resume after healing.
-    let net = SimNet::instant();
+    let net = SimNet::virtual_time(LinkConfig::instant(), 8);
+    let clock = net.clock();
     let mut opts = Options::fast();
     opts.lease = Some(Duration::from_millis(1200));
     // A renewal into the partition must fail fast enough for the next
@@ -259,10 +277,13 @@ fn lease_mode_survives_transient_partition_within_lease() {
     assert_eq!(c.bump().unwrap(), 1);
 
     net.set_down("owner", true);
-    std::thread::sleep(Duration::from_millis(400)); // < lease
+    pass_time(&clock, Duration::from_millis(400)); // < lease
     net.set_down("owner", false);
-    std::thread::sleep(Duration::from_millis(900)); // renewals resume
+    pass_time(&clock, Duration::from_millis(900)); // renewals resume
 
     assert_eq!(c.bump().unwrap(), 2, "reference survived the partition");
     assert_eq!(owner.stats().leases_expired, 0);
+
+    assert_conformant("lease_partition", &[&owner, &client]);
+    assert_sim_time_under(&clock, Duration::from_secs(120), "lease_partition");
 }

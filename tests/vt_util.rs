@@ -1,0 +1,204 @@
+//! Shared harness for the virtual-time integration suites.
+//!
+//! Every scenario runs on a [`SimNet`] wired to a [`VirtualClock`]: all
+//! runtime timers (call timeouts, retry backoff, lease renewal, clean
+//! retry, breaker cooldown) read the same virtual clock, so nominal
+//! seconds of waiting collapse into milliseconds of real time and the
+//! schedule is reproducible. Tests drive the clock through [`wait_until`]
+//! and [`pass_time`], and finish by replaying every space's captured
+//! trace through the formal model with [`assert_conformant`].
+
+#![allow(dead_code)] // Each test binary uses a subset of the helpers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use netobj::transport::sim::SimNet;
+use netobj::transport::{ClockHandle, Endpoint};
+use netobj::{Options, Space};
+use netobj_dgc_model::Replayer;
+
+/// Per-wait cap in *simulated* time: a scenario step that nominally needs
+/// more than this is a bug, virtual time or not.
+pub const SIM_WAIT_CAP: Duration = Duration::from_secs(300);
+
+/// Real-time backstop so a deadlocked clock fails the test rather than
+/// hanging the suite.
+pub const REAL_WAIT_CAP: Duration = Duration::from_secs(30);
+
+/// Builds a space on `net` with its options clock wired to the net's
+/// (virtual) clock, so every runtime timer runs on simulated time.
+pub fn space_on(net: &Arc<SimNet>, name: &str, mut options: Options) -> Space {
+    options.clock = net.clock();
+    Space::builder()
+        .transport(Arc::new(Arc::clone(net)))
+        .listen(Endpoint::sim(name))
+        .options(options)
+        .build()
+        .unwrap()
+}
+
+/// Polls `cond`, nudging the virtual clock forward whenever the system is
+/// idle. Fails after [`SIM_WAIT_CAP`] simulated (or [`REAL_WAIT_CAP`]
+/// real) time.
+pub fn wait_until(clock: &ClockHandle, what: &str, mut cond: impl FnMut() -> bool) {
+    let vc = clock
+        .as_virtual()
+        .expect("wait_until needs a virtual clock");
+    let sim_start = vc.elapsed();
+    let real_deadline = std::time::Instant::now() + REAL_WAIT_CAP;
+    while !cond() {
+        assert!(
+            vc.elapsed() - sim_start < SIM_WAIT_CAP,
+            "simulated-time timeout: {what}"
+        );
+        assert!(
+            std::time::Instant::now() < real_deadline,
+            "real-time timeout: {what}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+        vc.maybe_auto_advance();
+    }
+}
+
+/// Lets `d` of simulated time pass while background work (demons, retries,
+/// in-flight frames) keeps running. If nothing at all is sleeping on the
+/// clock, time is nudged forward directly.
+pub fn pass_time(clock: &ClockHandle, d: Duration) {
+    let vc = clock.as_virtual().expect("pass_time needs a virtual clock");
+    let target = vc.elapsed() + d;
+    let mut stalled = 0u32;
+    while vc.elapsed() < target {
+        let before = vc.elapsed();
+        std::thread::sleep(Duration::from_millis(1));
+        vc.maybe_auto_advance();
+        if vc.elapsed() == before {
+            stalled += 1;
+            if stalled >= 5 {
+                let step = (target - vc.elapsed()).min(Duration::from_millis(10));
+                vc.advance(step);
+                stalled = 0;
+            }
+        } else {
+            stalled = 0;
+        }
+    }
+}
+
+/// Replays every space's captured trace through the formal model and
+/// asserts the scenario was conformant: no invariant, safety or measure
+/// violations, and no event the model cannot explain.
+///
+/// With `NETOBJ_TRACE_DUMP=<dir>` set, also writes a canonical projection
+/// of the captured traces to `<dir>/<scenario>.trace` — the CI flake
+/// detector runs the suite twice and diffs these dumps.
+pub fn assert_conformant(scenario: &str, spaces: &[&Space]) {
+    let mut replayer = Replayer::new();
+    for s in spaces {
+        replayer.ingest(s.id(), s.trace_events());
+    }
+    let report = replayer.replay();
+    if let Ok(dir) = std::env::var("NETOBJ_TRACE_DUMP") {
+        dump_canonical(&dir, scenario, spaces, &report);
+    }
+    assert!(
+        report.is_conformant(),
+        "{scenario}: trace oracle violations: {:#?}",
+        report.violations
+    );
+    assert!(
+        report.unresolved.is_empty(),
+        "{scenario}: events the model cannot explain: {:#?}",
+        report.unresolved
+    );
+}
+
+/// Writes the canonical projection of a scenario's traces: the *logical*
+/// collector facts (which objects were exported, registered, cleaned and
+/// collected at which space) plus the replay verdict, with run-varying
+/// detail — timestamps, sequence numbers, retry repeats, ping cadence and
+/// the raw space ids — projected away. Two runs of the same seeded
+/// scenario must produce byte-identical dumps; a diff is a flake.
+fn dump_canonical(
+    dir: &str,
+    scenario: &str,
+    spaces: &[&Space],
+    report: &netobj_dgc_model::ReplayReport,
+) {
+    use netobj::wire::TraceKind;
+    use std::collections::BTreeSet;
+    use std::fmt::Write as _;
+
+    let idx: std::collections::HashMap<_, _> = spaces
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id(), i))
+        .collect();
+    let name = |id| idx.get(&id).map_or("ext".to_owned(), |i| format!("s{i}"));
+
+    let mut facts = BTreeSet::new();
+    let mut counts: Vec<(usize, usize)> = vec![(0, 0); spaces.len()];
+    for (si, s) in spaces.iter().enumerate() {
+        for e in s.trace_events() {
+            match e.kind {
+                TraceKind::ExportCreated { owner, target } => {
+                    facts.insert(format!("export {} ix={}", name(owner), target.ix.0));
+                }
+                TraceKind::ExportCollected { owner, target } => {
+                    facts.insert(format!("collect {} ix={}", name(owner), target.ix.0));
+                }
+                TraceKind::DirtyApplied { owner, target, .. } => {
+                    facts.insert(format!("registered {} ix={}", name(owner), target.ix.0));
+                }
+                TraceKind::CleanApplied { owner, target, .. } => {
+                    facts.insert(format!("cleaned {} ix={}", name(owner), target.ix.0));
+                }
+                TraceKind::OwnerDead { client, owner } => {
+                    facts.insert(format!("owner-dead {} by {}", name(owner), name(client)));
+                }
+                TraceKind::SpaceCrashed { space } => {
+                    facts.insert(format!("crashed {}", name(space)));
+                }
+                TraceKind::ClientPurged { owner, client } => {
+                    facts.insert(format!("purged {} at {}", name(client), name(owner)));
+                }
+                TraceKind::SurrogateCreated { .. } => counts[si].0 += 1,
+                TraceKind::SurrogateDropped { .. } => counts[si].1 += 1,
+                // Everything else (pings, pins, stale rejections, retry
+                // repeats) is schedule-dependent detail: projecting it
+                // away is what makes the dump diffable across runs.
+                _ => {}
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario {scenario}");
+    let _ = writeln!(
+        out,
+        "replay spaces={} refs={} violations={} unresolved={}",
+        report.spaces,
+        report.refs,
+        report.violations.len(),
+        report.unresolved.len()
+    );
+    for (i, (created, dropped)) in counts.iter().enumerate() {
+        let _ = writeln!(out, "space s{i} surrogates={created} dropped={dropped}");
+    }
+    for f in &facts {
+        let _ = writeln!(out, "{f}");
+    }
+    std::fs::create_dir_all(dir).expect("create NETOBJ_TRACE_DUMP dir");
+    std::fs::write(format!("{dir}/{scenario}.trace"), out).expect("write trace dump");
+}
+
+/// Asserts the whole scenario consumed at most `bound` of simulated time
+/// (from clock creation to now).
+pub fn assert_sim_time_under(clock: &ClockHandle, bound: Duration, scenario: &str) {
+    let vc = clock.as_virtual().expect("virtual clock");
+    let used = vc.elapsed();
+    assert!(
+        used <= bound,
+        "{scenario} used {used:?} of simulated time (bound {bound:?})"
+    );
+}
