@@ -6,12 +6,14 @@
 //! depend on the machine, but the *shapes* are asserted in the
 //! integration tests and discussed in EXPERIMENTS.md.
 
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use netobj::wire::pickle::{Blob, Pickle};
 use netobj::wire::ObjIx;
-use netobj::{Options, Space};
+use netobj::{Introspect, Options, Space};
 use netobj_bench::{
     fmt_dur, fmt_rate, new_counter, print_table, time_per_call, BenchSvc, Counter, CounterClient,
     RawRig, Rig,
@@ -20,10 +22,15 @@ use netobj_dgc_model::baselines::{birrell, irc, lermen_maurer, naive, wrc, Workl
 use netobj_dgc_model::explore::{assert_drained, random_walk, WalkPolicy};
 use netobj_dgc_model::variants::{run as run_variant, OwnerOpts, Workload as VWorkload};
 use netobj_transport::sim::SimNet;
+use netobj_transport::tcp::Tcp;
 use netobj_transport::Endpoint;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("netobj-top") {
+        netobj_top(&args[1..]);
+        return;
+    }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
 
     println!("# Network Objects — evaluation report");
@@ -71,7 +78,144 @@ fn main() {
     if want("T7") {
         t7_batching();
     }
+    if want("C3") {
+        c3_rpc_latency();
+    }
     println!("\n# report complete");
+}
+
+// ---------------------------------------------------------------------------
+// netobj-top: live introspection of a running netobjd (or any listening
+// space) through its built-in Introspect object.
+
+fn netobj_top(args: &[String]) {
+    let mut addr = "127.0.0.1:7777".to_owned();
+    let mut interval = Duration::from_secs(2);
+    let mut once = false;
+    let mut metrics = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => interval = Duration::from_millis(ms),
+                None => netobj_top_usage(),
+            },
+            "--once" => once = true,
+            "--metrics" => metrics = true,
+            "--help" | "-h" => netobj_top_usage(),
+            other if !other.starts_with('-') => addr = other.to_owned(),
+            other => {
+                eprintln!("netobj-top: unknown argument: {other}");
+                netobj_top_usage();
+            }
+        }
+    }
+
+    let space = match Space::builder().transport(Arc::new(Tcp)).build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("netobj-top: cannot create observer space: {e}");
+            std::process::exit(1);
+        }
+    };
+    let intro = match netobj::introspect::connect(&space, &Endpoint::tcp(addr.clone())) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("netobj-top: cannot reach {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if metrics {
+        // Raw Prometheus text, scraped over the ordinary RPC path — what
+        // the CI smoke job greps and what an actual scraper would ingest.
+        loop {
+            match intro.metrics_text() {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("netobj-top: lost peer {addr}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if once {
+                return;
+            }
+            std::thread::sleep(interval);
+        }
+    }
+
+    let mut prev: Option<(BTreeMap<String, u64>, Instant)> = None;
+    loop {
+        let named = match intro.stats() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("netobj-top: lost peer {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let now = Instant::now();
+        let mut rows = Vec::new();
+        for (name, v) in &named {
+            let rate = prev
+                .as_ref()
+                .map(|(p, t)| {
+                    let d = v.saturating_sub(p.get(name).copied().unwrap_or(0));
+                    format!("{:.1}/s", d as f64 / now.duration_since(*t).as_secs_f64())
+                })
+                .unwrap_or_else(|| "-".into());
+            if *v != 0 || name == "calls_served" || name == "calls_sent" {
+                rows.push(vec![name.clone(), v.to_string(), rate]);
+            }
+        }
+        print_table(
+            &format!("netobj-top — {addr}"),
+            &["counter", "value", "rate"],
+            &rows,
+        );
+
+        match intro.spans(8) {
+            Ok(spans) if !spans.is_empty() => {
+                let rows: Vec<Vec<String>> = spans
+                    .iter()
+                    .map(|s| {
+                        vec![
+                            format!("{:016x}", s.trace_id),
+                            format!("{:?}", s.kind).to_lowercase(),
+                            if s.label.is_empty() {
+                                format!("m{}", s.method)
+                            } else {
+                                s.label.clone()
+                            },
+                            fmt_dur(Duration::from_micros(s.duration_micros)),
+                            fmt_dur(Duration::from_micros(s.queue_wait_micros)),
+                            s.outcome.as_str().into(),
+                        ]
+                    })
+                    .collect();
+                print_table(
+                    "recent spans",
+                    &["trace", "kind", "method", "total", "queue", "outcome"],
+                    &rows,
+                );
+            }
+            _ => {}
+        }
+
+        prev = Some((named.into_iter().collect(), now));
+        if once {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+fn netobj_top_usage() -> ! {
+    eprintln!("usage: report netobj-top [HOST:PORT] [--interval MILLIS] [--once] [--metrics]");
+    eprintln!();
+    eprintln!("  polls the Introspect object of a running netobjd (default");
+    eprintln!("  127.0.0.1:7777) and prints its counters and recent call spans;");
+    eprintln!("  with --metrics, dumps the raw Prometheus exposition text instead");
+    std::process::exit(2);
 }
 
 // ---------------------------------------------------------------------------
@@ -738,4 +882,81 @@ fn f6_liveness() {
         ],
         &rows,
     );
+}
+
+// ---------------------------------------------------------------------------
+
+/// C3: per-method RPC latency quantiles from the span histograms, written
+/// to `BENCH_rpc_latency.json` so the perf trajectory has a baseline
+/// artifact that later PRs can diff against.
+fn c3_rpc_latency() {
+    let rig = Rig::new(Duration::ZERO);
+    let n = 400;
+    for _ in 0..n {
+        rig.svc.null().unwrap();
+    }
+    for _ in 0..n {
+        rig.svc.ten_ints(1, 2, 3, 4, 5, 6, 7, 8, 9, 10).unwrap();
+    }
+    for _ in 0..n {
+        rig.svc
+            .text("forty-two bytes of representative text....".into())
+            .unwrap();
+    }
+    for _ in 0..n {
+        rig.svc.blob(Blob(vec![0xa5; 4096])).unwrap();
+    }
+    for _ in 0..n {
+        rig.svc.get_blob(4096).unwrap();
+    }
+    for _ in 0..n {
+        rig.svc.record((7, 2.5, "x".into(), true)).unwrap();
+    }
+
+    // Client-observed latency lives in the client space's histograms;
+    // merging in the server's adds the `serve/…` dispatch-side view.
+    let mut metrics = rig.client.metrics();
+    metrics.merge(&rig.server.metrics());
+
+    let mut rows = Vec::new();
+    let mut json =
+        String::from("{\n  \"experiment\": \"C3\",\n  \"unit\": \"micros\",\n  \"methods\": {\n");
+    let mut first = true;
+    for (label, h) in &metrics.app_calls {
+        let total = h.total();
+        if total == 0 {
+            continue;
+        }
+        let (p50, p90, p99) = (
+            h.quantile_micros(0.50),
+            h.quantile_micros(0.90),
+            h.quantile_micros(0.99),
+        );
+        rows.push(vec![
+            label.clone(),
+            total.to_string(),
+            fmt_dur(Duration::from_micros(p50)),
+            fmt_dur(Duration::from_micros(p90)),
+            fmt_dur(Duration::from_micros(p99)),
+        ]);
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    \"{label}\": {{\"count\": {total}, \"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"mean\": {}}}",
+            h.sum_micros / total
+        );
+    }
+    json.push_str("\n  }\n}\n");
+    print_table(
+        "C3 — per-method RPC latency (log2-bucket quantiles)",
+        &["method", "calls", "p50", "p90", "p99"],
+        &rows,
+    );
+    match std::fs::write("BENCH_rpc_latency.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_rpc_latency.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_rpc_latency.json: {e}"),
+    }
 }

@@ -252,6 +252,7 @@ fn trace_clean_outcome(
 /// cleans, demon-level retries with the *same* seqno), so only
 /// not-delivered failures are retried underneath it. Pings and identify
 /// are genuinely idempotent.
+#[allow(clippy::too_many_arguments)]
 fn gc_call(
     space: &Space,
     target_space: SpaceId,
@@ -260,8 +261,11 @@ fn gc_call(
     args: Vec<u8>,
     timeout: Duration,
     idempotent: bool,
+    hist_kind: Option<usize>,
 ) -> NetResult<Vec<u8>> {
-    space
+    let clock = &space.inner.options.clock;
+    let start = clock.now();
+    let result = space
         .resilient_call(
             WireRep::gc_service(target_space),
             ep,
@@ -271,7 +275,21 @@ fn gc_call(
             idempotent,
         )
         // Dropping the reply's ack token sends the acknowledgement.
-        .map(|reply| reply.bytes)
+        .map(|reply| reply.bytes);
+    if let Some(kind) = hist_kind {
+        // Latency of the whole resilient exchange, retries included —
+        // what the collector actually waited, success or not.
+        space.record_gc_call(kind, clock.now().saturating_duration_since(start));
+    }
+    result
+}
+
+/// Indices into [`crate::metrics::GC_KINDS`] for [`gc_call`]'s histogram.
+mod gc_hist {
+    pub(super) const DIRTY: Option<usize> = Some(0);
+    pub(super) const CLEAN: Option<usize> = Some(1);
+    pub(super) const STRONG_CLEAN: Option<usize> = Some(2);
+    pub(super) const PING: Option<usize> = Some(3);
 }
 
 /// Asks the space listening at `ep` who it is.
@@ -284,6 +302,7 @@ pub(crate) fn identify(space: &Space, ep: &Endpoint) -> NetResult<(SpaceId, Opti
         ().to_pickle_bytes(),
         space.inner.options.dirty_timeout,
         true,
+        None,
     )?;
     Ok(<(SpaceId, Option<Endpoint>)>::from_pickle_bytes(&bytes)?)
 }
@@ -310,6 +329,7 @@ fn send_dirty(
         args,
         space.inner.options.dirty_timeout,
         false,
+        gc_hist::DIRTY,
     );
     // An ambiguous failure means no answer arrived — there is no ack to
     // record, and a strong clean will resolve the uncertainty.
@@ -366,6 +386,11 @@ fn send_clean(
         args,
         space.inner.options.clean_timeout,
         false,
+        if strong {
+            gc_hist::STRONG_CLEAN
+        } else {
+            gc_hist::CLEAN
+        },
     )?;
     space.emit(TraceKind::CleanAcked {
         client: space.id(),
@@ -879,6 +904,12 @@ fn cleanup_loop(
         }
 
         dispatch_cleans(&space, &mut retries, intents);
+        // The retry queue lives on this thread; publish its depth so the
+        // metrics snapshot can gauge it.
+        space
+            .inner
+            .pending_clean_retries
+            .store(retries.len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -1098,6 +1129,7 @@ fn send_clean_batch(space: &Space, owner_ep: &Endpoint, intents: &[CleanIntent])
         entries.to_pickle_bytes(),
         space.inner.options.clean_timeout,
         false,
+        gc_hist::CLEAN,
     )?;
     for intent in intents {
         space.emit(TraceKind::CleanAcked {
@@ -1328,6 +1360,7 @@ fn ping_client(space: &Space, client: SpaceId, ep: &Endpoint) -> bool {
         ().to_pickle_bytes(),
         space.inner.options.clean_timeout,
         true,
+        gc_hist::PING,
     )
     .is_ok()
 }

@@ -1,0 +1,104 @@
+//! The built-in introspection object.
+//!
+//! Every listening space exports an [`Introspect`] network object at the
+//! reserved index [`ObjIx::INTROSPECT`], so any peer — a debugging
+//! session, the `netobj-top` reporter, a CI smoke test — can ask a running
+//! space for its counters, metrics text, recent call spans and collector
+//! trace tail *using nothing but the object system itself*. There is no
+//! separate admin port or protocol: introspection is just another network
+//! object, reached by the same bootstrap import as the agent.
+//!
+//! Security note: the interface is strictly read-only. It exposes
+//! aggregate counters, latency distributions and span metadata (method
+//! indices, space ids, byte counts) but never argument or result payloads,
+//! and it offers no mutating methods — importing it grants observation,
+//! not control.
+
+use std::sync::{Arc, Weak};
+
+use netobj_transport::Endpoint;
+use netobj_wire::{ObjIx, SpanRecord, TraceEvent};
+
+use crate::error::{Error, NetResult};
+use crate::space::{Space, SpaceInner};
+
+crate::network_object! {
+    /// Read-only observability queries answered by every listening space
+    /// (served at the reserved index [`ObjIx::INTROSPECT`]).
+    pub interface Introspect ("netobj.Introspect"):
+        client IntrospectClient, export IntrospectExport
+    {
+        /// Every activity counter, as `(name, value)` pairs.
+        0 [idempotent] => fn stats(&self) -> Vec<(String, u64)>;
+        /// The full metrics snapshot in Prometheus text format.
+        1 [idempotent] => fn metrics_text(&self) -> String;
+        /// The most recent `limit` call spans (0 = all surviving).
+        2 [idempotent] => fn spans(&self, limit: u64) -> Vec<SpanRecord>;
+        /// The most recent `limit` collector trace events (0 = all
+        /// surviving).
+        3 [idempotent] => fn trace_tail(&self, limit: u64) -> Vec<TraceEvent>;
+    }
+}
+
+/// Serves [`Introspect`] for one space. Holds the space weakly: the
+/// object table entry must not keep its own space alive.
+struct IntrospectImpl {
+    inner: Weak<SpaceInner>,
+}
+
+impl IntrospectImpl {
+    fn space(&self) -> NetResult<Space> {
+        self.inner
+            .upgrade()
+            .map(Space::from_inner)
+            .ok_or(Error::SpaceStopped)
+    }
+}
+
+fn tail<T>(mut items: Vec<T>, limit: u64) -> Vec<T> {
+    if limit > 0 && (items.len() as u64) > limit {
+        items.drain(..items.len() - limit as usize);
+    }
+    items
+}
+
+impl Introspect for IntrospectImpl {
+    fn stats(&self) -> NetResult<Vec<(String, u64)>> {
+        Ok(self
+            .space()?
+            .stats()
+            .named()
+            .into_iter()
+            .map(|(name, v)| (name.to_string(), v))
+            .collect())
+    }
+
+    fn metrics_text(&self) -> NetResult<String> {
+        Ok(self.space()?.metrics_text())
+    }
+
+    fn spans(&self, limit: u64) -> NetResult<Vec<SpanRecord>> {
+        Ok(tail(self.space()?.spans(), limit))
+    }
+
+    fn trace_tail(&self, limit: u64) -> NetResult<Vec<TraceEvent>> {
+        Ok(tail(self.space()?.trace_events(), limit))
+    }
+}
+
+/// Installs the introspection object at [`ObjIx::INTROSPECT`] (called by
+/// the space builder for every listening space).
+pub(crate) fn install(space: &Space) -> NetResult<()> {
+    let imp = IntrospectImpl {
+        inner: Arc::downgrade(&space.inner),
+    };
+    space.export_builtin(ObjIx::INTROSPECT, Arc::new(IntrospectExport(Arc::new(imp))))?;
+    Ok(())
+}
+
+/// Connects to the introspection object of whatever space listens at
+/// `ep` — the observability analogue of `netobj_agent::connect`.
+pub fn connect(space: &Space, ep: &Endpoint) -> NetResult<IntrospectClient> {
+    let handle = space.import_root(ep, ObjIx::INTROSPECT)?;
+    IntrospectClient::narrow(handle)
+}

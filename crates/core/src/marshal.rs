@@ -172,6 +172,8 @@ net_marshal_via_pickle!(
     TypeList,
     netobj_wire::SpaceId,
     Endpoint,
+    netobj_wire::SpanRecord,
+    netobj_wire::TraceEvent,
 );
 
 impl<T: NetMarshal> NetMarshal for Option<T> {

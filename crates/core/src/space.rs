@@ -11,21 +11,27 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
+use std::collections::BTreeMap;
+
 use crossbeam::channel::Sender;
 use netobj_rpc::{
-    Admission, Backoff, CallClient, CallReply, CircuitBreaker, Dispatch, Dispatcher, FailureClass,
-    RpcError, RpcServer,
+    Admission, Backoff, BreakerState, CallClient, CallReply, CircuitBreaker, Dispatch, DispatchCx,
+    Dispatcher, FailureClass, RpcError, RpcServer,
 };
 use netobj_transport::{Endpoint, TransportRegistry};
-use netobj_wire::{ObjIx, SpaceId, TraceEvent, TraceKind, TypeList, WireRep};
+use netobj_wire::{
+    ObjIx, SpaceId, SpanKind, SpanOutcome, SpanRecord, TraceEvent, TraceKind, TypeList, WireRep,
+};
 use parking_lot::Mutex;
 
 use crate::dgc::{self, GcJob};
 use crate::error::{to_remote_error, Error, NetResult};
 use crate::handle::{Handle, HandleKind, PinKind, SurrogateCore, TransientPin};
 use crate::marshal::UnmarshalCx;
+use crate::metrics::{Gauges, Histogram, Metrics, GC_KINDS};
 use crate::obj::NetObject;
 use crate::options::Options;
+use crate::span::{self, IdAlloc, SpanRing, TraceScope, DEFAULT_SPAN_CAPACITY};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::table::ObjectTable;
 use crate::trace::{TraceRing, DEFAULT_TRACE_CAPACITY};
@@ -48,6 +54,11 @@ pub(crate) struct SpaceInner {
     pub(crate) pinger: Mutex<Option<std::thread::JoinHandle<()>>>,
     pub(crate) stopped: AtomicBool,
     pub(crate) trace: Arc<TraceRing>,
+    pub(crate) spans: Arc<SpanRing>,
+    pub(crate) ids: IdAlloc,
+    pub(crate) app_hist: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    pub(crate) gc_hist: [Histogram; 4],
+    pub(crate) pending_clean_retries: AtomicU64,
 }
 
 /// A participating process: the unit of ownership in Network Objects.
@@ -104,8 +115,10 @@ impl SpaceBuilder {
     /// Creates the space, starting its server (if listening) and demons.
     pub fn build(self) -> NetResult<Space> {
         let trace = TraceRing::new(self.options.clock.clone(), DEFAULT_TRACE_CAPACITY);
+        let spans = SpanRing::new(self.options.clock.clone(), DEFAULT_SPAN_CAPACITY);
+        let id = SpaceId::fresh();
         let inner = Arc::new(SpaceInner {
-            id: SpaceId::fresh(),
+            id,
             options: self.options,
             registry: self.registry,
             clients: Mutex::new(HashMap::new()),
@@ -122,6 +135,11 @@ impl SpaceBuilder {
             pinger: Mutex::new(None),
             stopped: AtomicBool::new(false),
             trace,
+            spans,
+            ids: IdAlloc::new(id),
+            app_hist: Mutex::new(BTreeMap::new()),
+            gc_hist: Default::default(),
+            pending_clean_retries: AtomicU64::new(0),
         });
         let space = Space { inner };
 
@@ -139,6 +157,9 @@ impl SpaceBuilder {
             );
             *space.inner.local_ep.lock() = Some(local);
             *space.inner.server.lock() = Some(server);
+            // Every listening space answers introspection queries at the
+            // reserved index: read-only metrics, spans and trace tail.
+            crate::introspect::install(&space)?;
         }
 
         dgc::start_demons(&space);
@@ -182,14 +203,107 @@ impl Space {
         self.inner.trace.snapshot()
     }
 
+    /// The space's span ring (the application-call flight recorder).
+    pub fn span_ring(&self) -> &Arc<SpanRing> {
+        &self.inner.spans
+    }
+
+    /// A snapshot of the surviving call spans, in emission order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.spans.snapshot()
+    }
+
+    /// The full observability snapshot: counters, latency histograms and
+    /// gauges. Deterministic under a virtual clock.
+    pub fn metrics(&self) -> Metrics {
+        let app_calls = self
+            .inner
+            .app_hist
+            .lock()
+            .iter()
+            .map(|(label, h)| (label.clone(), h.snapshot()))
+            .collect();
+        let gc_calls = std::array::from_fn(|i| self.inner.gc_hist[i].snapshot());
+        let gauges = Gauges {
+            exports: self.exported_count() as u64,
+            surrogates: self.inner.table.imports.lock().len() as u64,
+            dirty_entries: self
+                .inner
+                .table
+                .exports
+                .lock()
+                .by_ix
+                .values()
+                .map(|e| e.dirty.len() as u64)
+                .sum(),
+            pending_clean_retries: self.inner.pending_clean_retries.load(Ordering::Relaxed),
+            server_queue_depth: self
+                .inner
+                .server
+                .lock()
+                .as_ref()
+                .map(|s| s.queue_depth() as u64)
+                .unwrap_or(0),
+            pool_connections: self.inner.clients.lock().len() as u64,
+            open_breakers: self
+                .inner
+                .breakers
+                .lock()
+                .values()
+                .filter(|b| b.state() == BreakerState::Open)
+                .count() as u64,
+        };
+        Metrics {
+            space: self.id(),
+            stats: self.stats(),
+            app_calls,
+            gc_calls,
+            gauges,
+        }
+    }
+
+    /// [`Space::metrics`] rendered in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.metrics().to_prometheus_text()
+    }
+
+    /// Records one application-call latency observation under `label`.
+    pub(crate) fn record_app_call(&self, label: &str, d: Duration) {
+        let hist = {
+            let mut map = self.inner.app_hist.lock();
+            match map.get(label) {
+                Some(h) => Arc::clone(h),
+                None => Arc::clone(map.entry(label.to_string()).or_default()),
+            }
+        };
+        hist.record(d);
+    }
+
+    /// Records one collector-RPC latency observation. `kind` indexes
+    /// [`GC_KINDS`].
+    pub(crate) fn record_gc_call(&self, kind: usize, d: Duration) {
+        debug_assert!(kind < GC_KINDS.len());
+        self.inner.gc_hist[kind].record(d);
+    }
+
     /// Records one collector trace event.
     pub(crate) fn emit(&self, kind: TraceKind) {
         self.inner.trace.record(kind);
     }
 
-    /// Number of concrete objects currently held in the object table.
+    /// Number of concrete objects currently held in the object table,
+    /// excluding built-ins at reserved indices (the GC service, agent and
+    /// introspection objects live forever and would otherwise make every
+    /// listening space report a nonzero count).
     pub fn exported_count(&self) -> usize {
-        self.inner.table.exports.lock().len()
+        self.inner
+            .table
+            .exports
+            .lock()
+            .by_ix
+            .keys()
+            .filter(|&&ix| !ObjIx(ix).is_reserved())
+            .count()
     }
 
     /// Number of import slots (surrogate life cycles) currently tracked.
@@ -501,12 +615,36 @@ impl Space {
         timeout: Duration,
         idempotent: bool,
     ) -> NetResult<CallReply> {
+        let mut meta = CallMeta::default();
+        self.resilient_call_traced(
+            target, ep, method, args, timeout, idempotent, 0, 0, &mut meta,
+        )
+    }
+
+    /// [`Space::resilient_call`] carrying a span header and reporting, via
+    /// `meta`, how the call went — filled in on success *and* failure so
+    /// the caller's span record is accurate either way.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn resilient_call_traced(
+        &self,
+        target: WireRep,
+        ep: &Endpoint,
+        method: u32,
+        args: Vec<u8>,
+        timeout: Duration,
+        idempotent: bool,
+        trace_id: u64,
+        span_id: u64,
+        meta: &mut CallMeta,
+    ) -> NetResult<CallReply> {
         let stats = &self.inner.stats;
         if self.owner_is_dead(target.space) {
             stats.calls_failed_fast.fetch_add(1, Ordering::Relaxed);
+            meta.rejected = true;
             return Err(Error::OwnerDead(target.space));
         }
         let breaker = self.breaker_for(ep);
+        meta.breaker_open = breaker.state() != BreakerState::Closed;
         let seed = self.inner.retry_seed.fetch_add(1, Ordering::Relaxed);
         let mut backoff = Backoff::new(self.inner.options.retry.clone(), seed);
         let clock = &self.inner.options.clock;
@@ -514,6 +652,7 @@ impl Space {
         loop {
             if breaker.admit() == Admission::Reject {
                 stats.calls_failed_fast.fetch_add(1, Ordering::Relaxed);
+                meta.rejected = true;
                 return Err(Error::from(CircuitBreaker::rejection_error()));
             }
             let remaining = deadline.saturating_duration_since(clock.now());
@@ -533,18 +672,25 @@ impl Space {
                     if !self.retry_pause(&mut backoff, deadline) {
                         return Err(e);
                     }
+                    meta.retries += 1;
                     continue;
                 }
             };
             let attempt_deadline = backoff.policy().attempt_deadline(remaining);
-            let failure =
-                match client.call_raw_classified(target, method, args.clone(), attempt_deadline) {
-                    Ok(reply) => {
-                        breaker.on_success();
-                        return Ok(reply);
-                    }
-                    Err(f) => f,
-                };
+            let failure = match client.call_raw_traced(
+                target,
+                method,
+                args.clone(),
+                attempt_deadline,
+                trace_id,
+                span_id,
+            ) {
+                Ok(reply) => {
+                    breaker.on_success();
+                    return Ok(reply);
+                }
+                Err(f) => f,
+            };
             if failure.counts_against_peer() {
                 if breaker.on_failure() {
                     stats.breaker_opened.fetch_add(1, Ordering::Relaxed);
@@ -577,6 +723,7 @@ impl Space {
             if !self.retry_pause(&mut backoff, deadline) {
                 return Err(Error::from(failure.error));
             }
+            meta.retries += 1;
         }
     }
 
@@ -600,22 +747,80 @@ impl Space {
         true
     }
 
+    /// Issues one application-level remote call, recording a client span
+    /// and a latency observation under `label` (empty → `m<method>`).
+    ///
+    /// The span continues whatever trace is ambient on this thread (set by
+    /// the server dispatcher while a request is being served), so fan-out
+    /// calls made from inside a dispatched method share the root caller's
+    /// trace id; otherwise a fresh trace id is allocated here.
     pub(crate) fn remote_call(
         &self,
         core: &SurrogateCore,
         method: u32,
         args: Vec<u8>,
         idempotent: bool,
+        label: &str,
     ) -> NetResult<CallReply> {
         self.inner.stats.calls_sent.fetch_add(1, Ordering::Relaxed);
-        self.resilient_call(
+        let scope = span::current_scope();
+        let trace_id = if scope.trace_id != 0 {
+            scope.trace_id
+        } else {
+            self.inner.ids.next_id()
+        };
+        let span_id = self.inner.ids.next_id();
+        let clock = &self.inner.options.clock;
+        let marshal_bytes = args.len() as u64;
+        let start_micros = self.inner.spans.now_micros();
+        let start = clock.now();
+        let mut meta = CallMeta::default();
+        let result = self.resilient_call_traced(
             core.wirerep,
             &core.owner_ep,
             method,
             args,
             self.inner.options.call_timeout,
             idempotent,
-        )
+            trace_id,
+            span_id,
+            &mut meta,
+        );
+        let duration = clock.now().saturating_duration_since(start);
+        let outcome = match &result {
+            Ok(_) => SpanOutcome::Ok,
+            Err(Error::App(_)) => SpanOutcome::AppError,
+            Err(_) if meta.rejected => SpanOutcome::Rejected,
+            Err(_) => SpanOutcome::Failed,
+        };
+        let label = if label.is_empty() {
+            format!("m{method}")
+        } else {
+            label.to_string()
+        };
+        self.record_app_call(&label, duration);
+        self.inner.spans.record(SpanRecord {
+            seq: 0,
+            trace_id,
+            span_id,
+            parent_span: scope.span_id,
+            kind: SpanKind::Client,
+            space: self.id(),
+            peer: core.wirerep.space,
+            target: core.wirerep,
+            method,
+            label,
+            start_micros,
+            duration_micros: duration.as_micros() as u64,
+            queue_wait_micros: 0,
+            service_micros: 0,
+            marshal_bytes,
+            unmarshal_bytes: result.as_ref().map(|r| r.bytes.len() as u64).unwrap_or(0),
+            retries: meta.retries,
+            breaker_open: meta.breaker_open,
+            outcome,
+        });
+        result
     }
 
     pub(crate) fn ensure_running(&self) -> NetResult<()> {
@@ -686,36 +891,111 @@ pub(crate) struct SentRef {
     pub pin: Option<TransientPin>,
 }
 
+/// How one resilient call went, for the caller's span record.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CallMeta {
+    /// Retry attempts beyond the first.
+    pub(crate) retries: u32,
+    /// The peer's breaker was not closed when the call was issued.
+    pub(crate) breaker_open: bool,
+    /// The call was refused without touching the network.
+    pub(crate) rejected: bool,
+}
+
 /// Routes incoming RPC requests into the space.
 struct SpaceDispatcher(Weak<SpaceInner>);
 
 impl Dispatcher for SpaceDispatcher {
     fn dispatch(&self, caller: SpaceId, target: WireRep, method: u32, args: &[u8]) -> Dispatch {
+        self.dispatch_cx(DispatchCx::default(), caller, target, method, args)
+    }
+
+    fn dispatch_cx(
+        &self,
+        cx: DispatchCx,
+        caller: SpaceId,
+        target: WireRep,
+        method: u32,
+        args: &[u8],
+    ) -> Dispatch {
         let Some(inner) = self.0.upgrade() else {
             return Dispatch::plain(Err(to_remote_error(&Error::SpaceStopped)));
         };
         let space = Space::from_inner(inner);
-        space
-            .inner
-            .stats
-            .calls_served
-            .fetch_add(1, Ordering::Relaxed);
+        let stats = &space.inner.stats;
 
         // The collector service answers at index 0 under *any* space id:
         // bootstrap callers do not yet know this space's identity.
         if target.ix == ObjIx::GC_SERVICE {
+            stats.calls_served.fetch_add(1, Ordering::Relaxed);
             return Dispatch::plain(
                 dgc::dispatch_gc(&space, caller, method, args).map_err(|e| to_remote_error(&e)),
             );
         }
         if target.space != space.id() {
+            stats.calls_rejected.fetch_add(1, Ordering::Relaxed);
             return Dispatch::plain(Err(to_remote_error(&Error::NoSuchObject(target))));
         }
         let got = space.inner.table.exports.lock().get(target.ix);
         let Some((obj, _types)) = got else {
+            stats.calls_rejected.fetch_add(1, Ordering::Relaxed);
             return Dispatch::plain(Err(to_remote_error(&Error::NoSuchObject(target))));
         };
-        match obj.dispatch(&space, method, args) {
+        // An object will actually run: this is a served call. Counting
+        // here (not at entry) keeps `calls_served` honest — refused
+        // requests land in `calls_rejected` above instead.
+        stats.calls_served.fetch_add(1, Ordering::Relaxed);
+
+        // Continue the caller's trace, or root a fresh one for requests
+        // from peers predating the span header (ids 0). The scope guard
+        // makes the ids ambient on this worker thread, so any remote call
+        // the method body issues becomes a child span of this one.
+        let trace_id = if cx.trace_id != 0 {
+            cx.trace_id
+        } else {
+            space.inner.ids.next_id()
+        };
+        let server_span = space.inner.ids.next_id();
+        let _scope = span::enter_scope(TraceScope {
+            trace_id,
+            span_id: server_span,
+        });
+        let clock = &space.inner.options.clock;
+        let queue_wait_micros = cx.queue_wait.as_micros() as u64;
+        let start_micros = space
+            .inner
+            .spans
+            .now_micros()
+            .saturating_sub(queue_wait_micros);
+        let svc_start = clock.now();
+        let outcome = obj.dispatch(&space, method, args);
+        let service = clock.now().saturating_duration_since(svc_start);
+        space.inner.spans.record(SpanRecord {
+            seq: 0,
+            trace_id,
+            span_id: server_span,
+            parent_span: cx.span_id,
+            kind: SpanKind::Server,
+            space: space.id(),
+            peer: caller,
+            target,
+            method,
+            label: String::new(),
+            start_micros,
+            duration_micros: queue_wait_micros + service.as_micros() as u64,
+            queue_wait_micros,
+            service_micros: service.as_micros() as u64,
+            marshal_bytes: args.len() as u64,
+            unmarshal_bytes: outcome.as_ref().map(|r| r.bytes.len() as u64).unwrap_or(0),
+            retries: 0,
+            breaker_open: false,
+            outcome: match &outcome {
+                Ok(_) => SpanOutcome::Ok,
+                Err(_) => SpanOutcome::AppError,
+            },
+        });
+        space.record_app_call(&format!("serve/m{method}"), service);
+        match outcome {
             Ok(result) => {
                 let completion: Option<Box<dyn FnOnce() + Send>> = if result.pins.is_empty() {
                     None

@@ -2,65 +2,108 @@
 //!
 //! Every space keeps cheap atomic counters describing protocol activity.
 //! The benchmark harness reads these to report collector message counts,
-//! blocking times and reclamation figures for the experiments.
+//! blocking times and reclamation figures for the experiments; the metrics
+//! layer ([`crate::metrics`]) folds them into the Prometheus exposition.
+//!
+//! The counter list is declared once, through a macro, so the snapshot and
+//! the [`StatsSnapshot::named`] enumeration can never drift out of sync
+//! with the struct — `named()` is what guarantees "every counter appears
+//! in the metrics text".
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Atomic activity counters for one space.
-#[derive(Debug, Default)]
-pub struct Stats {
+macro_rules! stats_counters {
+    ($( $(#[$doc:meta])* $name:ident, )*) => {
+        /// Atomic activity counters for one space.
+        #[derive(Debug, Default)]
+        pub struct Stats {
+            $( $(#[$doc])* pub $name: AtomicU64, )*
+        }
+
+        impl Stats {
+            /// Takes a point-in-time copy of every counter.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name.load(Ordering::Relaxed), )*
+                }
+            }
+        }
+
+        /// A point-in-time copy of a space's [`Stats`].
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        pub struct StatsSnapshot {
+            $( pub $name: u64, )*
+        }
+
+        impl StatsSnapshot {
+            /// Every counter, as `(name, value)` pairs in declaration
+            /// order. Generated from the same list as the struct itself,
+            /// so it is complete by construction.
+            pub fn named(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($name), self.$name), )* ]
+            }
+        }
+    };
+}
+
+stats_counters! {
     /// Remote invocations issued by this space.
-    pub calls_sent: AtomicU64,
-    /// Invocations dispatched by this space's server.
-    pub calls_served: AtomicU64,
+    calls_sent,
+    /// Invocations received by this space's server and dispatched to an
+    /// object (whether the method then succeeded or failed).
+    calls_served,
+    /// Invocations received by this space's server and refused before any
+    /// object ran: unknown target space, no such object.
+    calls_rejected,
     /// Dirty calls sent (including lease renewals).
-    pub dirty_sent: AtomicU64,
+    dirty_sent,
     /// Dirty calls received and applied.
-    pub dirty_received: AtomicU64,
+    dirty_received,
     /// Stale (out-of-sequence) dirty calls ignored.
-    pub dirty_stale: AtomicU64,
+    dirty_stale,
     /// Clean calls sent.
-    pub clean_sent: AtomicU64,
+    clean_sent,
     /// Clean calls received (no-ops included).
-    pub clean_received: AtomicU64,
+    clean_received,
     /// Strong clean calls sent after ambiguous dirty failures.
-    pub strong_clean_sent: AtomicU64,
+    strong_clean_sent,
     /// Clean call attempts that failed and were scheduled for retry.
-    pub clean_retries: AtomicU64,
+    clean_retries,
     /// Batched clean RPCs sent (each carrying several clean entries).
-    pub clean_batches: AtomicU64,
+    clean_batches,
     /// Pings sent by the owner-side termination detector.
-    pub pings_sent: AtomicU64,
+    pings_sent,
     /// Pings answered by this space.
-    pub pings_received: AtomicU64,
+    pings_received,
     /// Clients presumed dead and purged from all dirty sets.
-    pub clients_purged: AtomicU64,
+    clients_purged,
     /// Object references marshaled out (copies sent).
-    pub refs_sent: AtomicU64,
+    refs_sent,
     /// Object references unmarshaled (copies received).
-    pub refs_received: AtomicU64,
+    refs_received,
     /// Surrogates created.
-    pub surrogates_created: AtomicU64,
+    surrogates_created,
     /// Surrogates resurrected (copy received while cleanup was pending).
-    pub surrogates_resurrected: AtomicU64,
+    surrogates_resurrected,
     /// Concrete-object table entries reclaimed (dirty set emptied).
-    pub exports_collected: AtomicU64,
+    exports_collected,
     /// Dirty-set entries expired by the lease sweeper.
-    pub leases_expired: AtomicU64,
+    leases_expired,
     /// Pooled connections replaced after the transport reported them
     /// broken (the resilient caller reconnected).
-    pub reconnects: AtomicU64,
+    reconnects,
     /// Outgoing call attempts that were retried by the resilient caller.
-    pub retries_attempted: AtomicU64,
+    retries_attempted,
     /// Times a per-endpoint circuit breaker tripped open.
-    pub breaker_opened: AtomicU64,
+    breaker_opened,
     /// Outgoing calls rejected immediately (open breaker or dead owner)
     /// without touching the network.
-    pub calls_failed_fast: AtomicU64,
+    calls_failed_fast,
     /// Total nanoseconds unmarshal threads spent blocked waiting for
     /// reference registration (dirty round-trips).
-    pub blocked_ns: AtomicU64,
+    blocked_ns,
 }
 
 impl Stats {
@@ -68,66 +111,6 @@ impl Stats {
         self.blocked_ns
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
-
-    /// Takes a point-in-time copy of every counter.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            calls_sent: self.calls_sent.load(Ordering::Relaxed),
-            calls_served: self.calls_served.load(Ordering::Relaxed),
-            dirty_sent: self.dirty_sent.load(Ordering::Relaxed),
-            dirty_received: self.dirty_received.load(Ordering::Relaxed),
-            dirty_stale: self.dirty_stale.load(Ordering::Relaxed),
-            clean_sent: self.clean_sent.load(Ordering::Relaxed),
-            clean_received: self.clean_received.load(Ordering::Relaxed),
-            strong_clean_sent: self.strong_clean_sent.load(Ordering::Relaxed),
-            clean_retries: self.clean_retries.load(Ordering::Relaxed),
-            clean_batches: self.clean_batches.load(Ordering::Relaxed),
-            pings_sent: self.pings_sent.load(Ordering::Relaxed),
-            pings_received: self.pings_received.load(Ordering::Relaxed),
-            clients_purged: self.clients_purged.load(Ordering::Relaxed),
-            refs_sent: self.refs_sent.load(Ordering::Relaxed),
-            refs_received: self.refs_received.load(Ordering::Relaxed),
-            surrogates_created: self.surrogates_created.load(Ordering::Relaxed),
-            surrogates_resurrected: self.surrogates_resurrected.load(Ordering::Relaxed),
-            exports_collected: self.exports_collected.load(Ordering::Relaxed),
-            leases_expired: self.leases_expired.load(Ordering::Relaxed),
-            reconnects: self.reconnects.load(Ordering::Relaxed),
-            retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
-            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
-            calls_failed_fast: self.calls_failed_fast.load(Ordering::Relaxed),
-            blocked_ns: self.blocked_ns.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// A point-in-time copy of a space's [`Stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[allow(missing_docs)]
-pub struct StatsSnapshot {
-    pub calls_sent: u64,
-    pub calls_served: u64,
-    pub dirty_sent: u64,
-    pub dirty_received: u64,
-    pub dirty_stale: u64,
-    pub clean_sent: u64,
-    pub clean_received: u64,
-    pub strong_clean_sent: u64,
-    pub clean_retries: u64,
-    pub clean_batches: u64,
-    pub pings_sent: u64,
-    pub pings_received: u64,
-    pub clients_purged: u64,
-    pub refs_sent: u64,
-    pub refs_received: u64,
-    pub surrogates_created: u64,
-    pub surrogates_resurrected: u64,
-    pub exports_collected: u64,
-    pub leases_expired: u64,
-    pub reconnects: u64,
-    pub retries_attempted: u64,
-    pub breaker_opened: u64,
-    pub calls_failed_fast: u64,
-    pub blocked_ns: u64,
 }
 
 impl StatsSnapshot {
@@ -164,5 +147,18 @@ mod tests {
         s.add_blocked(Duration::from_micros(5));
         s.add_blocked(Duration::from_micros(7));
         assert_eq!(s.snapshot().blocked(), Duration::from_micros(12));
+    }
+
+    #[test]
+    fn named_enumerates_every_counter() {
+        let s = Stats::default();
+        s.calls_sent.store(11, Ordering::Relaxed);
+        s.calls_rejected.store(2, Ordering::Relaxed);
+        let named = s.snapshot().named();
+        // One entry per struct field, in declaration order, no gaps.
+        assert_eq!(named.len(), 25);
+        assert_eq!(named[0], ("calls_sent", 11));
+        assert!(named.contains(&("calls_rejected", 2)));
+        assert!(named.contains(&("blocked_ns", 0)));
     }
 }

@@ -341,7 +341,8 @@ impl Exports {
         self.maybe_collect(ix)
     }
 
-    /// Number of live concrete entries.
+    /// Number of live concrete entries (test observability).
+    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.by_ix.len()
     }

@@ -1,0 +1,111 @@
+//! Property-based tests for the latency histograms.
+//!
+//! The properties that make the metrics layer trustworthy: recording
+//! never loses an observation, buckets are monotone in the observed
+//! value, merging is exact addition, and quantiles are monotone in the
+//! requested rank.
+
+use proptest::prelude::*;
+
+use netobj::metrics::{bucket_upper, BUCKETS};
+use netobj::{Histogram, HistogramSnapshot};
+
+/// Values large enough to exercise every bucket but small enough that a
+/// few hundred of them cannot overflow the u64 running sum.
+fn arb_micros() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,                           // the first few buckets, densely
+        (0u32..54).prop_map(|e| 1u64 << e), // every power of two
+        0u64..(1 << 50),                    // everything in between
+    ]
+}
+
+proptest! {
+    /// Every recorded observation lands in exactly one bucket: the total
+    /// equals the number of records and the sum is exact.
+    #[test]
+    fn record_preserves_count_and_sum(
+        values in proptest::collection::vec(arb_micros(), 0..200)
+    ) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record_micros(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.total(), values.len() as u64);
+        prop_assert_eq!(s.sum_micros, values.iter().sum::<u64>());
+    }
+
+    /// The bucket a value lands in is monotone in the value, and the
+    /// value lies inside its bucket's nominal range (except the last
+    /// bucket, which absorbs everything larger).
+    #[test]
+    fn buckets_are_monotone_and_bracketing(a in arb_micros(), b in arb_micros()) {
+        let bucket_index = |v: u64| {
+            let h = Histogram::default();
+            h.record_micros(v);
+            let s = h.snapshot();
+            let ix = s.counts.iter().position(|&c| c == 1).unwrap();
+            prop_assert_eq!(s.counts.iter().sum::<u64>(), 1);
+            Ok(ix)
+        };
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (ix_lo, ix_hi) = (bucket_index(lo)?, bucket_index(hi)?);
+        prop_assert!(ix_lo <= ix_hi, "bucket order inverted: {lo}→{ix_lo}, {hi}→{ix_hi}");
+        for (v, ix) in [(lo, ix_lo), (hi, ix_hi)] {
+            prop_assert!(v < bucket_upper(ix) || ix == BUCKETS - 1);
+            if ix > 0 {
+                prop_assert!(v >= bucket_upper(ix - 1));
+            }
+        }
+    }
+
+    /// Merging snapshots is exact per-bucket addition: the merged total
+    /// and sum are the sums of the parts, and no bucket loses counts.
+    #[test]
+    fn merge_preserves_totals(
+        xs in proptest::collection::vec(arb_micros(), 0..100),
+        ys in proptest::collection::vec(arb_micros(), 0..100),
+    ) {
+        let hx = Histogram::default();
+        let hy = Histogram::default();
+        for &v in &xs { hx.record_micros(v); }
+        for &v in &ys { hy.record_micros(v); }
+        let (sx, sy) = (hx.snapshot(), hy.snapshot());
+        let mut merged = sx;
+        merged.merge(&sy);
+        prop_assert_eq!(merged.total(), sx.total() + sy.total());
+        prop_assert_eq!(merged.sum_micros, sx.sum_micros + sy.sum_micros);
+        for i in 0..BUCKETS {
+            prop_assert_eq!(merged.counts[i], sx.counts[i] + sy.counts[i]);
+        }
+    }
+
+    /// Quantiles are monotone in the rank and bracket every observation:
+    /// q=1.0 is an upper bound for the maximum recorded value (up to the
+    /// final bucket's clamp).
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(arb_micros(), 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let h = Histogram::default();
+        for &v in &values { h.record_micros(v); }
+        let s = h.snapshot();
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        prop_assert!(s.quantile_micros(lo) <= s.quantile_micros(hi));
+        let max = *values.iter().max().unwrap();
+        if max < bucket_upper(BUCKETS - 1) {
+            prop_assert!(s.quantile_micros(1.0) > max);
+        }
+    }
+
+    /// An empty histogram reports zero for every quantile.
+    #[test]
+    fn empty_histogram_is_all_zero(q in 0.0f64..1.0) {
+        let s = HistogramSnapshot::default();
+        prop_assert_eq!(s.quantile_micros(q), 0);
+        prop_assert_eq!(s.total(), 0);
+    }
+}

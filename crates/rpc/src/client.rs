@@ -181,6 +181,21 @@ impl CallClient {
         args: Vec<u8>,
         timeout: Duration,
     ) -> std::result::Result<CallReply, CallFailure> {
+        self.call_raw_traced(target, method, args, timeout, 0, 0)
+    }
+
+    /// Like [`CallClient::call_raw_classified`], but stamps the request
+    /// with causal span identifiers (`0` = absent) so the callee can
+    /// continue the caller's trace.
+    pub fn call_raw_traced(
+        &self,
+        target: WireRep,
+        method: u32,
+        args: Vec<u8>,
+        timeout: Duration,
+        trace_id: u64,
+        span_id: u64,
+    ) -> std::result::Result<CallReply, CallFailure> {
         if self.shared.closed.load(Ordering::Acquire) {
             return Err(CallFailure::classify(RpcError::Closed, false));
         }
@@ -194,6 +209,8 @@ impl CallClient {
             target,
             method,
             args,
+            trace_id,
+            span_id,
         });
         if let Err(e) = self.conn.send(msg.to_pickle_bytes()) {
             self.shared.pending.lock().remove(&call_id);

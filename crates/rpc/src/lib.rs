@@ -34,7 +34,7 @@ pub use resilience::{
     Admission, Backoff, BreakerConfig, BreakerState, CallFailure, CircuitBreaker, FailureClass,
     RetryPolicy,
 };
-pub use server::{Dispatch, Dispatcher, RpcServer};
+pub use server::{Dispatch, DispatchCx, Dispatcher, RpcServer};
 
 /// Result alias for RPC operations.
 pub type Result<T> = std::result::Result<T, RpcError>;

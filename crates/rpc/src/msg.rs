@@ -24,6 +24,13 @@ pub struct Request {
     pub method: u32,
     /// Pickled arguments (opaque to this layer).
     pub args: Vec<u8>,
+    /// Causal trace identifier: allocated at the root caller of a call
+    /// chain and propagated unchanged through every fan-out hop, so spans
+    /// recorded in different spaces can be correlated. `0` means absent
+    /// (a request decoded from a peer speaking the pre-span format).
+    pub trace_id: u64,
+    /// Identifier of this particular call within its trace. `0` = absent.
+    pub span_id: u64,
 }
 
 /// A reply to a [`Request`].
@@ -63,12 +70,17 @@ impl Pickle for RpcMsg {
         match self {
             RpcMsg::Request(rq) => {
                 w.begin_variant(TAG_REQUEST);
-                w.begin_record(5);
+                // The span fields were appended in a later wire revision:
+                // a request is a 7-field record now, but decoders accept
+                // the original 5-field form from old peers.
+                w.begin_record(7);
                 rq.call_id.pickle(w);
                 rq.caller.pickle(w);
                 rq.target.pickle(w);
                 rq.method.pickle(w);
                 w.put_bytes(&rq.args);
+                rq.trace_id.pickle(w);
+                rq.span_id.pickle(w);
             }
             RpcMsg::Reply(rp) => match &rp.outcome {
                 Ok(bytes) => {
@@ -94,18 +106,29 @@ impl Pickle for RpcMsg {
     fn unpickle(r: &mut PickleReader<'_>) -> netobj_wire::Result<Self> {
         match r.begin_variant()? {
             TAG_REQUEST => {
-                r.expect_record(5)?;
+                let fields = r.begin_record()?;
+                if fields != 5 && fields != 7 {
+                    return Err(WireError::OutOfRange("request record arity"));
+                }
                 let call_id = u64::unpickle(r)?;
                 let caller = SpaceId::unpickle(r)?;
                 let target = WireRep::unpickle(r)?;
                 let method = u32::unpickle(r)?;
                 let args = r.get_bytes()?.to_vec();
+                // Old peers send the 5-field form with no span header.
+                let (trace_id, span_id) = if fields == 7 {
+                    (u64::unpickle(r)?, u64::unpickle(r)?)
+                } else {
+                    (0, 0)
+                };
                 Ok(RpcMsg::Request(Request {
                     call_id,
                     caller,
                     target,
                     method,
                     args,
+                    trace_id,
+                    span_id,
                 }))
             }
             TAG_REPLY_OK => {
@@ -150,6 +173,8 @@ mod tests {
             target: WireRep::new(SpaceId::from_raw(9), ObjIx(3)),
             method: 2,
             args: vec![1, 2, 3],
+            trace_id: 0xDEAD_BEEF,
+            span_id: 0xFEED,
         })
     }
 
@@ -199,9 +224,46 @@ mod tests {
             target: WireRep::new(SpaceId::from_raw(0), ObjIx(0)),
             method: 0,
             args: vec![],
+            trace_id: 0,
+            span_id: 0,
         });
         let bytes = m.to_pickle_bytes();
         assert_eq!(RpcMsg::from_pickle_bytes(&bytes).unwrap(), m);
+    }
+
+    /// A request in the original 5-field format (from a peer predating the
+    /// span header) still decodes; the ids default to absent.
+    #[test]
+    fn old_format_request_accepted() {
+        let mut w = PickleWriter::new();
+        w.begin_variant(0); // TAG_REQUEST
+        w.begin_record(5);
+        77u64.pickle(&mut w);
+        SpaceId::from_raw(3).pickle(&mut w);
+        WireRep::new(SpaceId::from_raw(4), ObjIx(9)).pickle(&mut w);
+        5u32.pickle(&mut w);
+        w.put_bytes(&[8, 8]);
+        let decoded = RpcMsg::from_pickle_bytes(w.as_bytes()).unwrap();
+        assert_eq!(
+            decoded,
+            RpcMsg::Request(Request {
+                call_id: 77,
+                caller: SpaceId::from_raw(3),
+                target: WireRep::new(SpaceId::from_raw(4), ObjIx(9)),
+                method: 5,
+                args: vec![8, 8],
+                trace_id: 0,
+                span_id: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn unexpected_request_arity_rejected() {
+        let mut w = PickleWriter::new();
+        w.begin_variant(0); // TAG_REQUEST
+        w.begin_record(6);
+        assert!(RpcMsg::from_pickle_bytes(w.as_bytes()).is_err());
     }
 
     #[test]

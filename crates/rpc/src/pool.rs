@@ -34,6 +34,7 @@ pub enum Admit {
 /// A fixed-size pool of worker threads executing queued jobs.
 pub struct ThreadPool {
     tx: Option<Sender<Job>>,
+    rx: Receiver<Job>,
     handles: Vec<std::thread::JoinHandle<()>>,
     active: Arc<AtomicUsize>,
 }
@@ -76,6 +77,7 @@ impl ThreadPool {
             .collect();
         ThreadPool {
             tx: Some(tx),
+            rx,
             handles,
             active,
         }
@@ -105,6 +107,12 @@ impl ThreadPool {
     /// Number of jobs currently executing (approximate).
     pub fn active(&self) -> usize {
         self.active.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs waiting in the queue, not yet picked up by a worker
+    /// (approximate — the queue-depth gauge of the metrics layer).
+    pub fn queued(&self) -> usize {
+        self.rx.len()
     }
 
     /// Number of worker threads.

@@ -43,6 +43,22 @@ impl From<Result<Vec<u8>, RemoteError>> for Dispatch {
     }
 }
 
+/// Per-request observability context the server hands to
+/// [`Dispatcher::dispatch_cx`]: the causal span identifiers decoded from
+/// the request header (`0` = absent, e.g. an old peer) plus the time the
+/// request spent waiting in the worker queue, measured on the server's
+/// clock (virtual time under a virtual clock).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DispatchCx {
+    /// Trace id propagated from the root caller (`0` = absent).
+    pub trace_id: u64,
+    /// The caller's span id for this call (`0` = absent).
+    pub span_id: u64,
+    /// Time between decoding the request on the reader thread and a
+    /// worker picking it up.
+    pub queue_wait: std::time::Duration,
+}
+
 /// The upcall interface from the RPC server into the object runtime.
 ///
 /// Implementations route a call to the named object's method and return the
@@ -55,6 +71,23 @@ pub trait Dispatcher: Send + Sync + 'static {
     /// collector: dirty sets list spaces). `target` names the object,
     /// `method` the method, and `args` carries the argument pickle.
     fn dispatch(&self, caller: SpaceId, target: WireRep, method: u32, args: &[u8]) -> Dispatch;
+
+    /// Handles one invocation with observability context.
+    ///
+    /// The server calls this entry point; the default implementation drops
+    /// the context and delegates to [`Dispatcher::dispatch`], so plain
+    /// dispatchers (including closures) keep working unchanged.
+    fn dispatch_cx(
+        &self,
+        cx: DispatchCx,
+        caller: SpaceId,
+        target: WireRep,
+        method: u32,
+        args: &[u8],
+    ) -> Dispatch {
+        let _ = cx;
+        self.dispatch(caller, target, method, args)
+    }
 }
 
 impl<F> Dispatcher for F
@@ -81,6 +114,7 @@ pub struct RpcServer {
     listener: Arc<dyn Listener>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     stats: Arc<ServerStats>,
+    pool: Arc<ThreadPool>,
 }
 
 impl RpcServer {
@@ -136,6 +170,7 @@ impl RpcServer {
         let accept_stopped = Arc::clone(&stopped);
         let accept_stats = Arc::clone(&stats);
         let accept_listener = Arc::clone(&listener);
+        let accept_pool = Arc::clone(&pool);
         let accept_thread = std::thread::Builder::new()
             .name("rpc-accept".into())
             .spawn(move || loop {
@@ -150,7 +185,7 @@ impl RpcServer {
                 accept_stats.connections.fetch_add(1, Ordering::Relaxed);
                 let conn: Arc<dyn Conn> = Arc::from(conn);
                 let dispatcher = Arc::clone(&dispatcher);
-                let pool = Arc::clone(&pool);
+                let pool = Arc::clone(&accept_pool);
                 let stats = Arc::clone(&accept_stats);
                 let stopped = Arc::clone(&accept_stopped);
                 let clock = clock.clone();
@@ -166,6 +201,7 @@ impl RpcServer {
             listener,
             accept_thread: Some(accept_thread),
             stats,
+            pool,
         }
     }
 
@@ -193,6 +229,16 @@ impl RpcServer {
     /// was full.
     pub fn shed(&self) -> u64 {
         self.stats.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests waiting in the worker queue right now (approximate).
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queued()
+    }
+
+    /// Worker threads currently executing a dispatch (approximate).
+    pub fn active_workers(&self) -> usize {
+        self.pool.active()
     }
 
     /// Stops accepting and tears the server down.
@@ -365,6 +411,7 @@ fn connection_loop(
         let job_stats = Arc::clone(&stats);
         let acks = Arc::clone(&acks);
         let job_clock = clock.clone();
+        let enqueued = clock.now();
         let admitted = pool.try_execute(move || {
             let conn = job_conn;
             let stats = job_stats;
@@ -372,7 +419,12 @@ fn connection_loop(
             // While the method runs, virtual time must not jump: the caller
             // is waiting on real work the clock cannot see.
             let hold = clock.as_virtual().map(|vc| vc.hold());
-            let dispatch = dispatcher.dispatch(rq.caller, rq.target, rq.method, &rq.args);
+            let cx = DispatchCx {
+                trace_id: rq.trace_id,
+                span_id: rq.span_id,
+                queue_wait: clock.now().saturating_duration_since(enqueued),
+            };
+            let dispatch = dispatcher.dispatch_cx(cx, rq.caller, rq.target, rq.method, &rq.args);
             drop(hold);
             if dispatch.outcome.is_err() {
                 stats.errors.fetch_add(1, Ordering::Relaxed);

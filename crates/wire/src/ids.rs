@@ -76,10 +76,11 @@ impl FromStr for SpaceId {
 
 /// Index of an object within its owner's object table.
 ///
-/// Indices `0` and `1` are reserved in every space: `0` is the collector
-/// service object (the target of dirty, clean and ping calls) and `1` is the
-/// agent (name service) if the space runs one. User exports start at
-/// [`ObjIx::FIRST_USER`].
+/// Indices `0`, `1` and `2` are reserved in every space: `0` is the
+/// collector service object (the target of dirty, clean and ping calls),
+/// `1` is the agent (name service) if the space runs one, and `2` is the
+/// introspection object exposing the space's stats, metrics and span ring.
+/// User exports start at [`ObjIx::FIRST_USER`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct ObjIx(pub u64);
 
@@ -88,8 +89,10 @@ impl ObjIx {
     pub const GC_SERVICE: ObjIx = ObjIx(0);
     /// The reserved index of the agent (name service) object.
     pub const AGENT: ObjIx = ObjIx(1);
+    /// The reserved index of the introspection (observability) object.
+    pub const INTROSPECT: ObjIx = ObjIx(2);
     /// The first index handed out to user exports.
-    pub const FIRST_USER: ObjIx = ObjIx(2);
+    pub const FIRST_USER: ObjIx = ObjIx(3);
 
     /// Returns true if this index names one of the per-space builtin objects.
     pub const fn is_reserved(self) -> bool {
@@ -131,6 +134,11 @@ impl WireRep {
     pub const fn agent(space: SpaceId) -> WireRep {
         WireRep::new(space, ObjIx::AGENT)
     }
+
+    /// The wireRep of a space's introspection object.
+    pub const fn introspect(space: SpaceId) -> WireRep {
+        WireRep::new(space, ObjIx::INTROSPECT)
+    }
 }
 
 impl fmt::Display for WireRep {
@@ -167,6 +175,7 @@ mod tests {
     fn reserved_indices() {
         assert!(ObjIx::GC_SERVICE.is_reserved());
         assert!(ObjIx::AGENT.is_reserved());
+        assert!(ObjIx::INTROSPECT.is_reserved());
         assert!(!ObjIx::FIRST_USER.is_reserved());
         assert!(!ObjIx(100).is_reserved());
     }
@@ -187,6 +196,7 @@ mod tests {
         let s = SpaceId::from_raw(1);
         assert_eq!(WireRep::gc_service(s).ix, ObjIx::GC_SERVICE);
         assert_eq!(WireRep::agent(s).ix, ObjIx::AGENT);
+        assert_eq!(WireRep::introspect(s).ix, ObjIx::INTROSPECT);
     }
 
     #[test]

@@ -22,12 +22,14 @@ pub mod error;
 pub mod frame;
 pub mod ids;
 pub mod pickle;
+pub mod span;
 pub mod trace;
 pub mod typecode;
 
 pub use error::WireError;
 pub use ids::{ObjIx, SpaceId, WireRep};
 pub use pickle::{Pickle, PickleReader, PickleWriter, Value};
+pub use span::{SpanKind, SpanOutcome, SpanRecord};
 pub use trace::{TraceEvent, TraceKind};
 pub use typecode::{TypeCode, TypeList};
 

@@ -1,0 +1,252 @@
+//! Causal call spans.
+//!
+//! Every remote invocation is recorded twice: once by the caller (a
+//! *client* span covering marshal → call → unmarshal) and once by the
+//! callee (a *server* span covering queue wait → dispatch). Both carry the
+//! same `trace_id` — allocated at the root caller of a call chain and
+//! propagated unchanged through every fan-out hop in the request header —
+//! so merging the span rings of several spaces reconstructs the causal
+//! shape of a distributed call without any global coordination.
+//!
+//! Spans live in this crate (like [`crate::trace::TraceEvent`]) so the
+//! runtime, the bench harness and the `netobj-top` reporter can all speak
+//! the type without a dependency cycle, and so rings can be pickled and
+//! shipped through the `Introspect` built-in object.
+
+use crate::error::WireError;
+use crate::ids::SpaceId;
+use crate::pickle::{Pickle, PickleReader, PickleWriter};
+use crate::{Result, WireRep};
+
+/// Which side of a call a span was recorded on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Recorded by the caller: covers the whole remote invocation as the
+    /// application observed it (marshal, transmission, retries, unmarshal).
+    Client,
+    /// Recorded by the callee: covers queue wait plus dispatch.
+    Server,
+}
+
+impl Pickle for SpanKind {
+    fn pickle(&self, w: &mut PickleWriter) {
+        w.put_u64(match self {
+            SpanKind::Client => 0,
+            SpanKind::Server => 1,
+        });
+    }
+
+    fn unpickle(r: &mut PickleReader<'_>) -> Result<Self> {
+        match r.get_u64()? {
+            0 => Ok(SpanKind::Client),
+            1 => Ok(SpanKind::Server),
+            _ => Err(WireError::OutOfRange("span kind")),
+        }
+    }
+}
+
+/// How a call ended, from the recording side's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// The call completed and returned a result.
+    Ok,
+    /// The callee executed the method but it returned an error.
+    AppError,
+    /// The call failed at the invocation layer (timeout, connection loss,
+    /// retries exhausted) — the method may or may not have executed.
+    Failed,
+    /// The call was refused without being attempted: open circuit breaker,
+    /// known-dead owner, or (server side) no such object.
+    Rejected,
+}
+
+impl Pickle for SpanOutcome {
+    fn pickle(&self, w: &mut PickleWriter) {
+        w.put_u64(match self {
+            SpanOutcome::Ok => 0,
+            SpanOutcome::AppError => 1,
+            SpanOutcome::Failed => 2,
+            SpanOutcome::Rejected => 3,
+        });
+    }
+
+    fn unpickle(r: &mut PickleReader<'_>) -> Result<Self> {
+        match r.get_u64()? {
+            0 => Ok(SpanOutcome::Ok),
+            1 => Ok(SpanOutcome::AppError),
+            2 => Ok(SpanOutcome::Failed),
+            3 => Ok(SpanOutcome::Rejected),
+            _ => Err(WireError::OutOfRange("span outcome")),
+        }
+    }
+}
+
+impl SpanOutcome {
+    /// Short lowercase name, used as a metrics label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanOutcome::Ok => "ok",
+            SpanOutcome::AppError => "app_error",
+            SpanOutcome::Failed => "failed",
+            SpanOutcome::Rejected => "rejected",
+        }
+    }
+}
+
+/// One recorded call span.
+///
+/// Times are microseconds; durations are measured on the recording space's
+/// configured clock (virtual time under a virtual clock), `start_micros`
+/// relative to that space's span-ring epoch. Fields that only one side can
+/// know are zero on the other side (`queue_wait_micros` and
+/// `service_micros` on client spans; `retries` and `breaker_open` on
+/// server spans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Recording space's dense per-ring sequence number.
+    pub seq: u64,
+    /// Trace this span belongs to (shared across the whole call chain).
+    pub trace_id: u64,
+    /// This span's own identifier, unique within the trace.
+    pub span_id: u64,
+    /// The span id of the call that caused this one, or 0 at the root.
+    ///
+    /// On a server span this is the client span of the same hop; on a
+    /// client span issued *during* a dispatch it is the enclosing server
+    /// span, which is how fan-out calls chain causally.
+    pub parent_span: u64,
+    /// Which side recorded the span.
+    pub kind: SpanKind,
+    /// The recording space.
+    pub space: SpaceId,
+    /// The space at the other end of the hop.
+    pub peer: SpaceId,
+    /// The object invoked.
+    pub target: WireRep,
+    /// Method index within the target's interface.
+    pub method: u32,
+    /// Human-readable method label (`"interface/method"`) when the typed
+    /// stub layer knows it; empty for raw or collector calls.
+    pub label: String,
+    /// Start of the span, microseconds since the recording ring's epoch.
+    pub start_micros: u64,
+    /// Total observed duration of the span.
+    pub duration_micros: u64,
+    /// Server only: time the request waited in the worker queue.
+    pub queue_wait_micros: u64,
+    /// Server only: time spent inside the object's dispatcher.
+    pub service_micros: u64,
+    /// Bytes of pickled arguments sent (client) or received (server).
+    pub marshal_bytes: u64,
+    /// Bytes of pickled result received (client) or sent (server).
+    pub unmarshal_bytes: u64,
+    /// Client only: retry attempts beyond the first.
+    pub retries: u32,
+    /// Client only: true if the peer's circuit breaker was open or
+    /// half-open when the call was issued.
+    pub breaker_open: bool,
+    /// How the call ended.
+    pub outcome: SpanOutcome,
+}
+
+impl Pickle for SpanRecord {
+    fn pickle(&self, w: &mut PickleWriter) {
+        w.put_u64(self.seq);
+        w.put_u64(self.trace_id);
+        w.put_u64(self.span_id);
+        w.put_u64(self.parent_span);
+        self.kind.pickle(w);
+        self.space.pickle(w);
+        self.peer.pickle(w);
+        self.target.pickle(w);
+        self.method.pickle(w);
+        self.label.pickle(w);
+        w.put_u64(self.start_micros);
+        w.put_u64(self.duration_micros);
+        w.put_u64(self.queue_wait_micros);
+        w.put_u64(self.service_micros);
+        w.put_u64(self.marshal_bytes);
+        w.put_u64(self.unmarshal_bytes);
+        self.retries.pickle(w);
+        self.breaker_open.pickle(w);
+        self.outcome.pickle(w);
+    }
+
+    fn unpickle(r: &mut PickleReader<'_>) -> Result<Self> {
+        Ok(SpanRecord {
+            seq: r.get_u64()?,
+            trace_id: r.get_u64()?,
+            span_id: r.get_u64()?,
+            parent_span: r.get_u64()?,
+            kind: SpanKind::unpickle(r)?,
+            space: SpaceId::unpickle(r)?,
+            peer: SpaceId::unpickle(r)?,
+            target: WireRep::unpickle(r)?,
+            method: u32::unpickle(r)?,
+            label: String::unpickle(r)?,
+            start_micros: r.get_u64()?,
+            duration_micros: r.get_u64()?,
+            queue_wait_micros: r.get_u64()?,
+            service_micros: r.get_u64()?,
+            marshal_bytes: r.get_u64()?,
+            unmarshal_bytes: r.get_u64()?,
+            retries: u32::unpickle(r)?,
+            breaker_open: bool::unpickle(r)?,
+            outcome: SpanOutcome::unpickle(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObjIx;
+
+    fn sample(kind: SpanKind, outcome: SpanOutcome) -> SpanRecord {
+        SpanRecord {
+            seq: 5,
+            trace_id: 0xABCD,
+            span_id: 17,
+            parent_span: 3,
+            kind,
+            space: SpaceId::from_raw(1),
+            peer: SpaceId::from_raw(2),
+            target: WireRep::new(SpaceId::from_raw(2), ObjIx(4)),
+            method: 1,
+            label: "bench.Counter/add".to_string(),
+            start_micros: 1_000,
+            duration_micros: 250,
+            queue_wait_micros: 40,
+            service_micros: 200,
+            marshal_bytes: 16,
+            unmarshal_bytes: 9,
+            retries: 2,
+            breaker_open: true,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn spans_roundtrip() {
+        for kind in [SpanKind::Client, SpanKind::Server] {
+            for outcome in [
+                SpanOutcome::Ok,
+                SpanOutcome::AppError,
+                SpanOutcome::Failed,
+                SpanOutcome::Rejected,
+            ] {
+                let s = sample(kind, outcome);
+                let bytes = s.to_pickle_bytes();
+                assert_eq!(SpanRecord::from_pickle_bytes(&bytes).unwrap(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_kind_and_outcome_rejected() {
+        let mut w = PickleWriter::new();
+        w.put_u64(7);
+        assert!(SpanKind::from_pickle_bytes(w.as_bytes()).is_err());
+        assert!(SpanOutcome::from_pickle_bytes(w.as_bytes()).is_err());
+    }
+}

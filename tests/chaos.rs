@@ -233,6 +233,35 @@ fn shed_calls_retry_and_never_double_execute() {
     );
     assert_eq!(*imp.value.lock(), 6);
 
+    // The served/rejected split: `calls_served` counts dispatches that
+    // reached an object (a Busy shed never did — the dispatch-side
+    // histogram pins the count at exactly the 6 executions), and nothing
+    // in this scenario was refused outright.
+    let served_before = owner.stats().calls_served;
+    assert_eq!(
+        owner.metrics().app_calls["serve/m0"].total(),
+        6,
+        "exactly the 6 executed adds were dispatched; sheds never reached the object"
+    );
+    assert_eq!(owner.stats().calls_rejected, 0);
+
+    // A call for an object the owner never exported is the opposite case:
+    // rejected before any object runs, counted in `calls_rejected` and
+    // *not* in `calls_served`.
+    use netobj::transport::Transport;
+    let conn = net.connect(&Endpoint::sim("owner")).unwrap();
+    let raw = netobj_rpc::CallClient::new(Arc::from(conn), netobj::wire::SpaceId::fresh());
+    let bogus = netobj::wire::WireRep::new(owner.id(), ObjIx(999));
+    assert!(raw
+        .call_raw(bogus, 0, vec![], Duration::from_secs(5))
+        .is_err());
+    assert_eq!(owner.stats().calls_rejected, 1);
+    assert_eq!(
+        owner.stats().calls_served,
+        served_before,
+        "a rejected call must not count as served"
+    );
+
     assert_conformant("shed_calls", &[&owner, &client]);
     assert_sim_time_under(&clock, Duration::from_secs(120), "shed_calls");
 }
