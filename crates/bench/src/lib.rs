@@ -252,7 +252,7 @@ impl RawRig {
     }
 
     /// Performs one raw echo call.
-    pub fn call(&self, payload: Vec<u8>) -> Vec<u8> {
+    pub fn call(&self, payload: Vec<u8>) -> netobj_transport::Bytes {
         self.client.call(self.target, 0, payload).expect("raw call")
     }
 }

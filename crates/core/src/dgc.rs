@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, RecvTimeoutError};
 use netobj_transport::clock::recv_deadline;
-use netobj_transport::{ClockHandle, Endpoint};
+use netobj_transport::{Bytes, ClockHandle, Endpoint};
 use netobj_wire::pickle::Pickle;
 use netobj_wire::{ObjIx, SpaceId, TraceKind, TypeList, WireRep};
 
@@ -81,7 +81,7 @@ pub(crate) fn dispatch_gc(
         methods::DIRTY => {
             let (ix, seqno, client_ep) = <(u64, u64, Option<Endpoint>)>::from_pickle_bytes(args)?;
             let target = WireRep::new(space.id(), ObjIx(ix));
-            let outcome = space.inner.table.exports.lock().apply_dirty(
+            let outcome = space.inner.table.exports.apply_dirty(
                 ObjIx(ix),
                 caller,
                 seqno,
@@ -138,7 +138,6 @@ pub(crate) fn dispatch_gc(
                 .inner
                 .table
                 .exports
-                .lock()
                 .apply_clean(ObjIx(ix), caller, seqno);
             space
                 .inner
@@ -157,20 +156,20 @@ pub(crate) fn dispatch_gc(
         }
         methods::CLEAN_BATCH => {
             let entries = <Vec<(u64, u64, bool)>>::from_pickle_bytes(args)?;
-            let outcomes: Vec<(u64, u64, bool, CleanOutcome)> = {
-                let mut exports = space.inner.table.exports.lock();
-                entries
-                    .iter()
-                    .map(|&(ix, seqno, strong)| {
-                        (
-                            ix,
-                            seqno,
-                            strong,
-                            exports.apply_clean(ObjIx(ix), caller, seqno),
-                        )
-                    })
-                    .collect()
-            };
+            // Each clean applies under its own entry's shard lock; the
+            // batch is transport-level batching, not an atomic group.
+            let exports = &space.inner.table.exports;
+            let outcomes: Vec<(u64, u64, bool, CleanOutcome)> = entries
+                .iter()
+                .map(|&(ix, seqno, strong)| {
+                    (
+                        ix,
+                        seqno,
+                        strong,
+                        exports.apply_clean(ObjIx(ix), caller, seqno),
+                    )
+                })
+                .collect();
             let mut collected = 0u64;
             for &(ix, seqno, strong, outcome) in &outcomes {
                 trace_clean_outcome(space, caller, ObjIx(ix), seqno, strong, outcome);
@@ -262,7 +261,7 @@ fn gc_call(
     timeout: Duration,
     idempotent: bool,
     hist_kind: Option<usize>,
-) -> NetResult<Vec<u8>> {
+) -> NetResult<Bytes> {
     let clock = &space.inner.options.clock;
     let start = clock.now();
     let result = space
@@ -270,7 +269,7 @@ fn gc_call(
             WireRep::gc_service(target_space),
             ep,
             method,
-            args,
+            Bytes::from(args),
             timeout,
             idempotent,
         )
@@ -427,8 +426,11 @@ pub(crate) fn import_ref(
     if space.inner.options.fifo_variant && cx.is_some() {
         return import_ref_fifo(space, wirerep, owner_ep, types, cx);
     }
+    // All state for `wirerep` lives in one import shard; its condvar
+    // signals slot transitions to the waits below.
+    let shard = space.inner.table.imports.shard(&wirerep);
     loop {
-        let mut imports = space.inner.table.imports.lock();
+        let mut imports = shard.map.lock();
         match imports.get_mut(&wirerep) {
             None => {
                 // ⊥ → nil: create the slot, then register with the owner.
@@ -455,7 +457,7 @@ pub(crate) fn import_ref(
                     .inner
                     .stats
                     .add_blocked(clock.now().saturating_duration_since(t0));
-                let mut imports = space.inner.table.imports.lock();
+                let mut imports = shard.map.lock();
                 let Some(slot) = imports.get_mut(&wirerep) else {
                     // Space raced shutdown; nothing to clean locally.
                     return Err(Error::SpaceStopped);
@@ -483,7 +485,7 @@ pub(crate) fn import_ref(
                             target: wirerep,
                             epoch: core.epoch,
                         });
-                        space.inner.table.import_cv.notify_all();
+                        shard.cv.notify_all();
                         return Ok(Handle(HandleKind::Remote(core)));
                     }
                     Err(e) => {
@@ -496,7 +498,7 @@ pub(crate) fn import_ref(
                         if drop_now {
                             imports.remove(&wirerep);
                         }
-                        space.inner.table.import_cv.notify_all();
+                        shard.cv.notify_all();
                         drop(imports);
                         if e.is_ambiguous() {
                             enqueue(
@@ -583,20 +585,11 @@ pub(crate) fn import_ref(
                             // auto-advance move time to the deadline.
                             let timeout = match clock.as_virtual() {
                                 Some(vc) => {
-                                    space
-                                        .inner
-                                        .table
-                                        .import_cv
-                                        .wait_for(&mut imports, Duration::from_millis(1));
+                                    shard.cv.wait_for(&mut imports, Duration::from_millis(1));
                                     vc.maybe_auto_advance();
                                     clock.now() >= deadline
                                 }
-                                None => space
-                                    .inner
-                                    .table
-                                    .import_cv
-                                    .wait_until(&mut imports, deadline)
-                                    .timed_out(),
+                                None => shard.cv.wait_until(&mut imports, deadline).timed_out(),
                             };
                             match imports.get_mut(&wirerep) {
                                 None => break WaitOutcome::Gone,
@@ -706,7 +699,7 @@ fn import_ref_fifo(
     types: TypeList,
     cx: Option<&mut UnmarshalCx<'_, '_>>,
 ) -> NetResult<Handle> {
-    let mut imports = space.inner.table.imports.lock();
+    let mut imports = space.inner.table.imports.shard(&wirerep).map.lock();
     let slot = imports.entry(wirerep).or_insert_with(|| ImportSlot {
         owner_ep: owner_ep.clone(),
         types: types.clone(),
@@ -917,7 +910,7 @@ fn cleanup_loop(
 /// the clean to send, or `None` for stale notices.
 fn begin_cleanup(space: &Space, wirerep: WireRep, epoch: u64) -> Option<CleanIntent> {
     let owner_ep = {
-        let mut imports = space.inner.table.imports.lock();
+        let mut imports = space.inner.table.imports.shard(&wirerep).map.lock();
         match imports.get_mut(&wirerep) {
             Some(slot)
                 if slot.epoch == epoch
@@ -959,7 +952,8 @@ fn do_async_dirty(
             // slot failed so future imports retry, and send a strong
             // clean if the dirty may have landed.
             {
-                let mut imports = space.inner.table.imports.lock();
+                let shard = space.inner.table.imports.shard(&wirerep);
+                let mut imports = shard.map.lock();
                 if let Some(slot) = imports.get_mut(&wirerep) {
                     if slot.weak.upgrade().is_none() {
                         imports.remove(&wirerep);
@@ -1075,7 +1069,8 @@ fn clean_failed(
         // every other surrogate into that space so calls fail fast instead
         // of each burning a full timeout.
         space.mark_owner_dead(intent.wirerep.space);
-        let mut imports = space.inner.table.imports.lock();
+        let shard = space.inner.table.imports.shard(&intent.wirerep);
+        let mut imports = shard.map.lock();
         if let Some(slot) = imports.get_mut(&intent.wirerep) {
             slot.failed = true;
             let no_waiters = slot.waiters == 0;
@@ -1083,7 +1078,8 @@ fn clean_failed(
                 imports.remove(&intent.wirerep);
             }
         }
-        space.inner.table.import_cv.notify_all();
+        drop(imports);
+        shard.cv.notify_all();
     }
 }
 
@@ -1148,13 +1144,14 @@ fn handle_clean_ack(space: &Space, wirerep: WireRep) {
         Nothing,
         Redirty { owner_ep: Endpoint },
     }
+    let shard = space.inner.table.imports.shard(&wirerep);
     let next = {
-        let mut imports = space.inner.table.imports.lock();
+        let mut imports = shard.map.lock();
         match imports.get_mut(&wirerep) {
             // ccit → ⊥: the reference's life ends here.
             Some(slot) if slot.state == ImportState::CleanWait => {
                 imports.remove(&wirerep);
-                space.inner.table.import_cv.notify_all();
+                shard.cv.notify_all();
                 Next::Nothing
             }
             // ccitnil → nil: a copy arrived while the clean was in
@@ -1172,7 +1169,7 @@ fn handle_clean_ack(space: &Space, wirerep: WireRep) {
     if let Next::Redirty { owner_ep } = next {
         let seqno = space.next_gc_seqno();
         let result = send_dirty(space, wirerep, &owner_ep, seqno);
-        let mut imports = space.inner.table.imports.lock();
+        let mut imports = shard.map.lock();
         let Some(slot) = imports.get_mut(&wirerep) else {
             return;
         };
@@ -1189,7 +1186,7 @@ fn handle_clean_ack(space: &Space, wirerep: WireRep) {
                     let epoch = slot.epoch;
                     drop(imports);
                     enqueue(space, GcJob::Unreachable { wirerep, epoch });
-                    space.inner.table.import_cv.notify_all();
+                    shard.cv.notify_all();
                     return;
                 }
             }
@@ -1210,12 +1207,12 @@ fn handle_clean_ack(space: &Space, wirerep: WireRep) {
                             attempts: 0,
                         },
                     );
-                    space.inner.table.import_cv.notify_all();
+                    shard.cv.notify_all();
                     return;
                 }
             }
         }
-        space.inner.table.import_cv.notify_all();
+        shard.cv.notify_all();
     }
 }
 
@@ -1244,7 +1241,7 @@ fn ping_loop(weak: Weak<SpaceInner>, clock: ClockHandle) {
         if let Some(interval) = options.ping_interval {
             if clock.now().saturating_duration_since(last_ping) >= interval {
                 last_ping = clock.now();
-                let clients = space.inner.table.exports.lock().dirty_clients();
+                let clients = space.inner.table.exports.dirty_clients();
                 for (client, ep) in clients {
                     let Some(ep) = ep else { continue };
                     let ok = ping_client(&space, client, &ep);
@@ -1256,7 +1253,7 @@ fn ping_loop(weak: Weak<SpaceInner>, clock: ClockHandle) {
                         if *n >= options.ping_failures {
                             // "The client is assumed to have died, and is
                             // removed from all dirty sets at that owner."
-                            let collected = space.inner.table.exports.lock().purge_client(client);
+                            let collected = space.inner.table.exports.purge_client(client);
                             space.emit(TraceKind::ClientPurged {
                                 owner: space.id(),
                                 client,
@@ -1284,7 +1281,7 @@ fn ping_loop(weak: Weak<SpaceInner>, clock: ClockHandle) {
             // clock starts with headroom, but a very young system clock may
             // not reach back a full lease.)
             if let Some(cutoff) = clock.now().checked_sub(lease) {
-                let (expired, collected) = space.inner.table.exports.lock().expire_leases(cutoff);
+                let (expired, collected) = space.inner.table.exports.expire_leases(cutoff);
                 if expired > 0 {
                     space.emit(TraceKind::LeaseExpired {
                         owner: space.id(),
@@ -1305,14 +1302,18 @@ fn ping_loop(weak: Weak<SpaceInner>, clock: ClockHandle) {
             // Client role: renew live surrogates.
             if clock.now().saturating_duration_since(last_renew) >= lease / 3 {
                 last_renew = clock.now();
-                let live: Vec<(WireRep, Endpoint)> = {
-                    let imports = space.inner.table.imports.lock();
-                    imports
-                        .iter()
-                        .filter(|(_, s)| s.state == ImportState::Live && s.weak.upgrade().is_some())
-                        .map(|(w, s)| (*w, s.owner_ep.clone()))
-                        .collect()
-                };
+                let mut live: Vec<(WireRep, Endpoint)> = Vec::new();
+                for import_shard in space.inner.table.imports.shards() {
+                    let imports = import_shard.map.lock();
+                    live.extend(
+                        imports
+                            .iter()
+                            .filter(|(_, s)| {
+                                s.state == ImportState::Live && s.weak.upgrade().is_some()
+                            })
+                            .map(|(w, s)| (*w, s.owner_ep.clone())),
+                    );
+                }
                 let mut round_failed: std::collections::HashSet<SpaceId> = Default::default();
                 let mut round_ok: std::collections::HashSet<SpaceId> = Default::default();
                 for (wirerep, ep) in live {

@@ -34,9 +34,15 @@ pub struct MarshalCx<'s> {
 impl<'s> MarshalCx<'s> {
     /// Creates a context writing into a fresh buffer.
     pub fn new(space: &'s Space) -> MarshalCx<'s> {
+        MarshalCx::from_writer(space, PickleWriter::new())
+    }
+
+    /// Creates a context writing into `w` — lets callers recycle a buffer
+    /// across calls instead of allocating per invocation.
+    pub(crate) fn from_writer(space: &'s Space, w: PickleWriter) -> MarshalCx<'s> {
         MarshalCx {
             space,
-            w: PickleWriter::new(),
+            w,
             pins: Vec::new(),
         }
     }
@@ -60,6 +66,12 @@ impl<'s> MarshalCx<'s> {
     /// transmission (until its acknowledgement).
     pub fn finish(self) -> (Vec<u8>, Vec<TransientPin>) {
         (self.w.into_bytes(), self.pins)
+    }
+
+    /// Finishes, returning the writer itself (for buffer recycling) and
+    /// the pins that must outlive the transmission.
+    pub(crate) fn finish_parts(self) -> (PickleWriter, Vec<TransientPin>) {
+        (self.w, self.pins)
     }
 
     pub(crate) fn push_pin(&mut self, pin: TransientPin) {

@@ -7,7 +7,7 @@
 //! simulations here create many in one process.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -18,11 +18,11 @@ use netobj_rpc::{
     Admission, Backoff, BreakerState, CallClient, CallReply, CircuitBreaker, Dispatch, DispatchCx,
     Dispatcher, FailureClass, RpcError, RpcServer,
 };
-use netobj_transport::{Endpoint, TransportRegistry};
+use netobj_transport::{Bytes, Endpoint, TransportRegistry};
 use netobj_wire::{
     ObjIx, SpaceId, SpanKind, SpanOutcome, SpanRecord, TraceEvent, TraceKind, TypeList, WireRep,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::dgc::{self, GcJob};
 use crate::error::{to_remote_error, Error, NetResult};
@@ -40,9 +40,18 @@ pub(crate) struct SpaceInner {
     pub(crate) id: SpaceId,
     pub(crate) options: Options,
     pub(crate) registry: TransportRegistry,
-    pub(crate) clients: Mutex<HashMap<Endpoint, Arc<CallClient>>>,
-    pub(crate) breakers: Mutex<HashMap<Endpoint, Arc<CircuitBreaker>>>,
+    /// Read-mostly connection cache: every call looks its client up under
+    /// the read lock; the write lock is taken only to (re)connect or
+    /// invalidate.
+    pub(crate) clients: RwLock<HashMap<Endpoint, Arc<CallClient>>>,
+    /// Read-mostly, like `clients`: one breaker per endpoint, installed
+    /// once and then only read on the call path.
+    pub(crate) breakers: RwLock<HashMap<Endpoint, Arc<CircuitBreaker>>>,
     pub(crate) dead_owners: Mutex<HashSet<SpaceId>>,
+    /// Mirror of `dead_owners.len()`: the per-call liveness check loads
+    /// this atomic and skips the lock entirely while no owner has died
+    /// (the overwhelmingly common case).
+    pub(crate) dead_owner_count: AtomicUsize,
     pub(crate) retry_seed: AtomicU64,
     pub(crate) server: Mutex<Option<RpcServer>>,
     pub(crate) local_ep: Mutex<Option<Endpoint>>,
@@ -56,7 +65,10 @@ pub(crate) struct SpaceInner {
     pub(crate) trace: Arc<TraceRing>,
     pub(crate) spans: Arc<SpanRing>,
     pub(crate) ids: IdAlloc,
-    pub(crate) app_hist: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    /// Per-label application-call latency histograms. Read-mostly: after
+    /// warm-up every call label exists, so the hot path takes the read
+    /// lock only; the write lock is needed just to install a new label.
+    pub(crate) app_hist: RwLock<BTreeMap<String, Arc<Histogram>>>,
     pub(crate) gc_hist: [Histogram; 4],
     pub(crate) pending_clean_retries: AtomicU64,
 }
@@ -121,9 +133,10 @@ impl SpaceBuilder {
             id,
             options: self.options,
             registry: self.registry,
-            clients: Mutex::new(HashMap::new()),
-            breakers: Mutex::new(HashMap::new()),
+            clients: RwLock::new(HashMap::new()),
+            breakers: RwLock::new(HashMap::new()),
             dead_owners: Mutex::new(HashSet::new()),
+            dead_owner_count: AtomicUsize::new(0),
             retry_seed: AtomicU64::new(0),
             server: Mutex::new(None),
             local_ep: Mutex::new(None),
@@ -137,7 +150,7 @@ impl SpaceBuilder {
             trace,
             spans,
             ids: IdAlloc::new(id),
-            app_hist: Mutex::new(BTreeMap::new()),
+            app_hist: RwLock::new(BTreeMap::new()),
             gc_hist: Default::default(),
             pending_clean_retries: AtomicU64::new(0),
         });
@@ -219,23 +232,15 @@ impl Space {
         let app_calls = self
             .inner
             .app_hist
-            .lock()
+            .read()
             .iter()
             .map(|(label, h)| (label.clone(), h.snapshot()))
             .collect();
         let gc_calls = std::array::from_fn(|i| self.inner.gc_hist[i].snapshot());
         let gauges = Gauges {
             exports: self.exported_count() as u64,
-            surrogates: self.inner.table.imports.lock().len() as u64,
-            dirty_entries: self
-                .inner
-                .table
-                .exports
-                .lock()
-                .by_ix
-                .values()
-                .map(|e| e.dirty.len() as u64)
-                .sum(),
+            surrogates: self.inner.table.imports.len() as u64,
+            dirty_entries: self.inner.table.exports.dirty_entry_count(),
             pending_clean_retries: self.inner.pending_clean_retries.load(Ordering::Relaxed),
             server_queue_depth: self
                 .inner
@@ -244,11 +249,11 @@ impl Space {
                 .as_ref()
                 .map(|s| s.queue_depth() as u64)
                 .unwrap_or(0),
-            pool_connections: self.inner.clients.lock().len() as u64,
+            pool_connections: self.inner.clients.read().len() as u64,
             open_breakers: self
                 .inner
                 .breakers
-                .lock()
+                .read()
                 .values()
                 .filter(|b| b.state() == BreakerState::Open)
                 .count() as u64,
@@ -269,11 +274,14 @@ impl Space {
 
     /// Records one application-call latency observation under `label`.
     pub(crate) fn record_app_call(&self, label: &str, d: Duration) {
-        let hist = {
-            let mut map = self.inner.app_hist.lock();
-            match map.get(label) {
-                Some(h) => Arc::clone(h),
-                None => Arc::clone(map.entry(label.to_string()).or_default()),
+        // Taken in two statements so the read guard is released before a
+        // miss upgrades to the write lock.
+        let hit = self.inner.app_hist.read().get(label).cloned();
+        let hist = match hit {
+            Some(h) => h,
+            None => {
+                let mut map = self.inner.app_hist.write();
+                Arc::clone(map.entry(label.to_string()).or_default())
             }
         };
         hist.record(d);
@@ -296,19 +304,12 @@ impl Space {
     /// introspection objects live forever and would otherwise make every
     /// listening space report a nonzero count).
     pub fn exported_count(&self) -> usize {
-        self.inner
-            .table
-            .exports
-            .lock()
-            .by_ix
-            .keys()
-            .filter(|&&ix| !ObjIx(ix).is_reserved())
-            .count()
+        self.inner.table.exports.exported_count()
     }
 
     /// Number of import slots (surrogate life cycles) currently tracked.
     pub fn imported_count(&self) -> usize {
-        self.inner.table.imports.lock().len()
+        self.inner.table.imports.len()
     }
 
     /// True after [`Space::shutdown`] or [`Space::crash`].
@@ -327,7 +328,7 @@ impl Space {
     /// roots that will be registered with the agent or served forever.
     pub fn export(&self, obj: Arc<dyn NetObject>) -> NetResult<Handle> {
         self.ensure_running()?;
-        let (ix, _, created) = self.inner.table.exports.lock().export(&obj, true);
+        let (ix, _, created) = self.inner.table.exports.export(&obj, true);
         if created {
             self.emit(TraceKind::ExportCreated {
                 owner: self.id(),
@@ -356,10 +357,7 @@ impl Space {
         let HandleKind::Local { obj, .. } = &handle.0 else {
             return Err(Error::app("unexport requires a local handle"));
         };
-        let collected = {
-            let mut exports = self.inner.table.exports.lock();
-            exports.lookup(obj).map(|ix| (ix, exports.unpin(ix)))
-        };
+        let collected = self.inner.table.exports.unexport(obj);
         if let Some((ix, true)) = collected {
             self.inner
                 .stats
@@ -376,11 +374,7 @@ impl Space {
     /// Installs `obj` at a reserved index (used by the agent, index 1).
     pub fn export_builtin(&self, ix: ObjIx, obj: Arc<dyn NetObject>) -> NetResult<Handle> {
         self.ensure_running()?;
-        self.inner
-            .table
-            .exports
-            .lock()
-            .export_at(ix, Arc::clone(&obj));
+        self.inner.table.exports.export_at(ix, Arc::clone(&obj));
         Ok(Handle(HandleKind::Local {
             space: self.clone(),
             obj,
@@ -394,7 +388,7 @@ impl Space {
         let (owner_id, _owner_ep) = dgc::identify(self, ep)?;
         let wirerep = WireRep::new(owner_id, ix);
         if owner_id == self.id() {
-            let got = self.inner.table.exports.lock().get(ix);
+            let got = self.inner.table.exports.get(ix);
             let (obj, _types) = got.ok_or(Error::NoSuchObject(wirerep))?;
             return Ok(Handle(HandleKind::Local {
                 space: self.clone(),
@@ -410,7 +404,6 @@ impl Space {
         self.inner
             .table
             .exports
-            .lock()
             .lookup(obj)
             .map(|ix| WireRep::new(self.id(), ix))
     }
@@ -423,12 +416,7 @@ impl Space {
                     return Err(Error::app("handle belongs to a different space"));
                 }
                 let owner_ep = self.endpoint().ok_or(Error::NotListening)?;
-                let (ix, types, pin, created) = {
-                    let mut exports = self.inner.table.exports.lock();
-                    let (ix, types, created) = exports.export(obj, false);
-                    let pin = exports.add_transient(ix).expect("entry just ensured");
-                    (ix, types, pin, created)
-                };
+                let (ix, types, pin, created) = self.inner.table.exports.export_transient(obj);
                 let target = WireRep::new(self.id(), ix);
                 if created {
                     self.emit(TraceKind::ExportCreated {
@@ -476,7 +464,7 @@ impl Space {
             // "If a client transmits a network object back to its owner,
             // the object table causes the owner to access the concrete
             // object; no surrogate is created."
-            let got = self.inner.table.exports.lock().get(wirerep.ix);
+            let got = self.inner.table.exports.get(wirerep.ix);
             let (obj, _types) = got.ok_or(Error::NoSuchObject(wirerep))?;
             return Ok(Handle(HandleKind::Local {
                 space: self.clone(),
@@ -487,7 +475,7 @@ impl Space {
     }
 
     pub(crate) fn release_transient(&self, ix: ObjIx, pin: u64) {
-        let collected = self.inner.table.exports.lock().remove_transient(ix, pin);
+        let collected = self.inner.table.exports.remove_transient(ix, pin);
         let target = WireRep::new(self.id(), ix);
         self.emit(TraceKind::TransientReleased {
             owner: self.id(),
@@ -531,7 +519,7 @@ impl Space {
     pub(crate) fn rpc_client(&self, ep: &Endpoint) -> NetResult<Arc<CallClient>> {
         self.ensure_running()?;
         let had_stale = {
-            let clients = self.inner.clients.lock();
+            let clients = self.inner.clients.read();
             match clients.get(ep) {
                 Some(c) if !c.is_closed() => return Ok(Arc::clone(c)),
                 Some(_) => true,
@@ -541,7 +529,7 @@ impl Space {
         let conn = self.inner.registry.connect(ep)?;
         let fresh =
             CallClient::with_clock(Arc::from(conn), self.id(), self.inner.options.clock.clone());
-        let mut clients = self.inner.clients.lock();
+        let mut clients = self.inner.clients.write();
         match clients.get(ep) {
             Some(c) if !c.is_closed() => Ok(Arc::clone(c)),
             _ => {
@@ -559,7 +547,7 @@ impl Space {
     /// connection.
     pub(crate) fn invalidate_client(&self, ep: &Endpoint, client: &Arc<CallClient>) {
         client.close();
-        let mut clients = self.inner.clients.lock();
+        let mut clients = self.inner.clients.write();
         if let Some(c) = clients.get(ep) {
             if Arc::ptr_eq(c, client) {
                 clients.remove(ep);
@@ -570,7 +558,12 @@ impl Space {
 
     /// The circuit breaker guarding calls to `ep`.
     pub(crate) fn breaker_for(&self, ep: &Endpoint) -> Arc<CircuitBreaker> {
-        let mut breakers = self.inner.breakers.lock();
+        // Hot path: the breaker already exists; no clone of `ep`, no
+        // exclusive lock.
+        if let Some(b) = self.inner.breakers.read().get(ep) {
+            return Arc::clone(b);
+        }
+        let mut breakers = self.inner.breakers.write();
         Arc::clone(breakers.entry(ep.clone()).or_insert_with(|| {
             Arc::new(CircuitBreaker::with_clock(
                 self.inner.options.breaker.clone(),
@@ -585,7 +578,15 @@ impl Space {
         if id == self.id() {
             return;
         }
-        if self.inner.dead_owners.lock().insert(id) {
+        let inserted = {
+            let mut dead = self.inner.dead_owners.lock();
+            let inserted = dead.insert(id);
+            self.inner
+                .dead_owner_count
+                .store(dead.len(), Ordering::Release);
+            inserted
+        };
+        if inserted {
             self.emit(TraceKind::OwnerDead {
                 client: self.id(),
                 owner: id,
@@ -595,7 +596,9 @@ impl Space {
 
     /// True if `id` has been declared dead.
     pub fn owner_is_dead(&self, id: SpaceId) -> bool {
-        self.inner.dead_owners.lock().contains(&id)
+        // No owner has ever died (the common case): skip the lock.
+        self.inner.dead_owner_count.load(Ordering::Acquire) != 0
+            && self.inner.dead_owners.lock().contains(&id)
     }
 
     /// Issues one logical call through the resilience machinery: breaker
@@ -611,13 +614,14 @@ impl Space {
         target: WireRep,
         ep: &Endpoint,
         method: u32,
-        args: Vec<u8>,
+        args: Bytes,
         timeout: Duration,
         idempotent: bool,
     ) -> NetResult<CallReply> {
         let mut meta = CallMeta::default();
+        let now = self.inner.options.clock.now();
         self.resilient_call_traced(
-            target, ep, method, args, timeout, idempotent, 0, 0, &mut meta,
+            target, ep, method, args, timeout, idempotent, 0, 0, now, &mut meta,
         )
     }
 
@@ -630,11 +634,12 @@ impl Space {
         target: WireRep,
         ep: &Endpoint,
         method: u32,
-        args: Vec<u8>,
+        args: Bytes,
         timeout: Duration,
         idempotent: bool,
         trace_id: u64,
         span_id: u64,
+        now: Instant,
         meta: &mut CallMeta,
     ) -> NetResult<CallReply> {
         let stats = &self.inner.stats;
@@ -648,14 +653,18 @@ impl Space {
         let seed = self.inner.retry_seed.fetch_add(1, Ordering::Relaxed);
         let mut backoff = Backoff::new(self.inner.options.retry.clone(), seed);
         let clock = &self.inner.options.clock;
-        let deadline = clock.now() + timeout;
+        // `now` is the caller's clock read from just before entry — the
+        // zero-retry fast path spends no further clock reads here; retry
+        // iterations refresh it below.
+        let deadline = now + timeout;
+        let mut now = now;
         loop {
             if breaker.admit() == Admission::Reject {
                 stats.calls_failed_fast.fetch_add(1, Ordering::Relaxed);
                 meta.rejected = true;
                 return Err(Error::from(CircuitBreaker::rejection_error()));
             }
-            let remaining = deadline.saturating_duration_since(clock.now());
+            let remaining = deadline.saturating_duration_since(now);
             if remaining.is_zero() {
                 return Err(Error::Rpc(RpcError::Timeout));
             }
@@ -673,6 +682,7 @@ impl Space {
                         return Err(e);
                     }
                     meta.retries += 1;
+                    now = clock.now();
                     continue;
                 }
             };
@@ -724,6 +734,7 @@ impl Space {
                 return Err(Error::from(failure.error));
             }
             meta.retries += 1;
+            now = clock.now();
         }
     }
 
@@ -758,7 +769,7 @@ impl Space {
         &self,
         core: &SurrogateCore,
         method: u32,
-        args: Vec<u8>,
+        args: impl Into<Bytes>,
         idempotent: bool,
         label: &str,
     ) -> NetResult<CallReply> {
@@ -771,9 +782,10 @@ impl Space {
         };
         let span_id = self.inner.ids.next_id();
         let clock = &self.inner.options.clock;
+        let args = args.into();
         let marshal_bytes = args.len() as u64;
-        let start_micros = self.inner.spans.now_micros();
         let start = clock.now();
+        let start_micros = self.inner.spans.micros_at(start);
         let mut meta = CallMeta::default();
         let result = self.resilient_call_traced(
             core.wirerep,
@@ -784,6 +796,7 @@ impl Space {
             idempotent,
             trace_id,
             span_id,
+            start,
             &mut meta,
         );
         let duration = clock.now().saturating_duration_since(start);
@@ -845,7 +858,7 @@ impl Space {
         if let Some(mut server) = self.inner.server.lock().take() {
             server.stop();
         }
-        for (_, c) in self.inner.clients.lock().drain() {
+        for (_, c) in self.inner.clients.write().drain() {
             c.close();
         }
         if let Some(h) = self.inner.demon.lock().take() {
@@ -877,7 +890,7 @@ impl Drop for SpaceInner {
         if let Some(mut server) = self.server.lock().take() {
             server.stop();
         }
-        for (_, c) in self.clients.lock().drain() {
+        for (_, c) in self.clients.write().drain() {
             c.close();
         }
     }
@@ -936,7 +949,7 @@ impl Dispatcher for SpaceDispatcher {
             stats.calls_rejected.fetch_add(1, Ordering::Relaxed);
             return Dispatch::plain(Err(to_remote_error(&Error::NoSuchObject(target))));
         }
-        let got = space.inner.table.exports.lock().get(target.ix);
+        let got = space.inner.table.exports.get(target.ix);
         let Some((obj, _types)) = got else {
             stats.calls_rejected.fetch_add(1, Ordering::Relaxed);
             return Dispatch::plain(Err(to_remote_error(&Error::NoSuchObject(target))));
@@ -994,7 +1007,30 @@ impl Dispatcher for SpaceDispatcher {
                 Err(_) => SpanOutcome::AppError,
             },
         });
-        space.record_app_call(&format!("serve/m{method}"), service);
+        // Static labels for the common low method numbers keep the
+        // per-dispatch histogram lookup allocation-free.
+        const SERVE_LABELS: [&str; 16] = [
+            "serve/m0",
+            "serve/m1",
+            "serve/m2",
+            "serve/m3",
+            "serve/m4",
+            "serve/m5",
+            "serve/m6",
+            "serve/m7",
+            "serve/m8",
+            "serve/m9",
+            "serve/m10",
+            "serve/m11",
+            "serve/m12",
+            "serve/m13",
+            "serve/m14",
+            "serve/m15",
+        ];
+        match SERVE_LABELS.get(method as usize) {
+            Some(label) => space.record_app_call(label, service),
+            None => space.record_app_call(&format!("serve/m{method}"), service),
+        }
         match outcome {
             Ok(result) => {
                 let completion: Option<Box<dyn FnOnce() + Send>> = if result.pins.is_empty() {

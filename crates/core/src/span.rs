@@ -59,10 +59,13 @@ impl SpanRing {
     /// Microseconds since this ring's epoch, on the ring's clock — the
     /// time base for [`SpanRecord::start_micros`].
     pub fn now_micros(&self) -> u64 {
-        self.clock
-            .now()
-            .saturating_duration_since(self.epoch)
-            .as_micros() as u64
+        self.micros_at(self.clock.now())
+    }
+
+    /// Converts an already-read clock instant to this ring's time base —
+    /// lets hot paths that timed the call anyway avoid a second clock read.
+    pub fn micros_at(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_micros() as u64
     }
 
     /// Records one span, stamping its sequence number.

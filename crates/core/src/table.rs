@@ -8,8 +8,44 @@
 //! elsewhere, the entry is an *import slot* tracking the surrogate's life
 //! cycle — the `⊥ / nil / OK / ccit / ccitnil` states of the collector's
 //! formal specification.
+//!
+//! # Sharding and lock order
+//!
+//! Both halves of the table are sharded so that hot-path mutations (a
+//! dirty-set update, a transient pin, an import-slot transition) contend
+//! only with operations on the *same* object, not with every marshal in
+//! the space:
+//!
+//! * **Exports** split into an *identity map* (`ident`: index allocation
+//!   plus the object-pointer → index reverse map) and [`EXPORT_SHARDS`]
+//!   shards of `index → ConcreteEntry`, selected by index. Pin ids come
+//!   from an atomic counter and take no lock at all.
+//! * **Imports** are [`IMPORT_SHARDS`] shards selected by `WireRep` hash,
+//!   each pairing its map with its own condvar so blocked unmarshal
+//!   threads are only woken by transitions in their shard.
+//!
+//! Lock order discipline (violations deadlock):
+//!
+//! 1. `ident` before any export shard; never an export shard before
+//!    `ident`. Paths that discover an entry became removable while holding
+//!    only its shard must *release* the shard, take `ident` → shard, and
+//!    re-check removability before collecting ([`ExportTable::collect_if_removable`]).
+//! 2. At most one export shard at a time. Whole-table scans
+//!    (`purge_client`, `expire_leases`, gauges) visit shards sequentially;
+//!    their results are per-shard-consistent snapshots, not a global
+//!    atomic view — sufficient for the ping demon and metrics.
+//! 3. Import shards are independent; no operation holds two at once, and
+//!    no operation holds an import shard together with `ident` or an
+//!    export shard.
+//!
+//! Entry removal always holds `ident` *and* the entry's shard, so any
+//! reader holding `ident` may rely on `by_ptr` hits resolving to live
+//! shard entries.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Instant;
 
@@ -19,6 +55,11 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::handle::SurrogateCore;
 use crate::obj::NetObject;
+
+/// Number of export shards (index-selected).
+pub(crate) const EXPORT_SHARDS: usize = 16;
+/// Number of import shards (`WireRep`-hash-selected).
+pub(crate) const IMPORT_SHARDS: usize = 16;
 
 /// What the owner knows about one client's claim on an object.
 #[derive(Debug, Clone)]
@@ -93,119 +134,174 @@ pub(crate) struct ImportSlot {
 
 /// The two halves of a space's object table.
 pub(crate) struct ObjectTable {
-    pub exports: Mutex<Exports>,
-    pub imports: Mutex<HashMap<WireRep, ImportSlot>>,
-    /// Signals import-slot state changes to blocked unmarshal threads.
-    pub import_cv: Condvar,
+    pub exports: ExportTable,
+    pub imports: ImportTable,
 }
 
-/// Owner-side table state.
-pub(crate) struct Exports {
+impl ObjectTable {
+    pub fn new() -> ObjectTable {
+        ObjectTable {
+            exports: ExportTable::new(),
+            imports: ImportTable::new(),
+        }
+    }
+}
+
+/// Index allocation and object-identity half of the export table.
+///
+/// The reverse map exists so re-marshaling the same object reuses its
+/// wireRep ("there is at most one entry per concrete object").
+struct ExportIdent {
     next_ix: u64,
-    next_pin: u64,
-    pub by_ix: HashMap<u64, ConcreteEntry>,
-    /// Reverse map from object identity to index, so re-marshaling the
-    /// same object reuses its wireRep ("there is at most one entry per
-    /// concrete object").
     by_ptr: HashMap<usize, u64>,
+}
+
+/// Owner-side table state, sharded by object index.
+pub(crate) struct ExportTable {
+    ident: Mutex<ExportIdent>,
+    /// Pin ids are only ever compared for equality; an atomic counter
+    /// keeps transient pinning off every lock.
+    next_pin: AtomicU64,
+    shards: Vec<Mutex<HashMap<u64, ConcreteEntry>>>,
 }
 
 fn ptr_key(obj: &Arc<dyn NetObject>) -> usize {
     Arc::as_ptr(obj) as *const () as usize
 }
 
-impl ObjectTable {
-    pub fn new() -> ObjectTable {
-        ObjectTable {
-            exports: Mutex::new(Exports {
+impl ExportTable {
+    pub fn new() -> ExportTable {
+        ExportTable {
+            ident: Mutex::new(ExportIdent {
                 next_ix: ObjIx::FIRST_USER.0,
-                next_pin: 1,
-                by_ix: HashMap::new(),
                 by_ptr: HashMap::new(),
             }),
-            imports: Mutex::new(HashMap::new()),
-            import_cv: Condvar::new(),
+            next_pin: AtomicU64::new(1),
+            shards: (0..EXPORT_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
-}
 
-impl Exports {
+    fn shard(&self, ix: u64) -> &Mutex<HashMap<u64, ConcreteEntry>> {
+        &self.shards[(ix as usize) % EXPORT_SHARDS]
+    }
+
+    fn fresh_entry(obj: &Arc<dyn NetObject>, types: &TypeList, pinned: bool) -> ConcreteEntry {
+        ConcreteEntry {
+            obj: Arc::clone(obj),
+            types: types.clone(),
+            pinned,
+            dirty: HashMap::new(),
+            seqno_floor: HashMap::new(),
+            transient: HashSet::new(),
+        }
+    }
+
     /// Finds or creates the entry for `obj`, returning its index and
     /// whether the entry was created by this call (a fresh export, which
     /// the trace layer records as `ExportCreated`).
-    pub fn export(&mut self, obj: &Arc<dyn NetObject>, pinned: bool) -> (ObjIx, TypeList, bool) {
+    pub fn export(&self, obj: &Arc<dyn NetObject>, pinned: bool) -> (ObjIx, TypeList, bool) {
+        let mut ident = self.ident.lock();
         let key = ptr_key(obj);
-        if let Some(&ix) = self.by_ptr.get(&key) {
-            let entry = self.by_ix.get_mut(&ix).expect("by_ptr/by_ix consistent");
+        if let Some(&ix) = ident.by_ptr.get(&key) {
+            let mut shard = self.shard(ix).lock();
+            let entry = shard
+                .get_mut(&ix)
+                .expect("by_ptr/shard consistent under ident");
             entry.pinned |= pinned;
             return (ObjIx(ix), entry.types.clone(), false);
         }
-        let ix = self.next_ix;
-        self.next_ix += 1;
+        let ix = ident.next_ix;
+        ident.next_ix += 1;
+        ident.by_ptr.insert(key, ix);
         let types = obj.type_list();
-        self.by_ix.insert(
-            ix,
-            ConcreteEntry {
-                obj: Arc::clone(obj),
-                types: types.clone(),
-                pinned,
-                dirty: HashMap::new(),
-                seqno_floor: HashMap::new(),
-                transient: HashSet::new(),
-            },
-        );
-        self.by_ptr.insert(key, ix);
+        self.shard(ix)
+            .lock()
+            .insert(ix, Self::fresh_entry(obj, &types, pinned));
         (ObjIx(ix), types, true)
     }
 
-    /// Installs an object at a reserved index (agent bootstrap).
-    pub fn export_at(&mut self, ix: ObjIx, obj: Arc<dyn NetObject>) {
+    /// Marshal-path export: finds or creates the entry and adds a
+    /// transient pin in the same critical section, so the entry cannot be
+    /// collected between the two steps. Returns (index, types, pin,
+    /// created).
+    pub fn export_transient(&self, obj: &Arc<dyn NetObject>) -> (ObjIx, TypeList, u64, bool) {
+        let pin = self.next_pin.fetch_add(1, Ordering::Relaxed);
+        let mut ident = self.ident.lock();
+        let key = ptr_key(obj);
+        if let Some(&ix) = ident.by_ptr.get(&key) {
+            let mut shard = self.shard(ix).lock();
+            let entry = shard
+                .get_mut(&ix)
+                .expect("by_ptr/shard consistent under ident");
+            entry.transient.insert(pin);
+            return (ObjIx(ix), entry.types.clone(), pin, false);
+        }
+        let ix = ident.next_ix;
+        ident.next_ix += 1;
+        ident.by_ptr.insert(key, ix);
         let types = obj.type_list();
-        self.by_ptr.insert(ptr_key(&obj), ix.0);
-        self.by_ix.insert(
-            ix.0,
-            ConcreteEntry {
-                obj,
-                types,
-                pinned: true,
-                dirty: HashMap::new(),
-                seqno_floor: HashMap::new(),
-                transient: HashSet::new(),
-            },
-        );
+        let mut entry = Self::fresh_entry(obj, &types, false);
+        entry.transient.insert(pin);
+        self.shard(ix).lock().insert(ix, entry);
+        (ObjIx(ix), types, pin, true)
+    }
+
+    /// Installs an object at a reserved index (agent bootstrap).
+    pub fn export_at(&self, ix: ObjIx, obj: Arc<dyn NetObject>) {
+        let types = obj.type_list();
+        let mut ident = self.ident.lock();
+        ident.by_ptr.insert(ptr_key(&obj), ix.0);
+        self.shard(ix.0)
+            .lock()
+            .insert(ix.0, Self::fresh_entry(&obj, &types, true));
     }
 
     /// Looks up the index for an already-exported object.
     pub fn lookup(&self, obj: &Arc<dyn NetObject>) -> Option<ObjIx> {
-        self.by_ptr.get(&ptr_key(obj)).map(|&ix| ObjIx(ix))
+        self.ident
+            .lock()
+            .by_ptr
+            .get(&ptr_key(obj))
+            .map(|&ix| ObjIx(ix))
     }
 
     /// Returns the concrete object at `ix`, if present.
     pub fn get(&self, ix: ObjIx) -> Option<(Arc<dyn NetObject>, TypeList)> {
-        self.by_ix
+        self.shard(ix.0)
+            .lock()
             .get(&ix.0)
             .map(|e| (Arc::clone(&e.obj), e.types.clone()))
     }
 
     /// Adds a transient pin to `ix`, returning the pin id.
     ///
-    /// Returns `None` if no entry exists (callers export first, so this
-    /// indicates a logic error upstream).
-    pub fn add_transient(&mut self, ix: ObjIx) -> Option<u64> {
-        let entry = self.by_ix.get_mut(&ix.0)?;
-        let pin = self.next_pin;
-        self.next_pin += 1;
+    /// Returns `None` if no entry exists. Production marshaling uses the
+    /// atomic [`ExportTable::export_transient`]; this entry point remains
+    /// for tests exercising pin/collect interleavings directly.
+    #[cfg(test)]
+    pub fn add_transient(&self, ix: ObjIx) -> Option<u64> {
+        let mut shard = self.shard(ix.0).lock();
+        let entry = shard.get_mut(&ix.0)?;
+        let pin = self.next_pin.fetch_add(1, Ordering::Relaxed);
         entry.transient.insert(pin);
         Some(pin)
     }
 
     /// Releases a transient pin; returns true if the entry was collected.
-    pub fn remove_transient(&mut self, ix: ObjIx, pin: u64) -> bool {
-        let Some(entry) = self.by_ix.get_mut(&ix.0) else {
-            return false;
-        };
-        entry.transient.remove(&pin);
-        self.maybe_collect(ix)
+    pub fn remove_transient(&self, ix: ObjIx, pin: u64) -> bool {
+        {
+            let mut shard = self.shard(ix.0).lock();
+            let Some(entry) = shard.get_mut(&ix.0) else {
+                return false;
+            };
+            entry.transient.remove(&pin);
+            if !entry.removable() {
+                return false;
+            }
+        }
+        self.collect_if_removable(ix)
     }
 
     /// Applies a dirty call from `client` with `seqno`.
@@ -213,14 +309,15 @@ impl Exports {
     /// Returns the object's type list, or `None` for a vanished object or a
     /// stale sequence number (`Some` ⇒ the entry now lists the client).
     pub fn apply_dirty(
-        &mut self,
+        &self,
         ix: ObjIx,
         client: SpaceId,
         seqno: u64,
         client_ep: Option<Endpoint>,
         now: Instant,
     ) -> DirtyOutcome {
-        let Some(entry) = self.by_ix.get_mut(&ix.0) else {
+        let mut shard = self.shard(ix.0).lock();
+        let Some(entry) = shard.get_mut(&ix.0) else {
             return DirtyOutcome::NoSuchObject;
         };
         let floor = entry.seqno_floor.entry(client).or_insert(0);
@@ -250,28 +347,34 @@ impl Exports {
         DirtyOutcome::Applied(entry.types.clone())
     }
 
-    /// Applies a clean call; returns true if the table entry was collected.
+    /// Applies a clean call; returns whether the table entry was collected.
     ///
     /// A clean for an unknown object or an absent client is a no-op (the
     /// paper: "if it is not in the set, the clean call is a no-op"). A
     /// stale sequence number is likewise a no-op, but a clean records its
     /// seqno so that a *delayed* dirty it raced past cannot re-add the
     /// client afterwards — this is what makes strong cleans final.
-    pub fn apply_clean(&mut self, ix: ObjIx, client: SpaceId, seqno: u64) -> CleanOutcome {
-        let Some(entry) = self.by_ix.get_mut(&ix.0) else {
-            return CleanOutcome::NoOp;
-        };
-        let floor = entry.seqno_floor.entry(client).or_insert(0);
-        if seqno <= *floor {
-            return CleanOutcome::Stale;
+    pub fn apply_clean(&self, ix: ObjIx, client: SpaceId, seqno: u64) -> CleanOutcome {
+        {
+            let mut shard = self.shard(ix.0).lock();
+            let Some(entry) = shard.get_mut(&ix.0) else {
+                return CleanOutcome::NoOp;
+            };
+            let floor = entry.seqno_floor.entry(client).or_insert(0);
+            if seqno <= *floor {
+                return CleanOutcome::Stale;
+            }
+            *floor = seqno;
+            if entry.dirty.remove(&client).is_none() {
+                // Unknown client: a no-op, but the floor update above still
+                // blocks any delayed dirty with a lower seqno.
+                return CleanOutcome::NoOp;
+            }
+            if !entry.removable() {
+                return CleanOutcome::Removed;
+            }
         }
-        *floor = seqno;
-        if entry.dirty.remove(&client).is_none() {
-            // Unknown client: a no-op, but the floor update above still
-            // blocks any delayed dirty with a lower seqno.
-            return CleanOutcome::NoOp;
-        }
-        if self.maybe_collect(ix) {
+        if self.collect_if_removable(ix) {
             CleanOutcome::Collected
         } else {
             CleanOutcome::Removed
@@ -280,15 +383,19 @@ impl Exports {
 
     /// Removes `client` from every dirty set (presumed-dead client).
     /// Returns the number of entries collected as a result.
-    pub fn purge_client(&mut self, client: SpaceId) -> u64 {
-        let affected: Vec<u64> = self
-            .by_ix
-            .iter_mut()
-            .filter_map(|(&ix, e)| e.dirty.remove(&client).map(|_| ix))
-            .collect();
+    pub fn purge_client(&self, client: SpaceId) -> u64 {
+        let mut affected: Vec<u64> = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            affected.extend(
+                shard
+                    .iter_mut()
+                    .filter_map(|(&ix, e)| e.dirty.remove(&client).map(|_| ix)),
+            );
+        }
         let mut collected = 0;
         for ix in affected {
-            if self.maybe_collect(ObjIx(ix)) {
+            if self.collect_if_removable(ObjIx(ix)) {
                 collected += 1;
             }
         }
@@ -297,21 +404,24 @@ impl Exports {
 
     /// Removes dirty entries older than `expiry`; returns (expired entries,
     /// collected objects). Lease mode only.
-    pub fn expire_leases(&mut self, expiry: Instant) -> (u64, u64) {
+    pub fn expire_leases(&self, expiry: Instant) -> (u64, u64) {
         let mut expired = 0;
         let mut affected = Vec::new();
-        for (&ix, e) in self.by_ix.iter_mut() {
-            let before = e.dirty.len();
-            e.dirty.retain(|_, info| info.renewed >= expiry);
-            let removed = before - e.dirty.len();
-            if removed > 0 {
-                expired += removed as u64;
-                affected.push(ix);
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            for (&ix, e) in shard.iter_mut() {
+                let before = e.dirty.len();
+                e.dirty.retain(|_, info| info.renewed >= expiry);
+                let removed = before - e.dirty.len();
+                if removed > 0 {
+                    expired += removed as u64;
+                    affected.push(ix);
+                }
             }
         }
         let mut collected = 0;
         for ix in affected {
-            if self.maybe_collect(ObjIx(ix)) {
+            if self.collect_if_removable(ObjIx(ix)) {
                 collected += 1;
             }
         }
@@ -322,11 +432,14 @@ impl Exports {
     /// demon's worklist.
     pub fn dirty_clients(&self) -> Vec<(SpaceId, Option<Endpoint>)> {
         let mut seen: HashMap<SpaceId, Option<Endpoint>> = HashMap::new();
-        for e in self.by_ix.values() {
-            for (&client, info) in &e.dirty {
-                let slot = seen.entry(client).or_insert(None);
-                if slot.is_none() {
-                    *slot = info.client_ep.clone();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for e in shard.values() {
+                for (&client, info) in &e.dirty {
+                    let slot = seen.entry(client).or_insert(None);
+                    if slot.is_none() {
+                        *slot = info.client_ep.clone();
+                    }
                 }
             }
         }
@@ -334,27 +447,123 @@ impl Exports {
     }
 
     /// Marks an explicit export removable again; returns true if collected.
-    pub fn unpin(&mut self, ix: ObjIx) -> bool {
-        if let Some(e) = self.by_ix.get_mut(&ix.0) {
-            e.pinned = false;
+    pub fn unpin(&self, ix: ObjIx) -> bool {
+        {
+            let mut shard = self.shard(ix.0).lock();
+            match shard.get_mut(&ix.0) {
+                Some(e) => {
+                    e.pinned = false;
+                    if !e.removable() {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
         }
-        self.maybe_collect(ix)
+        self.collect_if_removable(ix)
+    }
+
+    /// Atomically looks up `obj` and unpins its entry (explicit
+    /// unexport). Returns the index and whether the entry was collected.
+    pub fn unexport(&self, obj: &Arc<dyn NetObject>) -> Option<(ObjIx, bool)> {
+        let ix = self.lookup(obj)?;
+        Some((ix, self.unpin(ix)))
+    }
+
+    /// Total dirty-set entries across all shards (gauge; per-shard
+    /// consistent, not globally atomic).
+    pub fn dirty_entry_count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().map(|e| e.dirty.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Number of live concrete entries at non-reserved indices (built-ins
+    /// at reserved indices live forever and would otherwise make every
+    /// listening space report a nonzero count).
+    pub fn exported_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .keys()
+                    .filter(|&&ix| !ObjIx(ix).is_reserved())
+                    .count()
+            })
+            .sum()
     }
 
     /// Number of live concrete entries (test observability).
     #[cfg(test)]
     pub fn len(&self) -> usize {
-        self.by_ix.len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Removes the entry if nothing protects it; true if removed.
-    fn maybe_collect(&mut self, ix: ObjIx) -> bool {
-        let removable = self.by_ix.get(&ix.0).is_some_and(|e| e.removable());
+    ///
+    /// Callers have observed (under the entry's shard lock, since
+    /// released) that the entry *looked* removable. Removal must hold
+    /// `ident` → shard so the reverse map stays consistent, so this
+    /// re-acquires in the canonical order and re-checks: a concurrent
+    /// export or transient pin may have re-protected the entry in the
+    /// window, in which case nothing happens.
+    fn collect_if_removable(&self, ix: ObjIx) -> bool {
+        let mut ident = self.ident.lock();
+        let mut shard = self.shard(ix.0).lock();
+        let removable = shard.get(&ix.0).is_some_and(|e| e.removable());
         if removable {
-            let entry = self.by_ix.remove(&ix.0).expect("checked present");
-            self.by_ptr.remove(&ptr_key(&entry.obj));
+            let entry = shard.remove(&ix.0).expect("checked present");
+            let key = ptr_key(&entry.obj);
+            if ident.by_ptr.get(&key) == Some(&ix.0) {
+                ident.by_ptr.remove(&key);
+            }
         }
         removable
+    }
+}
+
+/// One import shard: slots plus the condvar unmarshal threads block on.
+pub(crate) struct ImportShard {
+    pub map: Mutex<HashMap<WireRep, ImportSlot>>,
+    /// Signals import-slot state changes to blocked unmarshal threads
+    /// waiting on slots in *this shard*.
+    pub cv: Condvar,
+}
+
+/// Client-side table state, sharded by `WireRep` hash.
+pub(crate) struct ImportTable {
+    shards: Vec<ImportShard>,
+}
+
+impl ImportTable {
+    pub fn new() -> ImportTable {
+        ImportTable {
+            shards: (0..IMPORT_SHARDS)
+                .map(|_| ImportShard {
+                    map: Mutex::new(HashMap::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The shard owning `rep`'s slot.
+    pub fn shard(&self, rep: &WireRep) -> &ImportShard {
+        let mut h = DefaultHasher::new();
+        rep.hash(&mut h);
+        &self.shards[(h.finish() as usize) % IMPORT_SHARDS]
+    }
+
+    /// All shards, for whole-table scans (lease renewal, gauges). Lock one
+    /// at a time; the view is per-shard consistent.
+    pub fn shards(&self) -> &[ImportShard] {
+        &self.shards
+    }
+
+    /// Total import slots across all shards (gauge).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
     }
 }
 
@@ -402,13 +611,8 @@ mod tests {
         Arc::new(Dummy)
     }
 
-    fn fresh() -> Exports {
-        Exports {
-            next_ix: ObjIx::FIRST_USER.0,
-            next_pin: 1,
-            by_ix: HashMap::new(),
-            by_ptr: HashMap::new(),
-        }
+    fn fresh() -> ExportTable {
+        ExportTable::new()
     }
 
     fn client(n: u128) -> SpaceId {
@@ -417,7 +621,7 @@ mod tests {
 
     #[test]
     fn export_reuses_index_for_same_object() {
-        let mut e = fresh();
+        let e = fresh();
         let obj = dummy();
         let (ix1, _, _) = e.export(&obj, false);
         let (ix2, _, _) = e.export(&obj, false);
@@ -430,7 +634,7 @@ mod tests {
 
     #[test]
     fn unprotected_entry_collects_on_transient_release() {
-        let mut e = fresh();
+        let e = fresh();
         let obj = dummy();
         let (ix, _, _) = e.export(&obj, false);
         let pin = e.add_transient(ix).unwrap();
@@ -440,8 +644,27 @@ mod tests {
     }
 
     #[test]
+    fn export_transient_is_atomic_and_reuses_index() {
+        let e = fresh();
+        let obj = dummy();
+        let (ix1, _, pin1, created1) = e.export_transient(&obj);
+        assert!(created1);
+        let (ix2, _, pin2, created2) = e.export_transient(&obj);
+        assert!(!created2);
+        assert_eq!(ix1, ix2);
+        assert_ne!(pin1, pin2);
+        assert!(!e.remove_transient(ix1, pin1));
+        assert!(e.remove_transient(ix1, pin2));
+        assert_eq!(e.len(), 0);
+        // A fresh marshal after collection allocates a new index.
+        let (ix3, _, _, created3) = e.export_transient(&obj);
+        assert!(created3);
+        assert_ne!(ix1, ix3);
+    }
+
+    #[test]
     fn pinned_entry_survives_until_unpinned() {
-        let mut e = fresh();
+        let e = fresh();
         let obj = dummy();
         let (ix, _, _) = e.export(&obj, true);
         let pin = e.add_transient(ix).unwrap();
@@ -453,7 +676,7 @@ mod tests {
 
     #[test]
     fn dirty_then_clean_collects() {
-        let mut e = fresh();
+        let e = fresh();
         let obj = dummy();
         let (ix, _, _) = e.export(&obj, false);
         let pin = e.add_transient(ix).unwrap();
@@ -470,7 +693,7 @@ mod tests {
 
     #[test]
     fn stale_dirty_ignored() {
-        let mut e = fresh();
+        let e = fresh();
         let obj = dummy();
         let (ix, _, _) = e.export(&obj, true);
         let now = Instant::now();
@@ -497,7 +720,7 @@ mod tests {
         // The failure-handling scenario: dirty(7) is delayed in the
         // network; the client gives up and sends strong clean(8); the
         // dirty finally arrives and must NOT resurrect the entry.
-        let mut e = fresh();
+        let e = fresh();
         let obj = dummy();
         let (ix, _, _) = e.export(&obj, true);
         let now = Instant::now();
@@ -521,7 +744,7 @@ mod tests {
 
     #[test]
     fn clean_for_unknown_is_noop() {
-        let mut e = fresh();
+        let e = fresh();
         assert_eq!(e.apply_clean(ObjIx(99), client(1), 1), CleanOutcome::NoOp);
         let obj = dummy();
         let (ix, _, _) = e.export(&obj, true);
@@ -530,7 +753,7 @@ mod tests {
 
     #[test]
     fn purge_client_empties_all_sets() {
-        let mut e = fresh();
+        let e = fresh();
         let a = dummy();
         let b = dummy();
         let (ia, _, _) = e.export(&a, false);
@@ -545,7 +768,7 @@ mod tests {
 
     #[test]
     fn lease_expiry() {
-        let mut e = fresh();
+        let e = fresh();
         let obj = dummy();
         let (ix, _, _) = e.export(&obj, false);
         let old = Instant::now() - std::time::Duration::from_secs(100);
@@ -557,7 +780,7 @@ mod tests {
 
     #[test]
     fn dirty_clients_lists_endpoints() {
-        let mut e = fresh();
+        let e = fresh();
         let obj = dummy();
         let (ix, _, _) = e.export(&obj, true);
         let now = Instant::now();
@@ -568,5 +791,20 @@ mod tests {
         assert_eq!(clients.len(), 2);
         assert_eq!(clients[0].1, Some(Endpoint::sim("c1")));
         assert_eq!(clients[1].1, None);
+    }
+
+    #[test]
+    fn entries_spread_across_shards_and_scans_see_all() {
+        let e = fresh();
+        let objs: Vec<_> = (0..64).map(|_| dummy()).collect();
+        let now = Instant::now();
+        for obj in &objs {
+            let (ix, _, _) = e.export(obj, false);
+            e.apply_dirty(ix, client(7), 1, None, now);
+        }
+        assert_eq!(e.len(), 64);
+        assert_eq!(e.dirty_entry_count(), 64);
+        assert_eq!(e.purge_client(client(7)), 64);
+        assert_eq!(e.len(), 0);
     }
 }

@@ -5,31 +5,54 @@
 //! replies off the connection and completes the matching pending call.
 //! This reproduces the connection multiplexing of the original runtime,
 //! where many client threads shared the cached connection to a space.
+//!
+//! Result bytes are [`Bytes`] slices of the received reply frame: the demux
+//! thread hands the waiting caller a shared view of the transport's read
+//! buffer, so reply payloads reach unmarshaling without a copy.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use crossbeam::channel::{bounded, Sender};
 use netobj_transport::clock::recv_deadline;
 use netobj_transport::{ClockHandle, Conn};
-use netobj_wire::pickle::Pickle;
 use netobj_wire::{SpaceId, WireRep};
 use parking_lot::Mutex;
 
 use crate::error::RpcError;
-use crate::msg::{Request, RpcMsg};
+use crate::msg::{Request, RpcMsg, SendBuf};
 use crate::resilience::CallFailure;
-use crate::Result;
+use crate::{FibHashMap, Result};
+
+thread_local! {
+    /// Per-thread request encoder. A caller thread's previous request
+    /// frame is normally released (the server drops it after dispatch) by
+    /// the time the thread issues its next call, so steady-state every
+    /// request this thread sends reuses one allocation.
+    static REQ_BUF: std::cell::RefCell<SendBuf> = std::cell::RefCell::new(SendBuf::new());
+}
 
 /// Default per-call deadline.
 pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(30);
 
-type PendingResult = std::result::Result<(Vec<u8>, bool), RpcError>;
+/// What the demux thread delivers to a waiting caller: the reply payload
+/// plus its ack flag, or a failure carrying whether the request was
+/// observed as *written* when the connection died (the teardown drain's
+/// classification input).
+type PendingResult = std::result::Result<(Bytes, bool), (RpcError, bool)>;
+
+struct PendingSlot {
+    tx: Sender<PendingResult>,
+    /// True once the request frame has been written to the connection.
+    /// The teardown drain reads it to separate *not delivered* (safe to
+    /// retry) from *ambiguous* (the callee may have executed the call).
+    sent: bool,
+}
 
 struct Shared {
-    pending: Mutex<HashMap<u64, Sender<PendingResult>>>,
+    pending: Mutex<FibHashMap<u64, PendingSlot>>,
     closed: AtomicBool,
 }
 
@@ -57,7 +80,7 @@ impl AckToken {
         if !self.sent {
             self.sent = true;
             let msg = RpcMsg::ReplyAck(self.call_id);
-            let _ = self.conn.send(msg.to_pickle_bytes());
+            let _ = self.conn.send(msg.encode());
         }
     }
 }
@@ -71,8 +94,8 @@ impl Drop for AckToken {
 /// The outcome of a raw call: result bytes plus a pending acknowledgement
 /// obligation if the callee requested one.
 pub struct CallReply {
-    /// The pickled result.
-    pub bytes: Vec<u8>,
+    /// The pickled result — a shared slice of the reply frame.
+    pub bytes: Bytes,
     /// Present when the reply had `needs_ack` set.
     pub ack: Option<AckToken>,
 }
@@ -109,7 +132,7 @@ impl CallClient {
     /// Like [`CallClient::new`], but call timeouts are measured on `clock`.
     pub fn with_clock(conn: Arc<dyn Conn>, caller: SpaceId, clock: ClockHandle) -> Arc<CallClient> {
         let shared = Arc::new(Shared {
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::new(FibHashMap::default()),
             closed: AtomicBool::new(false),
         });
         let client = Arc::new(CallClient {
@@ -138,7 +161,7 @@ impl CallClient {
     /// Any acknowledgement obligation is discharged immediately; use
     /// [`CallClient::call_raw`] when the result may carry object references
     /// that must be registered before acknowledging.
-    pub fn call(&self, target: WireRep, method: u32, args: Vec<u8>) -> Result<Vec<u8>> {
+    pub fn call(&self, target: WireRep, method: u32, args: impl Into<Bytes>) -> Result<Bytes> {
         self.call_with_timeout(target, method, args, DEFAULT_CALL_TIMEOUT)
     }
 
@@ -148,9 +171,9 @@ impl CallClient {
         &self,
         target: WireRep,
         method: u32,
-        args: Vec<u8>,
+        args: impl Into<Bytes>,
         timeout: Duration,
-    ) -> Result<Vec<u8>> {
+    ) -> Result<Bytes> {
         // Dropping `ack` (inside CallReply) sends the acknowledgement.
         self.call_raw(target, method, args, timeout)
             .map(|r| r.bytes)
@@ -162,7 +185,7 @@ impl CallClient {
         &self,
         target: WireRep,
         method: u32,
-        args: Vec<u8>,
+        args: impl Into<Bytes>,
         timeout: Duration,
     ) -> Result<CallReply> {
         self.call_raw_classified(target, method, args, timeout)
@@ -174,11 +197,13 @@ impl CallClient {
     /// request was written to the connection before the failure, which is
     /// what separates *not delivered* (safe to retry) from *ambiguous*
     /// (the callee may have executed the call).
+    ///
+    /// [`FailureClass`]: crate::resilience::FailureClass
     pub fn call_raw_classified(
         &self,
         target: WireRep,
         method: u32,
-        args: Vec<u8>,
+        args: impl Into<Bytes>,
         timeout: Duration,
     ) -> std::result::Result<CallReply, CallFailure> {
         self.call_raw_traced(target, method, args, timeout, 0, 0)
@@ -191,7 +216,7 @@ impl CallClient {
         &self,
         target: WireRep,
         method: u32,
-        args: Vec<u8>,
+        args: impl Into<Bytes>,
         timeout: Duration,
         trace_id: u64,
         span_id: u64,
@@ -200,19 +225,31 @@ impl CallClient {
             return Err(CallFailure::classify(RpcError::Closed, false));
         }
         let call_id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = bounded(1);
-        self.shared.pending.lock().insert(call_id, tx);
-
         let msg = RpcMsg::Request(Request {
             call_id,
             caller: self.caller,
             target,
             method,
-            args,
+            args: args.into(),
             trace_id,
             span_id,
         });
-        if let Err(e) = self.conn.send(msg.to_pickle_bytes()) {
+        let frame = REQ_BUF.with(|b| b.borrow_mut().encode(&msg));
+        let (tx, rx) = bounded(1);
+        // The slot is inserted already marked *sent*: the flag only feeds
+        // the teardown drain, and every path where the send below fails
+        // returns a locally-classified *not delivered* without consulting
+        // the drain's verdict — so marking optimistically never misreports,
+        // and the write path takes one pending-map lock instead of two.
+        self.shared
+            .pending
+            .lock()
+            .insert(call_id, PendingSlot { tx, sent: true });
+
+        if let Err(e) = self.conn.send(frame) {
+            // Nothing reached the peer: cleanly *not delivered*. The local
+            // send outcome overrides whatever a concurrent teardown drain
+            // observed from the optimistic flag.
             self.shared.pending.lock().remove(&call_id);
             return Err(CallFailure::classify(e.into(), false));
         }
@@ -226,7 +263,9 @@ impl CallClient {
                     sent: false,
                 }),
             }),
-            Ok(Err(e)) => Err(CallFailure::classify(e, true)),
+            // We are past a successful send, so the request was written no
+            // matter what the drain observed: classify with that fact.
+            Ok(Err((e, _sent_at_drain))) => Err(CallFailure::classify(e, true)),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 self.shared.pending.lock().remove(&call_id);
                 Err(CallFailure::classify(RpcError::Timeout, true))
@@ -243,6 +282,10 @@ impl CallClient {
     }
 
     /// Closes the connection; outstanding calls fail.
+    ///
+    /// By the time this returns the demux thread has exited, which
+    /// guarantees every pending-map entry has been drained with its
+    /// delivery classification — callers never hang on a dead connection.
     pub fn close(&self) {
         self.shared.closed.store(true, Ordering::Release);
         self.conn.close();
@@ -254,7 +297,7 @@ impl CallClient {
 
 fn demux_loop(conn: Arc<dyn Conn>, shared: Arc<Shared>) {
     while let Ok(frame) = conn.recv() {
-        let msg = match RpcMsg::from_pickle_bytes(&frame) {
+        let msg = match RpcMsg::decode(&frame) {
             Ok(m) => m,
             // A malformed frame poisons the connection: drop it so callers
             // see a closed transport rather than silently missing replies.
@@ -263,13 +306,14 @@ fn demux_loop(conn: Arc<dyn Conn>, shared: Arc<Shared>) {
         if let RpcMsg::Reply(reply) = msg {
             let waiter = shared.pending.lock().remove(&reply.call_id);
             match waiter {
-                Some(tx) => {
+                Some(slot) => {
                     let needs_ack = reply.needs_ack;
-                    let _ = tx.send(
+                    let _ = slot.tx.send(
                         reply
                             .outcome
                             .map(|bytes| (bytes, needs_ack))
-                            .map_err(RpcError::Remote),
+                            // A reply-borne error was definitely delivered.
+                            .map_err(|e| (RpcError::Remote(e), true)),
                     );
                 }
                 // Late reply for a timed-out call: the caller will never
@@ -277,7 +321,7 @@ fn demux_loop(conn: Arc<dyn Conn>, shared: Arc<Shared>) {
                 // callee's transient pins wait out their full timeout.
                 None => {
                     if reply.needs_ack {
-                        let _ = conn.send(RpcMsg::ReplyAck(reply.call_id).to_pickle_bytes());
+                        let _ = conn.send(RpcMsg::ReplyAck(reply.call_id).encode());
                     }
                 }
             }
@@ -287,10 +331,14 @@ fn demux_loop(conn: Arc<dyn Conn>, shared: Arc<Shared>) {
     }
     shared.closed.store(true, Ordering::Release);
     conn.close();
-    // Fail all pending calls.
+    // Teardown drain: fail every pending call before this thread exits,
+    // classifying each by whether its request frame was written. Unsent
+    // entries are *not delivered* (the reconnect path may retry them
+    // freely); sent entries are *ambiguous* (the callee may have executed
+    // the call, so only idempotent methods should retry).
     let mut pending = shared.pending.lock();
-    for (_, tx) in pending.drain() {
-        let _ = tx.send(Err(RpcError::Closed));
+    for (_, slot) in pending.drain() {
+        let _ = slot.tx.send(Err((RpcError::Closed, slot.sent)));
     }
 }
 
@@ -308,6 +356,7 @@ impl Drop for CallClient {
 mod tests {
     use super::*;
     use crate::msg::Reply;
+    use crate::resilience::FailureClass;
     use netobj_transport::chan::ChanConn;
     use netobj_wire::ObjIx;
 
@@ -326,13 +375,13 @@ mod tests {
     fn echo_server(server: Box<dyn Conn>) -> std::thread::JoinHandle<()> {
         std::thread::spawn(move || {
             while let Ok(frame) = server.recv() {
-                if let Ok(RpcMsg::Request(rq)) = RpcMsg::from_pickle_bytes(&frame) {
+                if let Ok(RpcMsg::Request(rq)) = RpcMsg::decode(&frame) {
                     let reply = RpcMsg::Reply(Reply {
                         call_id: rq.call_id,
                         outcome: Ok(rq.args),
                         needs_ack: false,
                     });
-                    if server.send(reply.to_pickle_bytes()).is_err() {
+                    if server.send(reply.encode()).is_err() {
                         break;
                     }
                 }
@@ -379,7 +428,7 @@ mod tests {
         let (client, server) = wired_client();
         std::thread::spawn(move || {
             let frame = server.recv().unwrap();
-            let RpcMsg::Request(rq) = RpcMsg::from_pickle_bytes(&frame).unwrap() else {
+            let RpcMsg::Request(rq) = RpcMsg::decode(&frame).unwrap() else {
                 panic!("expected request")
             };
             let reply = RpcMsg::Reply(Reply {
@@ -387,7 +436,7 @@ mod tests {
                 outcome: Err(crate::RemoteError::app("kaboom")),
                 needs_ack: false,
             });
-            server.send(reply.to_pickle_bytes()).unwrap();
+            server.send(reply.encode()).unwrap();
         });
         match client.call(target(), 0, vec![]) {
             Err(RpcError::Remote(e)) => assert_eq!(e.message, "kaboom"),
@@ -410,10 +459,74 @@ mod tests {
         assert!(client.is_closed());
     }
 
+    /// The teardown regression for the reconnect path: a call that was
+    /// *written* when the connection died must come back `Ambiguous`
+    /// (never `NotDelivered` — the callee may have executed it), and the
+    /// pending map must be fully drained by the time `close` returns, so
+    /// a reconnecting caller cannot leak or double-complete slots.
+    #[test]
+    fn teardown_classifies_inflight_call_ambiguous_and_drains_map() {
+        let (client, server) = wired_client();
+        let c = Arc::clone(&client);
+        let h = std::thread::spawn(move || {
+            c.call_raw_classified(target(), 0, vec![1], Duration::from_secs(5))
+        });
+        // Let the request go out, then kill the connection under it.
+        std::thread::sleep(Duration::from_millis(50));
+        server.close();
+        let failure = h.join().unwrap().unwrap_err();
+        assert_eq!(
+            failure.class,
+            FailureClass::Ambiguous,
+            "an in-flight call must not look safely retryable"
+        );
+        client.close(); // joins the demux thread
+        assert!(client.shared.pending.lock().is_empty());
+    }
+
+    /// White-box check of the teardown drain: an entry whose request was
+    /// never written drains as *not delivered*; a written one drains as
+    /// *ambiguous*.
+    #[test]
+    fn drain_classifies_by_sent_flag() {
+        let (client, server) = wired_client();
+        let (unsent_tx, unsent_rx) = bounded(1);
+        let (sent_tx, sent_rx) = bounded(1);
+        {
+            let mut pending = client.shared.pending.lock();
+            pending.insert(
+                901,
+                PendingSlot {
+                    tx: unsent_tx,
+                    sent: false,
+                },
+            );
+            pending.insert(
+                902,
+                PendingSlot {
+                    tx: sent_tx,
+                    sent: true,
+                },
+            );
+        }
+        server.close();
+        client.close(); // demux has drained by the time this returns
+        let (e, sent) = unsent_rx.try_recv().unwrap().unwrap_err();
+        assert_eq!(
+            CallFailure::classify(e, sent).class,
+            FailureClass::NotDelivered
+        );
+        let (e, sent) = sent_rx.try_recv().unwrap().unwrap_err();
+        assert_eq!(
+            CallFailure::classify(e, sent).class,
+            FailureClass::Ambiguous
+        );
+    }
+
     #[test]
     fn malformed_reply_closes_connection() {
         let (client, server) = wired_client();
-        server.send(vec![0xff, 0xff, 0xff]).unwrap();
+        server.send(Bytes::from(vec![0xff, 0xff, 0xff])).unwrap();
         std::thread::sleep(Duration::from_millis(100));
         assert!(client.is_closed());
         assert_eq!(
@@ -434,14 +547,14 @@ mod tests {
         let acks2 = Arc::clone(&acks);
         let h = std::thread::spawn(move || {
             while let Ok(frame) = server.recv() {
-                match RpcMsg::from_pickle_bytes(&frame) {
+                match RpcMsg::decode(&frame) {
                     Ok(RpcMsg::Request(rq)) => {
                         let reply = RpcMsg::Reply(Reply {
                             call_id: rq.call_id,
-                            outcome: Ok(vec![0xab]),
+                            outcome: Ok(Bytes::from(vec![0xab])),
                             needs_ack: true,
                         });
-                        if server.send(reply.to_pickle_bytes()).is_err() {
+                        if server.send(reply.encode()).is_err() {
                             break;
                         }
                     }
@@ -494,18 +607,18 @@ mod tests {
         // ...then the reply arrives late, with an ack obligation. The demux
         // thread must discharge it: nobody else will.
         let frame = server.recv().unwrap();
-        let RpcMsg::Request(rq) = RpcMsg::from_pickle_bytes(&frame).unwrap() else {
+        let RpcMsg::Request(rq) = RpcMsg::decode(&frame).unwrap() else {
             panic!("expected request");
         };
         let reply = RpcMsg::Reply(Reply {
             call_id: rq.call_id,
-            outcome: Ok(vec![]),
+            outcome: Ok(Bytes::new()),
             needs_ack: true,
         });
-        server.send(reply.to_pickle_bytes()).unwrap();
+        server.send(reply.encode()).unwrap();
         let frame = server.recv().unwrap();
         assert!(matches!(
-            RpcMsg::from_pickle_bytes(&frame).unwrap(),
+            RpcMsg::decode(&frame).unwrap(),
             RpcMsg::ReplyAck(id) if id == rq.call_id
         ));
     }
@@ -517,7 +630,7 @@ mod tests {
             .call_raw_classified(target(), 0, vec![], Duration::from_millis(50))
             .unwrap_err();
         assert_eq!(err.error, RpcError::Timeout);
-        assert_eq!(err.class, crate::resilience::FailureClass::Ambiguous);
+        assert_eq!(err.class, FailureClass::Ambiguous);
     }
 
     #[test]
@@ -528,7 +641,7 @@ mod tests {
         let err = client
             .call_raw_classified(target(), 0, vec![], Duration::from_millis(200))
             .unwrap_err();
-        assert_eq!(err.class, crate::resilience::FailureClass::NotDelivered);
+        assert_eq!(err.class, FailureClass::NotDelivered);
     }
 
     #[test]

@@ -28,6 +28,39 @@ pub mod pool;
 pub mod resilience;
 pub mod server;
 
+/// A Fibonacci-multiply hasher for the hot-path maps keyed by small
+/// integers (call ids, method numbers). One multiply replaces SipHash's
+/// several rounds; the golden-ratio constant spreads sequential ids across
+/// the table. Not DoS-resistant — use only for keys the process itself
+/// allocates.
+#[derive(Default)]
+pub(crate) struct FibHasher(u64);
+
+impl std::hash::Hasher for FibHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+pub(crate) type FibHashMap<K, V> =
+    std::collections::HashMap<K, V, std::hash::BuildHasherDefault<FibHasher>>;
+pub(crate) type FibHashSet<K> =
+    std::collections::HashSet<K, std::hash::BuildHasherDefault<FibHasher>>;
+
 pub use client::{AckToken, CallClient, CallReply};
 pub use error::{RemoteError, RemoteErrorKind, RpcError};
 pub use resilience::{

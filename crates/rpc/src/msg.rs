@@ -5,7 +5,13 @@
 //! side; replies flow back. The *caller's space identity* travels in every
 //! request because the collector needs to know **which space** now holds
 //! references — dirty sets list processes, not connections.
+//!
+//! Payload fields (request arguments, reply results) are [`Bytes`]: when a
+//! message is decoded with [`RpcMsg::decode`], they are shared slices of
+//! the received frame, so argument bytes travel from the transport's read
+//! buffer to the dispatcher without a copy.
 
+use bytes::Bytes;
 use netobj_wire::pickle::{Pickle, PickleReader, PickleWriter};
 use netobj_wire::{SpaceId, WireError, WireRep};
 
@@ -22,8 +28,9 @@ pub struct Request {
     pub target: WireRep,
     /// Method index within the target's interface.
     pub method: u32,
-    /// Pickled arguments (opaque to this layer).
-    pub args: Vec<u8>,
+    /// Pickled arguments (opaque to this layer). A shared slice of the
+    /// received frame when decoded via [`RpcMsg::decode`].
+    pub args: Bytes,
     /// Causal trace identifier: allocated at the root caller of a call
     /// chain and propagated unchanged through every fan-out hop, so spans
     /// recorded in different spaces can be correlated. `0` means absent
@@ -39,7 +46,7 @@ pub struct Reply {
     /// The request's `call_id`.
     pub call_id: u64,
     /// Pickled result on success, or a structured error.
-    pub outcome: Result<Vec<u8>, RemoteError>,
+    pub outcome: Result<Bytes, RemoteError>,
     /// If true, the callee holds resources (transient dirty entries for
     /// object references embedded in the result) until the caller sends a
     /// [`RpcMsg::ReplyAck`] for this call — the "copy acknowledgement" of
@@ -64,6 +71,87 @@ const TAG_REQUEST: u64 = 0;
 const TAG_REPLY_OK: u64 = 1;
 const TAG_REPLY_ERR: u64 = 2;
 const TAG_REPLY_ACK: u64 = 3;
+
+impl RpcMsg {
+    /// Decodes one message from a received frame. Byte-string payloads
+    /// (request args, reply results) come back as shared slices of `frame`
+    /// — no copy; the frame's allocation stays alive as long as they do.
+    pub fn decode(frame: &Bytes) -> netobj_wire::Result<RpcMsg> {
+        let mut r = PickleReader::new(frame.as_ref());
+        let v = Self::unpickle_from(&mut r, Some(frame))?;
+        r.expect_end()?;
+        Ok(v)
+    }
+
+    /// Encodes into a fresh frame payload.
+    pub fn encode(&self) -> Bytes {
+        Bytes::from(self.to_pickle_bytes())
+    }
+
+    fn unpickle_from(r: &mut PickleReader<'_>, src: Option<&Bytes>) -> netobj_wire::Result<RpcMsg> {
+        // With a source frame, payloads alias it; without (the generic
+        // `Pickle` path, used by tests/tools) they are copied out.
+        fn payload(r: &mut PickleReader<'_>, src: Option<&Bytes>) -> netobj_wire::Result<Bytes> {
+            match src {
+                Some(frame) => r.get_bytes_shared(frame),
+                None => Ok(Bytes::copy_from_slice(r.get_bytes()?)),
+            }
+        }
+        match r.begin_variant()? {
+            TAG_REQUEST => {
+                let fields = r.begin_record()?;
+                if fields != 5 && fields != 7 {
+                    return Err(WireError::OutOfRange("request record arity"));
+                }
+                let call_id = u64::unpickle(r)?;
+                let caller = SpaceId::unpickle(r)?;
+                let target = WireRep::unpickle(r)?;
+                let method = u32::unpickle(r)?;
+                let args = payload(r, src)?;
+                // Old peers send the 5-field form with no span header.
+                let (trace_id, span_id) = if fields == 7 {
+                    (u64::unpickle(r)?, u64::unpickle(r)?)
+                } else {
+                    (0, 0)
+                };
+                Ok(RpcMsg::Request(Request {
+                    call_id,
+                    caller,
+                    target,
+                    method,
+                    args,
+                    trace_id,
+                    span_id,
+                }))
+            }
+            TAG_REPLY_OK => {
+                let call_id = u64::unpickle(r)?;
+                let needs_ack = bool::unpickle(r)?;
+                let bytes = payload(r, src)?;
+                Ok(RpcMsg::Reply(Reply {
+                    call_id,
+                    outcome: Ok(bytes),
+                    needs_ack,
+                }))
+            }
+            TAG_REPLY_ERR => {
+                let call_id = u64::unpickle(r)?;
+                let needs_ack = bool::unpickle(r)?;
+                let e = RemoteError::unpickle(r)?;
+                Ok(RpcMsg::Reply(Reply {
+                    call_id,
+                    outcome: Err(e),
+                    needs_ack,
+                }))
+            }
+            TAG_REPLY_ACK => {
+                let call_id = u64::unpickle(r)?;
+                Ok(RpcMsg::ReplyAck(call_id))
+            }
+            _ => Err(WireError::OutOfRange("rpc message tag")),
+        }
+    }
+}
 
 impl Pickle for RpcMsg {
     fn pickle(&self, w: &mut PickleWriter) {
@@ -104,59 +192,76 @@ impl Pickle for RpcMsg {
     }
 
     fn unpickle(r: &mut PickleReader<'_>) -> netobj_wire::Result<Self> {
-        match r.begin_variant()? {
-            TAG_REQUEST => {
-                let fields = r.begin_record()?;
-                if fields != 5 && fields != 7 {
-                    return Err(WireError::OutOfRange("request record arity"));
-                }
-                let call_id = u64::unpickle(r)?;
-                let caller = SpaceId::unpickle(r)?;
-                let target = WireRep::unpickle(r)?;
-                let method = u32::unpickle(r)?;
-                let args = r.get_bytes()?.to_vec();
-                // Old peers send the 5-field form with no span header.
-                let (trace_id, span_id) = if fields == 7 {
-                    (u64::unpickle(r)?, u64::unpickle(r)?)
-                } else {
-                    (0, 0)
-                };
-                Ok(RpcMsg::Request(Request {
-                    call_id,
-                    caller,
-                    target,
-                    method,
-                    args,
-                    trace_id,
-                    span_id,
-                }))
+        Self::unpickle_from(r, None)
+    }
+}
+
+/// A recycling frame encoder.
+///
+/// Encodes one [`RpcMsg`] at a time and hands the frame out as [`Bytes`].
+/// The previous frame's allocation is reclaimed for the next encode as
+/// soon as the transport has dropped its reference — steady-state, a
+/// connection sends every reply from the same buffer. Callers serialise
+/// access (the RPC server keeps one per connection, under a mutex).
+#[derive(Default)]
+pub struct SendBuf {
+    spare: Option<Bytes>,
+}
+
+impl SendBuf {
+    /// Creates an encoder with no buffer yet.
+    pub fn new() -> SendBuf {
+        SendBuf::default()
+    }
+
+    /// Encodes `msg` into this connection's send buffer.
+    pub fn encode(&mut self, msg: &RpcMsg) -> Bytes {
+        let mut w = self.writer();
+        msg.pickle(&mut w);
+        self.seal(w)
+    }
+
+    /// Encodes a reply directly from its parts, borrowing the result
+    /// payload. Wire-identical to `encode(&RpcMsg::Reply(..))` but skips
+    /// wrapping the payload in an intermediate [`Bytes`] — the server's
+    /// per-call fast path.
+    pub fn encode_reply(
+        &mut self,
+        call_id: u64,
+        needs_ack: bool,
+        outcome: std::result::Result<&[u8], &RemoteError>,
+    ) -> Bytes {
+        let mut w = self.writer();
+        match outcome {
+            Ok(bytes) => {
+                w.begin_variant(TAG_REPLY_OK);
+                call_id.pickle(&mut w);
+                needs_ack.pickle(&mut w);
+                w.put_bytes(bytes);
             }
-            TAG_REPLY_OK => {
-                let call_id = u64::unpickle(r)?;
-                let needs_ack = bool::unpickle(r)?;
-                let bytes = r.get_bytes()?.to_vec();
-                Ok(RpcMsg::Reply(Reply {
-                    call_id,
-                    outcome: Ok(bytes),
-                    needs_ack,
-                }))
+            Err(e) => {
+                w.begin_variant(TAG_REPLY_ERR);
+                call_id.pickle(&mut w);
+                needs_ack.pickle(&mut w);
+                e.pickle(&mut w);
             }
-            TAG_REPLY_ERR => {
-                let call_id = u64::unpickle(r)?;
-                let needs_ack = bool::unpickle(r)?;
-                let e = RemoteError::unpickle(r)?;
-                Ok(RpcMsg::Reply(Reply {
-                    call_id,
-                    outcome: Err(e),
-                    needs_ack,
-                }))
-            }
-            TAG_REPLY_ACK => {
-                let call_id = u64::unpickle(r)?;
-                Ok(RpcMsg::ReplyAck(call_id))
-            }
-            _ => Err(WireError::OutOfRange("rpc message tag")),
         }
+        self.seal(w)
+    }
+
+    fn writer(&mut self) -> PickleWriter {
+        let recycled = match self.spare.take().map(Bytes::try_reclaim) {
+            Some(Ok(v)) => v,
+            // First use, or the previous frame is still in flight.
+            _ => Vec::new(),
+        };
+        PickleWriter::from_vec(recycled)
+    }
+
+    fn seal(&mut self, w: PickleWriter) -> Bytes {
+        let frame = Bytes::from(w.into_bytes());
+        self.spare = Some(frame.clone());
+        frame
     }
 }
 
@@ -172,7 +277,7 @@ mod tests {
             caller: SpaceId::from_raw(7),
             target: WireRep::new(SpaceId::from_raw(9), ObjIx(3)),
             method: 2,
-            args: vec![1, 2, 3],
+            args: Bytes::from(vec![1, 2, 3]),
             trace_id: 0xDEAD_BEEF,
             span_id: 0xFEED,
         })
@@ -186,11 +291,25 @@ mod tests {
     }
 
     #[test]
+    fn decode_shares_frame_storage() {
+        let m = sample_request();
+        let frame = m.encode();
+        let decoded = RpcMsg::decode(&frame).unwrap();
+        assert_eq!(decoded, m);
+        let RpcMsg::Request(rq) = decoded else {
+            panic!("expected request")
+        };
+        // The args slice aliases the frame, not a fresh allocation.
+        let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        assert!(frame_range.contains(&(rq.args.as_ptr() as usize)));
+    }
+
+    #[test]
     fn reply_ok_roundtrip() {
         for needs_ack in [false, true] {
             let m = RpcMsg::Reply(Reply {
                 call_id: 42,
-                outcome: Ok(vec![9, 9]),
+                outcome: Ok(Bytes::from(vec![9, 9])),
                 needs_ack,
             });
             let bytes = m.to_pickle_bytes();
@@ -223,7 +342,7 @@ mod tests {
             caller: SpaceId::from_raw(0),
             target: WireRep::new(SpaceId::from_raw(0), ObjIx(0)),
             method: 0,
-            args: vec![],
+            args: Bytes::new(),
             trace_id: 0,
             span_id: 0,
         });
@@ -251,7 +370,7 @@ mod tests {
                 caller: SpaceId::from_raw(3),
                 target: WireRep::new(SpaceId::from_raw(4), ObjIx(9)),
                 method: 5,
-                args: vec![8, 8],
+                args: Bytes::from(vec![8, 8]),
                 trace_id: 0,
                 span_id: 0,
             })
@@ -279,5 +398,47 @@ mod tests {
         for cut in 0..bytes.len() {
             let _ = RpcMsg::from_pickle_bytes(&bytes[..cut]);
         }
+    }
+
+    /// `encode_reply` must stay byte-identical to encoding the equivalent
+    /// `RpcMsg::Reply` — it is the same wire format, minus an allocation.
+    #[test]
+    fn encode_reply_matches_generic_encoding() {
+        let mut sb = SendBuf::new();
+        for needs_ack in [false, true] {
+            let ok = sb.encode_reply(7, needs_ack, Ok(&[1, 2, 3]));
+            let via_msg = RpcMsg::Reply(Reply {
+                call_id: 7,
+                outcome: Ok(Bytes::from(vec![1, 2, 3])),
+                needs_ack,
+            })
+            .encode();
+            assert_eq!(ok, via_msg);
+        }
+        let e = RemoteError::new(RemoteErrorKind::NoSuchObject, "gone");
+        let err = sb.encode_reply(9, false, Err(&e));
+        let via_msg = RpcMsg::Reply(Reply {
+            call_id: 9,
+            outcome: Err(e),
+            needs_ack: false,
+        })
+        .encode();
+        assert_eq!(err, via_msg);
+    }
+
+    #[test]
+    fn send_buf_recycles_released_allocation() {
+        let mut sb = SendBuf::new();
+        let m = RpcMsg::ReplyAck(1);
+        let f1 = sb.encode(&m);
+        let p1 = f1.as_ptr() as usize;
+        drop(f1); // transport done with the frame
+        let f2 = sb.encode(&m);
+        assert_eq!(p1, f2.as_ptr() as usize, "allocation reused");
+
+        // While a frame is still alive, the encoder must not clobber it.
+        let f3 = sb.encode(&RpcMsg::ReplyAck(2));
+        assert_eq!(RpcMsg::decode(&f2).unwrap(), RpcMsg::ReplyAck(1));
+        assert_eq!(RpcMsg::decode(&f3).unwrap(), RpcMsg::ReplyAck(2));
     }
 }

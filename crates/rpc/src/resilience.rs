@@ -253,6 +253,11 @@ pub struct CircuitBreaker {
     config: BreakerConfig,
     clock: ClockHandle,
     inner: Mutex<BreakerInner>,
+    /// Mirrors "closed with zero consecutive failures" — the steady state
+    /// of a healthy endpoint. While it holds, `state`/`admit`/`on_success`
+    /// are single atomic loads; the flag is only written under `inner`'s
+    /// lock, so it can never claim calm while a transition is in flight.
+    calm: std::sync::atomic::AtomicBool,
 }
 
 /// Whether a call may proceed through the breaker.
@@ -280,11 +285,24 @@ impl CircuitBreaker {
                 consecutive_failures: 0,
                 opened_at: None,
             }),
+            calm: std::sync::atomic::AtomicBool::new(true),
         }
+    }
+
+    fn is_calm(&self) -> bool {
+        self.calm.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn set_calm(&self, inner: &BreakerInner) {
+        let calm = inner.state == BreakerState::Closed && inner.consecutive_failures == 0;
+        self.calm.store(calm, std::sync::atomic::Ordering::Release);
     }
 
     /// The current state (for observability; may be stale immediately).
     pub fn state(&self) -> BreakerState {
+        if self.is_calm() {
+            return BreakerState::Closed;
+        }
         self.inner.lock().state
     }
 
@@ -292,7 +310,7 @@ impl CircuitBreaker {
     /// half-open and admits exactly one probe; further calls are rejected
     /// until the probe reports.
     pub fn admit(&self) -> Admission {
-        if !self.config.enabled {
+        if !self.config.enabled || self.is_calm() {
             return Admission::Allow;
         }
         let mut inner = self.inner.lock();
@@ -317,13 +335,14 @@ impl CircuitBreaker {
 
     /// Reports a successful (or peer-proving) call outcome.
     pub fn on_success(&self) {
-        if !self.config.enabled {
+        if !self.config.enabled || self.is_calm() {
             return;
         }
         let mut inner = self.inner.lock();
         inner.state = BreakerState::Closed;
         inner.consecutive_failures = 0;
         inner.opened_at = None;
+        self.set_calm(&inner);
     }
 
     /// Reports a peer-suspect failure. Returns `true` when this report
@@ -333,7 +352,7 @@ impl CircuitBreaker {
             return false;
         }
         let mut inner = self.inner.lock();
-        match inner.state {
+        let opened = match inner.state {
             BreakerState::Closed => {
                 inner.consecutive_failures += 1;
                 if inner.consecutive_failures >= self.config.failure_threshold {
@@ -351,7 +370,9 @@ impl CircuitBreaker {
                 true
             }
             BreakerState::Open => false,
-        }
+        };
+        self.set_calm(&inner);
+        opened
     }
 
     /// The error returned on rejection, shaped as a transport failure so

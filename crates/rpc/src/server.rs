@@ -5,16 +5,30 @@
 //! sends the reply back on the same connection. Long-running methods
 //! therefore never block the reader: concurrent calls on one connection
 //! proceed in parallel, exactly as in the original runtime.
+//!
+//! # The inline fast path
+//!
+//! Handing every request to a worker costs a thread switch, which for a
+//! short method dwarfs the method itself (the observation goes back to
+//! Birrell & Nelson, who dispatched simple calls on the thread that read
+//! the packet). Servers on the *system* clock therefore keep a small
+//! adaptive classifier per connection: a method whose last observed
+//! service time was under [`INLINE_FAST_MICROS`] is dispatched directly
+//! on the reader thread, skipping the queue and the switch; a slow
+//! observation demotes it back to the worker pool. Methods start out
+//! unclassified — and therefore on the pool — so a blocking method's
+//! first call can never wedge the reader. Servers on a virtual clock
+//! always use the pool: inline dispatch would serialise virtual-time
+//! sleeps that the deterministic suites expect to overlap.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use netobj_transport::{ClockHandle, Conn, Listener};
-use netobj_wire::pickle::Pickle;
 use netobj_wire::{SpaceId, WireRep};
 
 use crate::error::{RemoteError, RemoteErrorKind};
-use crate::msg::{Reply, RpcMsg};
+use crate::msg::{Request, RpcMsg, SendBuf};
 use crate::pool::{Admit, ThreadPool};
 
 /// The result of dispatching one call.
@@ -268,20 +282,35 @@ type Completion = Box<dyn FnOnce() + Send>;
 #[derive(Default)]
 struct AckTable {
     pending: parking_lot::Mutex<Vec<(u64, std::time::Instant, Completion)>>,
+    /// Entry count mirrored outside the lock: most calls carry no ack
+    /// obligation, so the per-frame expiry sweep and the per-reply
+    /// acknowledge can skip the lock entirely while the table is empty.
+    len: AtomicUsize,
 }
 
 impl AckTable {
+    fn is_empty(&self) -> bool {
+        self.len.load(Ordering::Acquire) == 0
+    }
+
     fn insert(&self, call_id: u64, deadline: std::time::Instant, completion: Completion) {
-        self.pending.lock().push((call_id, deadline, completion));
+        let mut pending = self.pending.lock();
+        pending.push((call_id, deadline, completion));
+        self.len.store(pending.len(), Ordering::Release);
     }
 
     fn acknowledge(&self, call_id: u64) {
+        if self.is_empty() {
+            return;
+        }
         let found = {
             let mut pending = self.pending.lock();
-            pending
+            let found = pending
                 .iter()
                 .position(|(id, _, _)| *id == call_id)
-                .map(|i| pending.swap_remove(i).2)
+                .map(|i| pending.swap_remove(i).2);
+            self.len.store(pending.len(), Ordering::Release);
+            found
         };
         if let Some(run) = found {
             run();
@@ -289,6 +318,9 @@ impl AckTable {
     }
 
     fn expire(&self, now: std::time::Instant) {
+        if self.is_empty() {
+            return;
+        }
         let expired: Vec<Completion> = {
             let mut pending = self.pending.lock();
             let mut out = Vec::new();
@@ -300,6 +332,7 @@ impl AckTable {
                     i += 1;
                 }
             }
+            self.len.store(pending.len(), Ordering::Release);
             out
         };
         for run in expired {
@@ -310,6 +343,7 @@ impl AckTable {
     fn drain(&self) {
         let all: Vec<Completion> = {
             let mut pending = self.pending.lock();
+            self.len.store(0, Ordering::Release);
             pending.drain(..).map(|(_, _, c)| c).collect()
         };
         for run in all {
@@ -322,7 +356,7 @@ impl AckTable {
 /// duplicating channel cannot execute a call twice. Bounded FIFO window.
 struct SeenRequests {
     order: std::collections::VecDeque<u64>,
-    set: std::collections::HashSet<u64>,
+    set: crate::FibHashSet<u64>,
 }
 
 impl SeenRequests {
@@ -331,7 +365,7 @@ impl SeenRequests {
     fn new() -> SeenRequests {
         SeenRequests {
             order: std::collections::VecDeque::new(),
-            set: std::collections::HashSet::new(),
+            set: crate::FibHashSet::default(),
         }
     }
 
@@ -350,6 +384,106 @@ impl SeenRequests {
     }
 }
 
+/// Service-time ceiling (on the connection's clock) under which a method
+/// is considered *fast* and eligible for inline dispatch on the reader
+/// thread. Well above a short method's cost, well below anything that
+/// blocks on I/O, locks held across calls, or deliberate sleeps.
+pub const INLINE_FAST_MICROS: u64 = 200;
+
+/// Adaptive per-connection classifier for the inline fast path.
+///
+/// Maps `(object, method)` to the last verdict: `true` = the previous
+/// dispatch finished under [`INLINE_FAST_MICROS`], so the next one may run
+/// on the reader thread. Unknown methods are never inlined — their first
+/// call always goes through the worker pool, so a method that blocks
+/// cannot wedge the reader before it has ever been observed. `None` when
+/// the server runs on a virtual clock (inline dispatch would serialise
+/// virtual-time sleeps the deterministic suites expect to overlap).
+struct FastMethods {
+    verdicts: parking_lot::Mutex<crate::FibHashMap<(u64, u32), bool>>,
+}
+
+impl FastMethods {
+    fn new() -> FastMethods {
+        FastMethods {
+            verdicts: parking_lot::Mutex::new(crate::FibHashMap::default()),
+        }
+    }
+
+    fn key(rq: &Request) -> (u64, u32) {
+        (rq.target.ix.0, rq.method)
+    }
+
+    fn is_fast(&self, key: (u64, u32)) -> bool {
+        *self.verdicts.lock().get(&key).unwrap_or(&false)
+    }
+
+    fn observe(&self, key: (u64, u32), service: std::time::Duration) {
+        let fast = service.as_micros() <= u128::from(INLINE_FAST_MICROS);
+        self.verdicts.lock().insert(key, fast);
+    }
+}
+
+/// Everything a request needs besides its own fields, bundled so the
+/// reader clones ONE `Arc` per job instead of one per component.
+struct ConnCtx {
+    conn: Arc<dyn Conn>,
+    dispatcher: Arc<dyn Dispatcher>,
+    stats: Arc<ServerStats>,
+    clock: ClockHandle,
+    acks: AckTable,
+    /// One recycling reply encoder per connection: once the transport has
+    /// released the previous reply frame, the next reply reuses its
+    /// allocation. Workers serving this connection serialise on the mutex
+    /// only for the encode itself.
+    send_buf: parking_lot::Mutex<SendBuf>,
+    /// `Some` on system-clock servers: the inline fast-path classifier.
+    fast: Option<FastMethods>,
+}
+
+/// Dispatches one request and sends its reply; shared by the worker path
+/// and the reader's inline fast path. Returns the method's service time
+/// (on the connection's clock) for the fast-path classifier.
+fn serve_request(ctx: &ConnCtx, rq: Request, enqueued: std::time::Instant) -> std::time::Duration {
+    let clock = &ctx.clock;
+    // While the method runs, virtual time must not jump: the caller is
+    // waiting on real work the clock cannot see.
+    let hold = clock.as_virtual().map(|vc| vc.hold());
+    let svc_start = clock.now();
+    let cx = DispatchCx {
+        trace_id: rq.trace_id,
+        span_id: rq.span_id,
+        queue_wait: svc_start.saturating_duration_since(enqueued),
+    };
+    // `rq.args` is a shared slice of the received frame: the argument
+    // pickle reaches the dispatcher with no copy since the transport read.
+    let dispatch = ctx
+        .dispatcher
+        .dispatch_cx(cx, rq.caller, rq.target, rq.method, &rq.args);
+    let after = clock.now();
+    drop(hold);
+    if dispatch.outcome.is_err() {
+        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let needs_ack = dispatch.completion.is_some();
+    // Register the completion *before* the reply leaves, so the ack can
+    // never race past it.
+    if let Some(completion) = dispatch.completion {
+        ctx.acks
+            .insert(rq.call_id, after + DEFAULT_ACK_TIMEOUT, completion);
+    }
+    let frame = ctx.send_buf.lock().encode_reply(
+        rq.call_id,
+        needs_ack,
+        dispatch.outcome.as_ref().map(|v| v.as_slice()),
+    );
+    if ctx.conn.send(frame).is_err() {
+        // The caller is gone; run the completion immediately.
+        ctx.acks.acknowledge(rq.call_id);
+    }
+    after.saturating_duration_since(svc_start)
+}
+
 fn connection_loop(
     conn: Arc<dyn Conn>,
     dispatcher: Arc<dyn Dispatcher>,
@@ -358,7 +492,15 @@ fn connection_loop(
     stopped: Arc<AtomicBool>,
     clock: ClockHandle,
 ) {
-    let acks = Arc::new(AckTable::default());
+    let ctx = Arc::new(ConnCtx {
+        conn,
+        dispatcher,
+        stats,
+        fast: clock.as_virtual().is_none().then(FastMethods::new),
+        clock,
+        acks: AckTable::default(),
+        send_buf: parking_lot::Mutex::new(SendBuf::new()),
+    });
     let mut seen = SeenRequests::new();
     loop {
         if stopped.load(Ordering::Acquire) {
@@ -366,16 +508,20 @@ fn connection_loop(
         }
         // A bounded recv lets us sweep expired ack obligations even when
         // the connection is idle.
-        let frame = match conn.recv_timeout(std::time::Duration::from_millis(500)) {
+        let frame = match ctx.conn.recv_timeout(std::time::Duration::from_millis(500)) {
             Ok(f) => f,
             Err(netobj_transport::TransportError::Timeout) => {
-                acks.expire(clock.now());
+                if !ctx.acks.is_empty() {
+                    ctx.acks.expire(ctx.clock.now());
+                }
                 continue;
             }
             Err(_) => break,
         };
-        acks.expire(clock.now());
-        let msg = match RpcMsg::from_pickle_bytes(&frame) {
+        if !ctx.acks.is_empty() {
+            ctx.acks.expire(ctx.clock.now());
+        }
+        let msg = match RpcMsg::decode(&frame) {
             Ok(m) => m,
             Err(_) => {
                 // Malformed traffic: drop the connection.
@@ -394,7 +540,7 @@ fn connection_loop(
                 rq
             }
             RpcMsg::ReplyAck(call_id) => {
-                acks.acknowledge(call_id);
+                ctx.acks.acknowledge(call_id);
                 continue;
             }
             RpcMsg::Reply(_) => {
@@ -402,47 +548,25 @@ fn connection_loop(
                 break;
             }
         };
-        stats.requests.fetch_add(1, Ordering::Relaxed);
+        ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let enqueued = ctx.clock.now();
+        let fast_key = FastMethods::key(&rq);
+        if let Some(fast) = &ctx.fast {
+            if fast.is_fast(fast_key) {
+                // Last observation was fast: skip the worker handoff and
+                // dispatch on this thread. A slow surprise demotes the
+                // method so the next call goes back to the pool.
+                let service = serve_request(&ctx, rq, enqueued);
+                fast.observe(fast_key, service);
+                continue;
+            }
+        }
         let call_id = rq.call_id;
-        let conn = Arc::clone(&conn);
-        let job_conn = Arc::clone(&conn);
-        let dispatcher = Arc::clone(&dispatcher);
-        let stats = Arc::clone(&stats);
-        let job_stats = Arc::clone(&stats);
-        let acks = Arc::clone(&acks);
-        let job_clock = clock.clone();
-        let enqueued = clock.now();
+        let job_ctx = Arc::clone(&ctx);
         let admitted = pool.try_execute(move || {
-            let conn = job_conn;
-            let stats = job_stats;
-            let clock = job_clock;
-            // While the method runs, virtual time must not jump: the caller
-            // is waiting on real work the clock cannot see.
-            let hold = clock.as_virtual().map(|vc| vc.hold());
-            let cx = DispatchCx {
-                trace_id: rq.trace_id,
-                span_id: rq.span_id,
-                queue_wait: clock.now().saturating_duration_since(enqueued),
-            };
-            let dispatch = dispatcher.dispatch_cx(cx, rq.caller, rq.target, rq.method, &rq.args);
-            drop(hold);
-            if dispatch.outcome.is_err() {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
-            }
-            let needs_ack = dispatch.completion.is_some();
-            // Register the completion *before* the reply leaves, so the ack
-            // can never race past it.
-            if let Some(completion) = dispatch.completion {
-                acks.insert(rq.call_id, clock.now() + DEFAULT_ACK_TIMEOUT, completion);
-            }
-            let reply = RpcMsg::Reply(Reply {
-                call_id: rq.call_id,
-                outcome: dispatch.outcome,
-                needs_ack,
-            });
-            if conn.send(reply.to_pickle_bytes()).is_err() {
-                // The caller is gone; run the completion immediately.
-                acks.acknowledge(rq.call_id);
+            let service = serve_request(&job_ctx, rq, enqueued);
+            if let Some(fast) = &job_ctx.fast {
+                fast.observe(fast_key, service);
             }
         });
         if admitted == Admit::Saturated {
@@ -450,23 +574,17 @@ fn connection_loop(
             // so the rejection is a *not delivered* failure the caller may
             // retry freely. Answer from the reader thread — by definition
             // no worker is free to do it.
-            stats.shed.fetch_add(1, Ordering::Relaxed);
-            let reply = RpcMsg::Reply(Reply {
-                call_id,
-                outcome: Err(RemoteError::new(
-                    RemoteErrorKind::Busy,
-                    "server worker pool saturated",
-                )),
-                needs_ack: false,
-            });
-            if conn.send(reply.to_pickle_bytes()).is_err() {
+            ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+            let busy = RemoteError::new(RemoteErrorKind::Busy, "server worker pool saturated");
+            let frame = ctx.send_buf.lock().encode_reply(call_id, false, Err(&busy));
+            if ctx.conn.send(frame).is_err() {
                 break;
             }
         }
     }
-    conn.close();
+    ctx.conn.close();
     // Connection over: no acks can arrive; release everything.
-    acks.drain();
+    ctx.acks.drain();
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 caller: SpaceId::from_raw(caller),
                 target: WireRep::new(SpaceId::from_raw(ts), ObjIx(tix)),
                 method,
-                args,
+                args: args.into(),
                 trace_id,
                 span_id,
             },
@@ -41,7 +41,7 @@ fn arb_msg() -> impl Strategy<Value = RpcMsg> {
         )
             .prop_map(|(call_id, needs_ack, bytes)| RpcMsg::Reply(Reply {
                 call_id,
-                outcome: Ok(bytes),
+                outcome: Ok(bytes.into()),
                 needs_ack,
             })),
         (any::<u64>(), any::<bool>(), ".*").prop_map(|(call_id, needs_ack, m)| RpcMsg::Reply(

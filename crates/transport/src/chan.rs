@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 
 use crate::endpoint::Endpoint;
@@ -40,8 +41,8 @@ impl CloseFlag {
 /// loopback pair, A's outbox *is* B's inbox. For a simulated pair, the
 /// outbox feeds the sim scheduler which later forwards into the peer inbox.
 pub struct ChanConn {
-    tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
     closed: Arc<CloseFlag>,
     peer: Option<Endpoint>,
 }
@@ -49,8 +50,8 @@ pub struct ChanConn {
 impl ChanConn {
     /// Builds a connection half from its channel ends.
     pub fn new(
-        tx: Sender<Vec<u8>>,
-        rx: Receiver<Vec<u8>>,
+        tx: Sender<Bytes>,
+        rx: Receiver<Bytes>,
         closed: Arc<CloseFlag>,
         peer: Option<Endpoint>,
     ) -> ChanConn {
@@ -75,7 +76,7 @@ impl ChanConn {
 }
 
 impl Conn for ChanConn {
-    fn send(&self, frame: Vec<u8>) -> Result<()> {
+    fn send(&self, frame: Bytes) -> Result<()> {
         if self.closed.is_closed() {
             return Err(TransportError::Closed);
         }
@@ -86,7 +87,7 @@ impl Conn for ChanConn {
         }
     }
 
-    fn recv(&self) -> Result<Vec<u8>> {
+    fn recv(&self) -> Result<Bytes> {
         // Poll with a coarse period so that a close() by the peer wakes us
         // up even though the channel endpoints themselves stay alive.
         loop {
@@ -102,7 +103,7 @@ impl Conn for ChanConn {
         }
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes> {
         let deadline = std::time::Instant::now() + timeout;
         loop {
             let step = deadline
@@ -139,20 +140,20 @@ mod tests {
     #[test]
     fn pair_exchanges_frames_both_ways() {
         let (a, b) = ChanConn::pair(None, None);
-        a.send(b"ping".to_vec()).unwrap();
-        assert_eq!(b.recv().unwrap(), b"ping");
-        b.send(b"pong".to_vec()).unwrap();
-        assert_eq!(a.recv().unwrap(), b"pong");
+        a.send(Bytes::from(b"ping".to_vec())).unwrap();
+        assert_eq!(&b.recv().unwrap()[..], b"ping");
+        b.send(Bytes::from(b"pong".to_vec())).unwrap();
+        assert_eq!(&a.recv().unwrap()[..], b"pong");
     }
 
     #[test]
     fn preserves_frame_order() {
         let (a, b) = ChanConn::pair(None, None);
         for i in 0..100u32 {
-            a.send(i.to_le_bytes().to_vec()).unwrap();
+            a.send(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
         }
         for i in 0..100u32 {
-            assert_eq!(b.recv().unwrap(), i.to_le_bytes());
+            assert_eq!(&b.recv().unwrap()[..], i.to_le_bytes());
         }
     }
 
@@ -169,7 +170,10 @@ mod tests {
     fn send_after_close_fails() {
         let (a, b) = ChanConn::pair(None, None);
         b.close();
-        assert_eq!(a.send(vec![1]).unwrap_err(), TransportError::Closed);
+        assert_eq!(
+            a.send(Bytes::from(vec![1])).unwrap_err(),
+            TransportError::Closed
+        );
     }
 
     #[test]
@@ -186,8 +190,8 @@ mod tests {
     #[test]
     fn queued_frames_drain_before_close_reported() {
         let (a, b) = ChanConn::pair(None, None);
-        a.send(vec![1]).unwrap();
-        a.send(vec![2]).unwrap();
+        a.send(Bytes::from(vec![1])).unwrap();
+        a.send(Bytes::from(vec![2])).unwrap();
         a.close();
         assert_eq!(b.recv().unwrap(), vec![1]);
         assert_eq!(b.recv().unwrap(), vec![2]);

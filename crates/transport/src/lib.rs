@@ -35,6 +35,7 @@ pub mod registry;
 pub mod sim;
 pub mod tcp;
 
+pub use bytes::Bytes;
 pub use clock::{Clock, ClockHandle, SystemClock, VirtualClock};
 pub use endpoint::Endpoint;
 pub use error::TransportError;
@@ -50,16 +51,21 @@ pub type Result<T> = std::result::Result<T, TransportError>;
 /// Frames are discrete byte payloads; the transport preserves their
 /// boundaries. All methods take `&self` so a connection can be shared
 /// between a sender and a dedicated receiver thread.
+///
+/// Frames travel as shared [`Bytes`]: in-process transports enqueue the
+/// caller's buffer by reference, and stream transports write the length
+/// prefix and the payload as separate (gathered) writes — no transport
+/// re-assembles a frame into a fresh allocation.
 pub trait Conn: Send + Sync {
     /// Sends one frame. Returns an error if the connection is closed.
-    fn send(&self, frame: Vec<u8>) -> Result<()>;
+    fn send(&self, frame: Bytes) -> Result<()>;
 
     /// Receives the next frame, blocking until one arrives or the
     /// connection closes.
-    fn recv(&self) -> Result<Vec<u8>>;
+    fn recv(&self) -> Result<Bytes>;
 
     /// Receives the next frame, waiting at most `timeout`.
-    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>>;
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes>;
 
     /// Closes the connection; pending and future operations fail with
     /// [`TransportError::Closed`].

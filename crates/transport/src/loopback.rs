@@ -96,10 +96,10 @@ mod tests {
         let l = t.listen(&Endpoint::loopback("srv")).unwrap();
         let c = t.connect(&Endpoint::loopback("srv")).unwrap();
         let s = l.accept().unwrap();
-        c.send(b"hi".to_vec()).unwrap();
-        assert_eq!(s.recv().unwrap(), b"hi");
-        s.send(b"yo".to_vec()).unwrap();
-        assert_eq!(c.recv().unwrap(), b"yo");
+        c.send(crate::Bytes::from(b"hi".to_vec())).unwrap();
+        assert_eq!(&s.recv().unwrap()[..], b"hi");
+        s.send(crate::Bytes::from(b"yo".to_vec())).unwrap();
+        assert_eq!(&c.recv().unwrap()[..], b"yo");
     }
 
     #[test]
@@ -139,8 +139,8 @@ mod tests {
         let l = t.listen(&Endpoint::loopback("srv")).unwrap();
         let c1 = t.connect(&Endpoint::loopback("srv")).unwrap();
         let c2 = t.connect(&Endpoint::loopback("srv")).unwrap();
-        c1.send(vec![1]).unwrap();
-        c2.send(vec![2]).unwrap();
+        c1.send(crate::Bytes::from(vec![1])).unwrap();
+        c2.send(crate::Bytes::from(vec![2])).unwrap();
         let s1 = l.accept().unwrap();
         let s2 = l.accept().unwrap();
         let a = s1.recv_timeout(Duration::from_secs(1)).unwrap();

@@ -78,6 +78,7 @@ impl ConnPool {
 mod tests {
     use super::*;
     use crate::loopback::Loopback;
+    use crate::Bytes;
     use crate::TransportError;
     use std::time::Duration;
 
@@ -109,10 +110,13 @@ mod tests {
         let b = pool.get(&ep).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         // The old connection is closed.
-        assert_eq!(a.send(vec![1]).unwrap_err(), TransportError::Closed);
+        assert_eq!(
+            a.send(Bytes::from(vec![1])).unwrap_err(),
+            TransportError::Closed
+        );
         // The new one works.
         let sb = l.accept().unwrap();
-        b.send(vec![2]).unwrap();
+        b.send(Bytes::from(vec![2])).unwrap();
         assert_eq!(sb.recv_timeout(Duration::from_secs(1)).unwrap(), vec![2]);
     }
 
@@ -125,8 +129,8 @@ mod tests {
         assert_eq!(pool.len(), 2);
         pool.clear();
         assert!(pool.is_empty());
-        assert!(a.send(vec![]).is_err());
-        assert!(b.send(vec![]).is_err());
+        assert!(a.send(Bytes::from(vec![])).is_err());
+        assert!(b.send(Bytes::from(vec![])).is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
@@ -151,8 +152,8 @@ pub struct SimStats {
 struct Scheduled {
     due: Instant,
     seq: u64,
-    dest: Sender<Vec<u8>>,
-    frame: Vec<u8>,
+    dest: Sender<Bytes>,
+    frame: Bytes,
 }
 
 impl PartialEq for Scheduled {
@@ -402,7 +403,7 @@ impl SimNet {
     }
 
     /// Routes one frame according to the fault model.
-    fn route(&self, tag: &str, dest: &Sender<Vec<u8>>, frame: Vec<u8>) {
+    fn route(&self, tag: &str, dest: &Sender<Bytes>, frame: Bytes) {
         self.sent.fetch_add(1, Ordering::Relaxed);
         if let Some(vc) = self.clock.as_virtual() {
             vc.note_activity();
@@ -475,14 +476,14 @@ struct SimConn {
     net: Arc<SimNet>,
     /// The listener name this connection was made to; partition tag.
     tag: String,
-    peer_tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
+    peer_tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
     closed: Arc<CloseFlag>,
     peer: Option<Endpoint>,
 }
 
 impl Conn for SimConn {
-    fn send(&self, frame: Vec<u8>) -> Result<()> {
+    fn send(&self, frame: Bytes) -> Result<()> {
         if self.closed.is_closed() {
             return Err(TransportError::Closed);
         }
@@ -490,7 +491,7 @@ impl Conn for SimConn {
         Ok(())
     }
 
-    fn recv(&self) -> Result<Vec<u8>> {
+    fn recv(&self) -> Result<Bytes> {
         loop {
             match self.rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(f) => return Ok(f),
@@ -506,7 +507,7 @@ impl Conn for SimConn {
         }
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes> {
         let deadline = Instant::now() + timeout;
         loop {
             let step = deadline
@@ -638,10 +639,10 @@ mod tests {
         let net = SimNet::instant();
         let (c, s) = pair(&net, "a");
         for i in 0..50u32 {
-            c.send(i.to_le_bytes().to_vec()).unwrap();
+            c.send(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
         }
         for i in 0..50u32 {
-            assert_eq!(s.recv().unwrap(), i.to_le_bytes());
+            assert_eq!(&s.recv().unwrap()[..], i.to_le_bytes());
         }
         assert_eq!(net.stats().delivered, 50);
     }
@@ -651,7 +652,7 @@ mod tests {
         let net = SimNet::new(LinkConfig::with_latency(Duration::from_millis(30)));
         let (c, s) = pair(&net, "a");
         let t0 = Instant::now();
-        c.send(b"x".to_vec()).unwrap();
+        c.send(Bytes::from(b"x".to_vec())).unwrap();
         let f = s.recv().unwrap();
         assert_eq!(f, b"x");
         assert!(
@@ -667,7 +668,7 @@ mod tests {
         config.loss = 1.0;
         let net = SimNet::with_seed(config, 7);
         let (c, s) = pair(&net, "a");
-        c.send(b"x".to_vec()).unwrap();
+        c.send(Bytes::from(b"x".to_vec())).unwrap();
         assert_eq!(
             s.recv_timeout(Duration::from_millis(80)).unwrap_err(),
             TransportError::Timeout
@@ -681,7 +682,7 @@ mod tests {
         config.duplicate = 1.0;
         let net = SimNet::with_seed(config, 7);
         let (c, s) = pair(&net, "a");
-        c.send(b"x".to_vec()).unwrap();
+        c.send(Bytes::from(b"x".to_vec())).unwrap();
         assert_eq!(s.recv_timeout(Duration::from_secs(1)).unwrap(), b"x");
         assert_eq!(s.recv_timeout(Duration::from_secs(1)).unwrap(), b"x");
         assert_eq!(net.stats().duplicated, 1);
@@ -696,7 +697,7 @@ mod tests {
         let (c, s) = pair(&net, "a");
         let n = 64u32;
         for i in 0..n {
-            c.send(i.to_le_bytes().to_vec()).unwrap();
+            c.send(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
         }
         let mut got = Vec::new();
         for _ in 0..n {
@@ -714,7 +715,7 @@ mod tests {
         let net = SimNet::instant();
         let (c, s) = pair(&net, "srv");
         net.set_down("srv", true);
-        c.send(b"lost".to_vec()).unwrap();
+        c.send(Bytes::from(b"lost".to_vec())).unwrap();
         assert_eq!(
             s.recv_timeout(Duration::from_millis(80)).unwrap_err(),
             TransportError::Timeout
@@ -724,7 +725,7 @@ mod tests {
             Err(TransportError::Partitioned)
         ));
         net.set_down("srv", false);
-        c.send(b"ok".to_vec()).unwrap();
+        c.send(Bytes::from(b"ok".to_vec())).unwrap();
         assert_eq!(s.recv_timeout(Duration::from_secs(1)).unwrap(), b"ok");
         assert_eq!(net.stats().dropped_partition, 1);
     }
@@ -734,7 +735,7 @@ mod tests {
         let net = SimNet::instant();
         let (c, s) = pair(&net, "srv");
         net.set_down("srv", true);
-        s.send(b"reply".to_vec()).unwrap();
+        s.send(Bytes::from(b"reply".to_vec())).unwrap();
         assert_eq!(
             c.recv_timeout(Duration::from_millis(80)).unwrap_err(),
             TransportError::Timeout
@@ -749,7 +750,10 @@ mod tests {
         let s = l.accept().unwrap();
         net.crash("srv");
         // Both halves observe Closed — not silence, as under set_down.
-        assert_eq!(c.send(b"x".to_vec()).unwrap_err(), TransportError::Closed);
+        assert_eq!(
+            c.send(Bytes::from(b"x".to_vec())).unwrap_err(),
+            TransportError::Closed
+        );
         assert_eq!(
             s.recv_timeout(Duration::from_millis(200)).unwrap_err(),
             TransportError::Closed
@@ -762,7 +766,7 @@ mod tests {
         // stands in) connects succeed again.
         net.restart("srv");
         let c2 = net.connect(&Endpoint::sim("srv")).unwrap();
-        c2.send(b"y".to_vec()).unwrap();
+        c2.send(Bytes::from(b"y".to_vec())).unwrap();
     }
 
     #[test]
@@ -771,9 +775,9 @@ mod tests {
         let (c_a, s_a) = pair(&net, "a");
         let (c_b, s_b) = pair(&net, "b");
         net.crash("a");
-        assert!(c_a.send(b"x".to_vec()).is_err());
+        assert!(c_a.send(Bytes::from(b"x".to_vec())).is_err());
         let _ = s_a;
-        c_b.send(b"ok".to_vec()).unwrap();
+        c_b.send(Bytes::from(b"ok".to_vec())).unwrap();
         assert_eq!(s_b.recv_timeout(Duration::from_secs(1)).unwrap(), b"ok");
     }
 
@@ -786,8 +790,8 @@ mod tests {
                 let (c_b, s_b) = pair(&net, "b");
                 net.set_flake("a", Some(FlakePlan::uniform(0.5)), 77);
                 for _ in 0..100 {
-                    c_a.send(vec![1]).unwrap();
-                    c_b.send(vec![2]).unwrap();
+                    c_a.send(Bytes::from(vec![1])).unwrap();
+                    c_b.send(Bytes::from(vec![2])).unwrap();
                 }
                 // The clean link is untouched by "a"'s weather.
                 for _ in 0..100 {
@@ -813,11 +817,11 @@ mod tests {
             1,
         );
         for i in 0..3u8 {
-            c.send(vec![i]).unwrap();
+            c.send(Bytes::from(vec![i])).unwrap();
         }
         assert_eq!(net.stats().dropped_loss, 3);
         net.set_flake("a", None, 0);
-        c.send(b"through".to_vec()).unwrap();
+        c.send(Bytes::from(b"through".to_vec())).unwrap();
         assert_eq!(s.recv_timeout(Duration::from_secs(1)).unwrap(), b"through");
     }
 
@@ -830,7 +834,7 @@ mod tests {
                 let net = SimNet::with_seed(config, 1234);
                 let (c, _s) = pair(&net, "a");
                 for _ in 0..100 {
-                    c.send(vec![0]).unwrap();
+                    c.send(Bytes::from(vec![0])).unwrap();
                 }
                 // Wait for routing to settle.
                 std::thread::sleep(Duration::from_millis(50));
@@ -864,7 +868,7 @@ mod prop_tests {
             let c = net.connect(&Endpoint::sim("p")).unwrap();
             let s = l.accept().unwrap();
             for i in 0..n {
-                c.send(vec![i as u8]).unwrap();
+                c.send(Bytes::from(vec![i as u8])).unwrap();
             }
             let mut got = Vec::new();
             for _ in 0..n {

@@ -4,13 +4,13 @@
 //! latency experiments. `TCP_NODELAY` is set, as the original runtime did,
 //! because RPC traffic is latency-bound, not throughput-bound.
 
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use bytes::BytesMut;
-use netobj_wire::frame::{encode_frame, FrameDecoder};
+use bytes::Bytes;
+use netobj_wire::frame::{frame_prefix, FrameDecoder};
 use parking_lot::Mutex;
 
 use crate::endpoint::Endpoint;
@@ -40,7 +40,7 @@ impl TcpConn {
         })
     }
 
-    fn recv_inner(&self, timeout: Option<Duration>) -> Result<Vec<u8>> {
+    fn recv_inner(&self, timeout: Option<Duration>) -> Result<Bytes> {
         if self.closed.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
         }
@@ -62,22 +62,38 @@ impl TcpConn {
 }
 
 impl Conn for TcpConn {
-    fn send(&self, frame: Vec<u8>) -> Result<()> {
+    fn send(&self, frame: Bytes) -> Result<()> {
         if self.closed.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
         }
-        let mut buf = BytesMut::with_capacity(frame.len() + 4);
-        encode_frame(&mut buf, &frame);
+        // Gathered write: length prefix + payload go out in one vectored
+        // syscall with no re-assembled buffer. The manual loop keeps both
+        // slices in the iovec until the prefix is fully written so NODELAY
+        // never flushes a bare 4-byte segment.
+        let prefix = frame_prefix(frame.len())?;
+        let total = prefix.len() + frame.len();
         let mut w = self.writer.lock();
-        w.write_all(&buf)?;
+        let mut written = 0usize;
+        while written < total {
+            let n = if written < prefix.len() {
+                let bufs = [IoSlice::new(&prefix[written..]), IoSlice::new(&frame)];
+                w.write_vectored(&bufs)?
+            } else {
+                w.write(&frame[written - prefix.len()..])?
+            };
+            if n == 0 {
+                return Err(TransportError::Closed);
+            }
+            written += n;
+        }
         Ok(())
     }
 
-    fn recv(&self) -> Result<Vec<u8>> {
+    fn recv(&self) -> Result<Bytes> {
         self.recv_inner(None)
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes> {
         self.recv_inner(Some(timeout))
     }
 
@@ -168,10 +184,10 @@ mod tests {
     #[test]
     fn exchange_over_real_sockets() {
         let (c, s) = tcp_pair();
-        c.send(b"hello tcp".to_vec()).unwrap();
-        assert_eq!(s.recv().unwrap(), b"hello tcp");
-        s.send(b"back".to_vec()).unwrap();
-        assert_eq!(c.recv().unwrap(), b"back");
+        c.send(Bytes::from(b"hello tcp".to_vec())).unwrap();
+        assert_eq!(&s.recv().unwrap()[..], b"hello tcp");
+        s.send(Bytes::from(b"back".to_vec())).unwrap();
+        assert_eq!(&c.recv().unwrap()[..], b"back");
     }
 
     #[test]
@@ -179,7 +195,7 @@ mod tests {
         let (c, s) = tcp_pair();
         let payload: Vec<u8> = (0..1_000_000u32).map(|i| i as u8).collect();
         let expect = payload.clone();
-        let h = std::thread::spawn(move || c.send(payload));
+        let h = std::thread::spawn(move || c.send(Bytes::from(payload)));
         assert_eq!(s.recv().unwrap(), expect);
         h.join().unwrap().unwrap();
     }
@@ -188,10 +204,10 @@ mod tests {
     fn many_small_frames_keep_boundaries() {
         let (c, s) = tcp_pair();
         for i in 0..200u32 {
-            c.send(i.to_le_bytes().to_vec()).unwrap();
+            c.send(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
         }
         for i in 0..200u32 {
-            assert_eq!(s.recv().unwrap(), i.to_le_bytes());
+            assert_eq!(&s.recv().unwrap()[..], i.to_le_bytes());
         }
     }
 

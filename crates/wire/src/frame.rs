@@ -5,8 +5,12 @@
 //! delimit frames with a 4-byte little-endian length prefix. Datagram-like
 //! transports (the in-process simulator) carry frames natively and only use
 //! the size limit check.
+//!
+//! The decoder yields [`Bytes`] views of its internal buffer: a complete
+//! frame is split off by refcount, not copied, so the payload handed to the
+//! RPC layer is the same allocation the transport read into.
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::WireError;
 use crate::Result;
@@ -14,11 +18,34 @@ use crate::Result;
 /// Default maximum frame size accepted by a decoder (16 MiB).
 pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// Largest payload expressible in the 4-byte length prefix.
+pub const MAX_WIRE_FRAME: usize = u32::MAX as usize;
+
 /// Encodes one frame (length prefix + payload) onto `out`.
-pub fn encode_frame(out: &mut BytesMut, payload: &[u8]) {
+///
+/// Fails with [`WireError::FrameTooLarge`] if the payload cannot be
+/// represented in the prefix — truncating the length would desynchronise
+/// the stream for every later frame.
+pub fn encode_frame(out: &mut BytesMut, payload: &[u8]) -> Result<()> {
+    let prefix = frame_prefix(payload.len())?;
     out.reserve(4 + payload.len());
-    out.put_u32_le(payload.len() as u32);
+    out.put_slice(&prefix);
     out.put_slice(payload);
+    Ok(())
+}
+
+/// Encodes just the length prefix for a payload of `payload_len` bytes.
+///
+/// Stream transports use this to write prefix and payload as separate
+/// (gathered) writes instead of assembling them into one buffer.
+pub fn frame_prefix(payload_len: usize) -> Result<[u8; 4]> {
+    if payload_len > MAX_WIRE_FRAME {
+        return Err(WireError::FrameTooLarge {
+            declared: payload_len,
+            limit: MAX_WIRE_FRAME,
+        });
+    }
+    Ok((payload_len as u32).to_le_bytes())
 }
 
 /// Returns the encoded size of a frame carrying `payload_len` bytes.
@@ -66,8 +93,9 @@ impl FrameDecoder {
     ///
     /// Returns `Ok(None)` if more bytes are needed, `Ok(Some(payload))` for
     /// a complete frame, or an error if the declared length exceeds the
-    /// maximum (the connection should then be dropped).
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+    /// maximum (the connection should then be dropped). The payload shares
+    /// the decoder's buffer — no copy.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
@@ -84,8 +112,7 @@ impl FrameDecoder {
             return Ok(None);
         }
         self.buf.advance(4);
-        let payload = self.buf.split_to(len).to_vec();
-        Ok(Some(payload))
+        Ok(Some(self.buf.split_to_bytes(len)))
     }
 }
 
@@ -96,37 +123,37 @@ mod tests {
     #[test]
     fn encode_then_decode_one_frame() {
         let mut out = BytesMut::new();
-        encode_frame(&mut out, b"hello");
+        encode_frame(&mut out, b"hello").unwrap();
         let mut d = FrameDecoder::default();
         d.extend(&out);
-        assert_eq!(d.next_frame().unwrap().unwrap(), b"hello");
+        assert_eq!(&d.next_frame().unwrap().unwrap()[..], b"hello");
         assert_eq!(d.next_frame().unwrap(), None);
     }
 
     #[test]
     fn decode_across_partial_feeds() {
         let mut out = BytesMut::new();
-        encode_frame(&mut out, b"abcdef");
+        encode_frame(&mut out, b"abcdef").unwrap();
         let bytes = out.to_vec();
         let mut d = FrameDecoder::default();
         for b in &bytes {
             assert!(matches!(d.next_frame(), Ok(None) | Ok(Some(_))));
             d.extend(std::slice::from_ref(b));
         }
-        assert_eq!(d.next_frame().unwrap().unwrap(), b"abcdef");
+        assert_eq!(&d.next_frame().unwrap().unwrap()[..], b"abcdef");
     }
 
     #[test]
     fn multiple_frames_in_one_feed() {
         let mut out = BytesMut::new();
-        encode_frame(&mut out, b"one");
-        encode_frame(&mut out, b"");
-        encode_frame(&mut out, b"three");
+        encode_frame(&mut out, b"one").unwrap();
+        encode_frame(&mut out, b"").unwrap();
+        encode_frame(&mut out, b"three").unwrap();
         let mut d = FrameDecoder::default();
         d.extend(&out);
-        assert_eq!(d.next_frame().unwrap().unwrap(), b"one");
-        assert_eq!(d.next_frame().unwrap().unwrap(), b"");
-        assert_eq!(d.next_frame().unwrap().unwrap(), b"three");
+        assert_eq!(&d.next_frame().unwrap().unwrap()[..], b"one");
+        assert_eq!(&d.next_frame().unwrap().unwrap()[..], b"");
+        assert_eq!(&d.next_frame().unwrap().unwrap()[..], b"three");
         assert_eq!(d.next_frame().unwrap(), None);
         assert_eq!(d.buffered(), 0);
     }
@@ -135,7 +162,7 @@ mod tests {
     fn oversized_frame_rejected() {
         let mut d = FrameDecoder::new(8);
         let mut out = BytesMut::new();
-        encode_frame(&mut out, &[0u8; 64]);
+        encode_frame(&mut out, &[0u8; 64]).unwrap();
         d.extend(&out);
         assert!(matches!(
             d.next_frame(),
@@ -149,10 +176,39 @@ mod tests {
     #[test]
     fn empty_frame_roundtrip() {
         let mut out = BytesMut::new();
-        encode_frame(&mut out, b"");
+        encode_frame(&mut out, b"").unwrap();
         assert_eq!(out.len(), frame_overhead());
         let mut d = FrameDecoder::default();
         d.extend(&out);
-        assert_eq!(d.next_frame().unwrap().unwrap(), Vec::<u8>::new());
+        assert_eq!(d.next_frame().unwrap().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn yielded_frames_survive_later_feeds() {
+        // The zero-copy split must not let later buffer writes clobber a
+        // frame already handed out.
+        let mut out = BytesMut::new();
+        encode_frame(&mut out, b"first").unwrap();
+        let mut d = FrameDecoder::default();
+        d.extend(&out);
+        let first = d.next_frame().unwrap().unwrap();
+        let mut out2 = BytesMut::new();
+        encode_frame(&mut out2, b"second-longer-frame").unwrap();
+        d.extend(&out2);
+        let second = d.next_frame().unwrap().unwrap();
+        assert_eq!(&first[..], b"first");
+        assert_eq!(&second[..], b"second-longer-frame");
+    }
+
+    // The length prefix is 32-bit: a payload longer than u32::MAX must be
+    // refused, not silently truncated. Allocating 4 GiB in a unit test is
+    // not realistic, so this exercises the prefix helper directly.
+    #[test]
+    fn oversize_payload_refused_at_encode() {
+        assert!(frame_prefix(MAX_WIRE_FRAME).is_ok());
+        assert!(matches!(
+            frame_prefix(MAX_WIRE_FRAME + 1),
+            Err(WireError::FrameTooLarge { .. })
+        ));
     }
 }

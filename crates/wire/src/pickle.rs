@@ -101,6 +101,14 @@ impl PickleWriter {
         }
     }
 
+    /// Creates a writer over a recycled buffer, clearing its contents but
+    /// keeping the allocation — pairs with [`bytes::Bytes::try_reclaim`]
+    /// to reuse a send buffer once the transport has released it.
+    pub fn from_vec(mut buf: Vec<u8>) -> PickleWriter {
+        buf.clear();
+        PickleWriter { buf }
+    }
+
     /// Consumes the writer, returning the encoded bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -452,6 +460,16 @@ impl<'a> PickleReader<'a> {
         self.expect_tag(tag::BYTES, "bytes")?;
         let n = self.get_len()?;
         self.get_raw(n)
+    }
+
+    /// Reads a byte-string value as a shared slice of `src` — the reader's
+    /// `Bytes` mode. `src` must be the same buffer this reader decodes
+    /// (typically the received frame); the returned [`bytes::Bytes`] shares
+    /// its storage, so large payloads cross the decode boundary without a
+    /// copy.
+    pub fn get_bytes_shared(&mut self, src: &bytes::Bytes) -> Result<bytes::Bytes> {
+        let raw = self.get_bytes()?;
+        Ok(src.slice_ref(raw))
     }
 
     /// Reads a sequence header, returning the element count.

@@ -126,24 +126,70 @@ mod framing {
         /// Any sequence of frames survives any re-chunking of the byte
         /// stream (the property TCP delivery depends on).
         #[test]
-        fn frames_survive_arbitrary_chunking(
+        fn frames_survive_fixed_chunking(
             frames in proptest::collection::vec(
                 proptest::collection::vec(any::<u8>(), 0..128), 0..8),
             chunk in 1usize..17,
         ) {
             let mut stream = BytesMut::new();
             for f in &frames {
-                encode_frame(&mut stream, f);
+                encode_frame(&mut stream, f).unwrap();
             }
             let mut decoder = FrameDecoder::default();
             let mut got: Vec<Vec<u8>> = Vec::new();
             for piece in stream.chunks(chunk) {
                 decoder.extend(piece);
                 while let Some(f) = decoder.next_frame().unwrap() {
-                    got.push(f);
+                    got.push(f.to_vec());
                 }
             }
             prop_assert_eq!(got, frames);
+        }
+
+        /// The same byte stream split at *arbitrary* boundaries (a random
+        /// cut set, not a fixed chunk size) yields an identical frame
+        /// sequence — and one identical to feeding the stream whole. This
+        /// pins down the zero-copy decoder's buffer bookkeeping: split
+        /// points may land inside the length prefix, inside a payload, or
+        /// exactly between frames.
+        #[test]
+        fn frames_survive_arbitrary_split_points(
+            frames in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..96), 1..8),
+            cuts in proptest::collection::vec(any::<usize>(), 0..24),
+        ) {
+            let mut stream = BytesMut::new();
+            for f in &frames {
+                encode_frame(&mut stream, f).unwrap();
+            }
+            let bytes = stream.to_vec();
+
+            // Reference: decode in one feed.
+            let mut whole = FrameDecoder::default();
+            whole.extend(&bytes);
+            let mut expect: Vec<Vec<u8>> = Vec::new();
+            while let Some(f) = whole.next_frame().unwrap() {
+                expect.push(f.to_vec());
+            }
+            prop_assert_eq!(&expect, &frames);
+
+            // Candidate: decode across random split points, draining after
+            // every piece so yielded frames and buffered bytes interleave.
+            let mut points: Vec<usize> = cuts.iter().map(|i| i % (bytes.len() + 1)).collect();
+            points.push(0);
+            points.push(bytes.len());
+            points.sort_unstable();
+            points.dedup();
+            let mut decoder = FrameDecoder::default();
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            for w in points.windows(2) {
+                decoder.extend(&bytes[w[0]..w[1]]);
+                while let Some(f) = decoder.next_frame().unwrap() {
+                    got.push(f.to_vec());
+                }
+            }
+            prop_assert_eq!(got, expect);
+            prop_assert_eq!(decoder.buffered(), 0);
         }
 
         /// Arbitrary garbage never panics the decoder; it either yields

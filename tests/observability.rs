@@ -244,7 +244,8 @@ fn old_format_request_is_served_end_to_end() {
     let mut args = PickleWriter::new();
     "k".to_owned().pickle(&mut args);
     w.put_bytes(args.as_bytes());
-    conn.send(w.as_bytes().to_vec()).unwrap();
+    conn.send(netobj::transport::Bytes::from(w.as_bytes().to_vec()))
+        .unwrap();
 
     let reply = conn.recv_timeout(Duration::from_secs(10)).unwrap();
     let mut r = PickleReader::new(&reply);

@@ -1,19 +1,25 @@
 //! Vendored subset of the `bytes` crate API.
 //!
 //! The workspace builds in environments with no registry access, so the
-//! external crate is replaced by this shim. `BytesMut` here is a plain
-//! `Vec<u8>` plus a consumed-prefix offset: `advance`/`split_to` move the
-//! offset instead of memmoving, and the buffer compacts once the dead
-//! prefix dominates. No shared-slab refcounting — none of the wire code
-//! relies on it.
+//! external crate is replaced by this shim. Two types:
+//!
+//! * [`BytesMut`] — a growable buffer readable from the front and writable
+//!   at the back. Backed by an `Arc<Vec<u8>>` so frames split off with
+//!   [`BytesMut::split_to_bytes`] share the allocation instead of copying;
+//!   mutation is copy-on-write (only the live suffix is moved when a split
+//!   slice is still alive, which on the decode path is almost always empty).
+//! * [`Bytes`] — a cheaply cloneable immutable view into shared storage.
+//!   `clone`/`slice`/`split_to` are O(1) refcount/offset operations.
 
 use std::fmt;
-use std::ops::{Deref, DerefMut};
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
 
 /// A growable byte buffer readable from the front and writable at the back.
-#[derive(Default, Clone, PartialEq, Eq)]
+#[derive(Default, Clone)]
 pub struct BytesMut {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
     /// Bytes before this offset have been consumed by `advance`/`split_to`.
     start: usize,
 }
@@ -25,7 +31,7 @@ impl BytesMut {
 
     pub fn with_capacity(cap: usize) -> BytesMut {
         BytesMut {
-            data: Vec::with_capacity(cap),
+            data: Arc::new(Vec::with_capacity(cap)),
             start: 0,
         }
     }
@@ -39,27 +45,57 @@ impl BytesMut {
     }
 
     pub fn reserve(&mut self, additional: usize) {
-        self.data.reserve(additional);
+        self.make_mut().reserve(additional);
     }
 
     pub fn clear(&mut self) {
-        self.data.clear();
+        if let Some(v) = Arc::get_mut(&mut self.data) {
+            v.clear();
+        } else {
+            // A frozen slice still references the storage: start over.
+            self.data = Arc::new(Vec::new());
+        }
         self.start = 0;
     }
 
     pub fn extend_from_slice(&mut self, bytes: &[u8]) {
-        self.data.extend_from_slice(bytes);
+        self.make_mut().extend_from_slice(bytes);
     }
 
-    /// Splits off and returns the first `n` readable bytes.
+    /// Splits off and returns the first `n` readable bytes as an owned
+    /// buffer (copies; prefer [`BytesMut::split_to_bytes`] on hot paths).
     pub fn split_to(&mut self, n: usize) -> BytesMut {
         assert!(n <= self.len(), "split_to out of range");
         let front = self.data[self.start..self.start + n].to_vec();
-        self.start += n;
-        self.maybe_compact();
+        self.advance(n);
         BytesMut {
-            data: front,
+            data: Arc::new(front),
             start: 0,
+        }
+    }
+
+    /// Splits off the first `n` readable bytes as a shared [`Bytes`] view
+    /// of the same allocation — no copy. Subsequent appends to `self`
+    /// copy-on-write only the remaining live suffix.
+    pub fn split_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to_bytes out of range");
+        let b = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        b
+    }
+
+    /// Converts the whole readable region into a shared [`Bytes`] without
+    /// copying.
+    pub fn freeze(self) -> Bytes {
+        let end = self.data.len();
+        Bytes {
+            data: self.data,
+            start: self.start,
+            end,
         }
     }
 
@@ -67,13 +103,208 @@ impl BytesMut {
         self.data[self.start..].to_vec()
     }
 
-    fn maybe_compact(&mut self) {
-        // Reclaim the consumed prefix once it outweighs the live bytes, so
-        // a long-lived decode buffer doesn't grow without bound.
-        if self.start > 4096 && self.start >= self.data.len() - self.start {
-            self.data.drain(..self.start);
+    /// Unique, compacted access to the backing vector.
+    fn make_mut(&mut self) -> &mut Vec<u8> {
+        if Arc::get_mut(&mut self.data).is_none() {
+            // A split-off Bytes still references the storage; move the live
+            // suffix into a fresh buffer (usually empty on decode paths).
+            let live = self.data[self.start..].to_vec();
+            self.data = Arc::new(live);
+            self.start = 0;
+        } else if self.start > 4096 && self.start >= self.data.len() - self.start {
+            // Reclaim the consumed prefix once it outweighs the live bytes,
+            // so a long-lived decode buffer doesn't grow without bound.
+            let v = Arc::get_mut(&mut self.data).expect("unique");
+            v.drain(..self.start);
             self.start = 0;
         }
+        Arc::get_mut(&mut self.data).expect("unique after make_mut")
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &BytesMut) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for BytesMut {}
+
+/// A cheaply cloneable, immutable view into shared byte storage.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty slice.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copies a slice into fresh shared storage.
+    pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
+        Bytes::from(bytes.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of this slice; O(1), shares the storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Returns a shared view corresponding to `sub`, which must be a
+    /// sub-slice of `self` (e.g. one handed out by a borrowing decoder).
+    /// O(1): offsets are recovered by pointer arithmetic, no copy.
+    pub fn slice_ref(&self, sub: &[u8]) -> Bytes {
+        if sub.is_empty() {
+            return Bytes::new();
+        }
+        let base = self.as_ptr() as usize;
+        let p = sub.as_ptr() as usize;
+        assert!(
+            p >= base && p + sub.len() <= base + self.len(),
+            "slice_ref: not a sub-slice"
+        );
+        let lo = p - base;
+        self.slice(lo..lo + sub.len())
+    }
+
+    /// Splits off and returns the first `n` bytes; O(1).
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of range");
+        let front = self.slice(..n);
+        self.start += n;
+        front
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
+    /// Recovers the backing vector if this is the only reference to it
+    /// (regardless of the view's range) — used to recycle send buffers.
+    /// Returns `Err(self)` when the storage is still shared.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => Ok(v),
+            Err(data) => Err(Bytes {
+                data,
+                start: self.start,
+                end: self.end,
+            }),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        b.freeze()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self[..] == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
     }
 }
 
@@ -87,7 +318,25 @@ impl Buf for BytesMut {
     fn advance(&mut self, n: usize) {
         assert!(n <= self.len(), "advance out of range");
         self.start += n;
-        self.maybe_compact();
+        if Arc::get_mut(&mut self.data).is_some()
+            && self.start > 4096
+            && self.start >= self.data.len() - self.start
+        {
+            let v = Arc::get_mut(&mut self.data).expect("unique");
+            v.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Buf for Bytes {
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of range");
+        self.start += n;
     }
 
     fn remaining(&self) -> usize {
@@ -127,7 +376,9 @@ impl Deref for BytesMut {
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.data[self.start..]
+        let start = self.start;
+        let v = self.make_mut();
+        &mut v[start..]
     }
 }
 
@@ -186,5 +437,81 @@ mod tests {
         let mut b = BytesMut::new();
         b.extend_from_slice(b"xy");
         b.advance(3);
+    }
+
+    #[test]
+    fn split_to_bytes_shares_storage() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"headpayload");
+        let head = b.split_to_bytes(4);
+        assert_eq!(&head[..], b"head");
+        assert_eq!(&*b, b"payload");
+        // Appending while `head` is alive must not disturb it.
+        b.extend_from_slice(b"-more");
+        assert_eq!(&head[..], b"head");
+        assert_eq!(&*b, b"payload-more");
+    }
+
+    #[test]
+    fn freeze_and_slice() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"abcdef");
+        b.advance(1);
+        let f = b.freeze();
+        assert_eq!(&f[..], b"bcdef");
+        let mid = f.slice(1..3);
+        assert_eq!(&mid[..], b"cd");
+        let again = mid.clone();
+        assert_eq!(again, mid);
+    }
+
+    #[test]
+    fn slice_ref_recovers_offsets() {
+        let whole = Bytes::from(b"0123456789".to_vec());
+        let sub = &whole[3..7];
+        let shared = whole.slice_ref(sub);
+        assert_eq!(&shared[..], b"3456");
+        assert_eq!(whole.slice_ref(&whole[0..0]).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a sub-slice")]
+    fn slice_ref_foreign_slice_panics() {
+        let whole = Bytes::from(b"abc".to_vec());
+        let other = [1u8, 2, 3];
+        let _ = whole.slice_ref(&other);
+    }
+
+    #[test]
+    fn bytes_split_to_advances() {
+        let mut b = Bytes::from(b"xxyyzz".to_vec());
+        let front = b.split_to(2);
+        assert_eq!(&front[..], b"xx");
+        assert_eq!(&b[..], b"yyzz");
+    }
+
+    #[test]
+    fn try_reclaim_unique_returns_vec() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let v = b.try_reclaim().expect("unique");
+        assert_eq!(v, vec![1, 2, 3]);
+
+        let b = Bytes::from(vec![4, 5]);
+        let keep = b.clone();
+        let back = b.try_reclaim().expect_err("shared");
+        assert_eq!(back, keep);
+    }
+
+    #[test]
+    fn clear_with_live_slice_restarts() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"frame");
+        let f = b.split_to_bytes(5);
+        b.extend_from_slice(b"next");
+        b.clear();
+        assert!(b.is_empty());
+        b.extend_from_slice(b"fresh");
+        assert_eq!(&f[..], b"frame");
+        assert_eq!(&*b, b"fresh");
     }
 }
