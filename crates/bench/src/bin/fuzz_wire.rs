@@ -1,0 +1,133 @@
+//! Adversarial fuzz driver for the untrusted decode path.
+//!
+//! Runs `--iters` deterministic cases (default 100 000) from `--seed`
+//! (default 1) over the committed corpus, catching panics per case. On a
+//! crash, the exact input bytes are written next to the working directory
+//! as `fuzz-crash-<seed>-<iter>.bin` (CI uploads them as artifacts) and
+//! the process exits nonzero with a reproduction command.
+//!
+//! ```text
+//! cargo run --release -p netobj-bench --bin fuzz_wire -- --iters 200000 --seed 7
+//! ```
+
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use netobj_bench::fuzz::{self, FuzzReport, FuzzRng};
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    corpus_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 1,
+        iters: 100_000,
+        corpus_dir: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: u64"),
+            "--iters" => args.iters = value("--iters").parse().expect("--iters: u64"),
+            "--corpus" => args.corpus_dir = PathBuf::from(value("--corpus")),
+            other => {
+                eprintln!("usage: fuzz_wire [--iters N] [--seed N] [--corpus DIR]");
+                panic!("unknown flag {other}");
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut corpus = fuzz::load_corpus(&args.corpus_dir);
+    if corpus.is_empty() {
+        eprintln!(
+            "note: no corpus at {}; using built-in seeds",
+            args.corpus_dir.display()
+        );
+        corpus = fuzz::builtin_corpus()
+            .into_iter()
+            .map(|(n, b)| (n.to_string(), b))
+            .collect();
+    }
+    println!(
+        "fuzz_wire: seed={} iters={} corpus={} entries",
+        args.seed,
+        args.iters,
+        corpus.len()
+    );
+
+    // Keep the default hook quiet per-case; we print our own report.
+    let default_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    let mut rng = FuzzRng::new(args.seed);
+    let mut report = FuzzReport::default();
+    let t0 = Instant::now();
+    for i in 0..args.iters {
+        let stream = fuzz::build_case(&mut rng, &corpus);
+        let chunk_seed = rng.next_u64();
+        let result =
+            panic::catch_unwind(AssertUnwindSafe(|| fuzz::execute_case(&stream, chunk_seed)));
+        match result {
+            Ok(r) => {
+                report.cases += r.cases;
+                report.frames += r.frames;
+                report.msgs += r.msgs;
+                report.values += r.values;
+            }
+            Err(payload) => {
+                panic::set_hook(default_hook);
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                let crash = PathBuf::from(format!("fuzz-crash-{}-{i}.bin", args.seed));
+                std::fs::write(&crash, &stream).expect("write crash artifact");
+                eprintln!("CRASH at iteration {i} (seed {}): {msg}", args.seed);
+                eprintln!(
+                    "input ({} bytes) saved to {}",
+                    stream.len(),
+                    crash.display()
+                );
+                eprintln!(
+                    "reproduce: cargo run --release -p netobj-bench --bin fuzz_wire -- \
+                     --seed {} --iters {}",
+                    args.seed,
+                    i + 1
+                );
+                std::process::exit(1);
+            }
+        }
+        if (i + 1) % 100_000 == 0 {
+            println!(
+                "  {:>9} cases  {:>9} frames  {:>9} msgs  {:>9} values  ({:.1}s)",
+                report.cases,
+                report.frames,
+                report.msgs,
+                report.values,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+    panic::set_hook(default_hook);
+
+    let dt = t0.elapsed();
+    println!(
+        "ok: {} cases in {:.2}s ({:.0} cases/s) — {} frames, {} msgs, {} values, 0 crashes",
+        report.cases,
+        dt.as_secs_f64(),
+        report.cases as f64 / dt.as_secs_f64(),
+        report.frames,
+        report.msgs,
+        report.values
+    );
+}

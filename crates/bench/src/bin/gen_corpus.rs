@@ -1,0 +1,30 @@
+//! Regenerates the committed fuzz seed corpus under `tests/corpus/`.
+//!
+//! The corpus is exactly [`netobj_bench::fuzz::builtin_corpus`] written
+//! out as one `.bin` file per entry (unframed message payloads; the
+//! harness frames them itself). Run from anywhere in the workspace:
+//!
+//! ```text
+//! cargo run -p netobj-bench --bin gen_corpus
+//! ```
+//!
+//! The output is deterministic, so re-running after a wire-format change
+//! produces a minimal, reviewable diff.
+
+use std::path::PathBuf;
+
+fn main() {
+    let dir = match std::env::args().nth(1) {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus"),
+    };
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    let mut written = 0usize;
+    for (name, bytes) in netobj_bench::fuzz::builtin_corpus() {
+        let path = dir.join(format!("{name}.bin"));
+        std::fs::write(&path, &bytes).expect("write corpus file");
+        println!("{:>6} bytes  {}", bytes.len(), path.display());
+        written += 1;
+    }
+    println!("wrote {written} corpus files to {}", dir.display());
+}

@@ -7,6 +7,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fuzz;
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

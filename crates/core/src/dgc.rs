@@ -22,7 +22,7 @@ use crossbeam::channel::{unbounded, RecvTimeoutError};
 use netobj_transport::clock::recv_deadline;
 use netobj_transport::{Bytes, ClockHandle, Endpoint};
 use netobj_wire::pickle::Pickle;
-use netobj_wire::{ObjIx, SpaceId, TraceKind, TypeList, WireRep};
+use netobj_wire::{ObjIx, SpaceId, TraceKind, TypeList, WireError, WireRep};
 
 use crate::error::{Error, NetResult};
 use crate::handle::{Handle, HandleKind, SurrogateCore};
@@ -44,6 +44,9 @@ pub mod methods {
     /// one call (the batching optimisation).
     pub const CLEAN_BATCH: u32 = 4;
 }
+
+/// Largest accepted `CLEAN_BATCH` (the demon sends at most 64 per round).
+pub(crate) const MAX_CLEAN_BATCH: usize = 4096;
 
 /// Work items for the cleanup demon.
 pub(crate) enum GcJob {
@@ -80,6 +83,15 @@ pub(crate) fn dispatch_gc(
     match method {
         methods::DIRTY => {
             let (ix, seqno, client_ep) = <(u64, u64, Option<Endpoint>)>::from_pickle_bytes(args)?;
+            // The protocol never issues sequence number 0 (`next_gc_seqno`
+            // starts at 1); reject it as malformed rather than letting it
+            // take the stale path, so fuzzers and broken peers get a
+            // `BadArguments` reply instead of a confusing "stale" error.
+            if seqno == 0 {
+                return Err(Error::Wire(WireError::OutOfRange(
+                    "dirty sequence number must be nonzero",
+                )));
+            }
             let target = WireRep::new(space.id(), ObjIx(ix));
             let outcome = space.inner.table.exports.apply_dirty(
                 ObjIx(ix),
@@ -87,6 +99,7 @@ pub(crate) fn dispatch_gc(
                 seqno,
                 client_ep,
                 space.inner.options.clock.now(),
+                &space.inner.options.budget,
             );
             match outcome {
                 DirtyOutcome::Applied(types) => {
@@ -130,10 +143,31 @@ pub(crate) fn dispatch_gc(
                     });
                     Err(Error::NoSuchObject(WireRep::new(space.id(), ObjIx(ix))))
                 }
+                DirtyOutcome::QuotaExceeded(what) => {
+                    space
+                        .inner
+                        .stats
+                        .dirty_refused_quota
+                        .fetch_add(1, Ordering::Relaxed);
+                    space.emit(TraceKind::DirtyRefused {
+                        owner: space.id(),
+                        client: caller,
+                        target,
+                        seqno,
+                    });
+                    Err(Error::QuotaExceeded(format!(
+                        "dirty call refused: {what} budget exhausted"
+                    )))
+                }
             }
         }
         methods::CLEAN => {
             let (ix, seqno, strong) = <(u64, u64, bool)>::from_pickle_bytes(args)?;
+            if seqno == 0 {
+                return Err(Error::Wire(WireError::OutOfRange(
+                    "clean sequence number must be nonzero",
+                )));
+            }
             let outcome = space
                 .inner
                 .table
@@ -156,6 +190,28 @@ pub(crate) fn dispatch_gc(
         }
         methods::CLEAN_BATCH => {
             let entries = <Vec<(u64, u64, bool)>>::from_pickle_bytes(args)?;
+            // Validate the whole batch before applying any entry, so a
+            // malformed batch cannot leave the table half-mutated. The
+            // demon batches at most 64 intents per round; 4096 leaves
+            // generous headroom while bounding per-call work. A client has
+            // at most one pending clean per object, so duplicate indices
+            // can only come from a broken or hostile peer.
+            if entries.len() > MAX_CLEAN_BATCH {
+                return Err(Error::Wire(WireError::OutOfRange(
+                    "clean batch exceeds maximum size",
+                )));
+            }
+            if entries.iter().any(|&(_, seqno, _)| seqno == 0) {
+                return Err(Error::Wire(WireError::OutOfRange(
+                    "clean sequence number must be nonzero",
+                )));
+            }
+            let mut seen = std::collections::HashSet::with_capacity(entries.len());
+            if !entries.iter().all(|&(ix, _, _)| seen.insert(ix)) {
+                return Err(Error::Wire(WireError::OutOfRange(
+                    "clean batch repeats an object index",
+                )));
+            }
             // Each clean applies under its own entry's shard lock; the
             // batch is transport-level batching, not an atomic group.
             let exports = &space.inner.table.exports;

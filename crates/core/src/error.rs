@@ -39,6 +39,11 @@ pub enum Error {
     /// into a dead owner are *broken*: calls fail fast with this error
     /// instead of burning a full call timeout.
     OwnerDead(SpaceId),
+    /// The calling space exceeded its per-client resource budget at this
+    /// space (export slots, dirty entries, queue share, in-flight calls
+    /// or connections). Not retryable: the quota clears only when the
+    /// client releases resources.
+    QuotaExceeded(String),
 }
 
 impl fmt::Display for Error {
@@ -54,6 +59,7 @@ impl fmt::Display for Error {
             Error::ImportFailed(m) => write!(f, "import failed: {m}"),
             Error::SpaceStopped => write!(f, "space has been shut down"),
             Error::OwnerDead(id) => write!(f, "owner space is dead: {id}"),
+            Error::QuotaExceeded(m) => write!(f, "resource budget exceeded: {m}"),
         }
     }
 }
@@ -101,6 +107,7 @@ pub(crate) fn to_remote_error(e: &Error) -> RemoteError {
         Error::App(m) => RemoteError::new(RemoteErrorKind::Application, m.clone()),
         Error::NoSuchObject(w) => RemoteError::new(RemoteErrorKind::NoSuchObject, format!("{w}")),
         Error::Wire(we) => RemoteError::new(RemoteErrorKind::BadArguments, we.to_string()),
+        Error::QuotaExceeded(m) => RemoteError::new(RemoteErrorKind::QuotaExceeded, m.clone()),
         other => RemoteError::new(RemoteErrorKind::Runtime, other.to_string()),
     }
 }
@@ -137,6 +144,10 @@ mod tests {
         assert_eq!(
             to_remote_error(&Error::NotListening).kind,
             RemoteErrorKind::Runtime
+        );
+        assert_eq!(
+            to_remote_error(&Error::QuotaExceeded("dirty entries".into())).kind,
+            RemoteErrorKind::QuotaExceeded
         );
     }
 }

@@ -154,8 +154,11 @@ pub struct Gauges {
     /// demon.
     pub pending_clean_retries: u64,
     /// Requests waiting in the server's worker queue (0 when not
-    /// listening).
+    /// listening). Exact: counted at admission and pick, not sampled.
     pub server_queue_depth: u64,
+    /// Highest `server_queue_depth` ever observed — how close the server
+    /// has come to its global queue limit since it started.
+    pub server_queue_high_water: u64,
     /// Cached outgoing RPC connections.
     pub pool_connections: u64,
     /// Per-endpoint circuit breakers currently open.
@@ -170,6 +173,9 @@ impl Gauges {
         self.dirty_entries += other.dirty_entries;
         self.pending_clean_retries += other.pending_clean_retries;
         self.server_queue_depth += other.server_queue_depth;
+        self.server_queue_high_water = self
+            .server_queue_high_water
+            .max(other.server_queue_high_water);
         self.pool_connections += other.pool_connections;
         self.open_breakers += other.open_breakers;
     }
@@ -182,6 +188,7 @@ impl Gauges {
             ("dirty_entries", self.dirty_entries),
             ("pending_clean_retries", self.pending_clean_retries),
             ("server_queue_depth", self.server_queue_depth),
+            ("server_queue_high_water", self.server_queue_high_water),
             ("pool_connections", self.pool_connections),
             ("open_breakers", self.open_breakers),
         ]
@@ -190,6 +197,40 @@ impl Gauges {
 
 /// The four collector RPC kinds that get their own latency histograms.
 pub const GC_KINDS: [&str; 4] = ["dirty", "clean", "strong_clean", "ping"];
+
+/// Per-client resource gauges: what one remote space currently costs this
+/// one, plus how often it has been refused. Populated only when the space
+/// runs with a finite [`netobj_rpc::ResourceBudget`] — client identities
+/// are random per process, so emitting them unconditionally would make
+/// the exposition nondeterministic for cooperative deployments that never
+/// asked for quotas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientQuotaGauges {
+    /// Open server connections bound to the client.
+    pub connections: u64,
+    /// Requests admitted on the client's behalf (queued + executing).
+    pub inflight: u64,
+    /// Requests waiting in the client's fair-admission queue.
+    pub queued: u64,
+    /// Objects the client holds dirty registrations on (export slots).
+    pub export_slots: u64,
+    /// Dirty-set plus seqno-floor entries charged to the client.
+    pub dirty_entries: u64,
+    /// Calls and dirties refused over quota since startup.
+    pub shed: u64,
+}
+
+impl ClientQuotaGauges {
+    /// Sums another snapshot of the same client into this one.
+    pub fn merge(&mut self, other: &ClientQuotaGauges) {
+        self.connections += other.connections;
+        self.inflight += other.inflight;
+        self.queued += other.queued;
+        self.export_slots += other.export_slots;
+        self.dirty_entries += other.dirty_entries;
+        self.shed += other.shed;
+    }
+}
 
 /// The full observability snapshot of one space — or of several, after
 /// merging. Rendered as Prometheus text by [`Metrics::to_prometheus_text`].
@@ -209,6 +250,10 @@ pub struct Metrics {
     pub gc_calls: [HistogramSnapshot; 4],
     /// Live-structure sizes at snapshot time.
     pub gauges: Gauges,
+    /// Per-client quota gauges, keyed by the client's `SpaceId` rendered
+    /// as its 32-hex-digit form (the `client` label value). Empty unless
+    /// the space enforces a finite budget.
+    pub per_client: BTreeMap<String, ClientQuotaGauges>,
 }
 
 impl Default for Metrics {
@@ -219,6 +264,7 @@ impl Default for Metrics {
             app_calls: BTreeMap::new(),
             gc_calls: [HistogramSnapshot::default(); 4],
             gauges: Gauges::default(),
+            per_client: BTreeMap::new(),
         }
     }
 }
@@ -235,6 +281,9 @@ impl Metrics {
             a.merge(b);
         }
         self.gauges.merge(&other.gauges);
+        for (client, g) in &other.per_client {
+            self.per_client.entry(client.clone()).or_default().merge(g);
+        }
     }
 
     /// Renders the snapshot in Prometheus text exposition format.
@@ -254,6 +303,7 @@ impl Metrics {
             let _ = writeln!(out, "# TYPE netobj_{name} gauge");
             let _ = writeln!(out, "netobj_{name} {v}");
         }
+        render_client_gauges(&mut out, &self.per_client);
         let _ = writeln!(out, "# TYPE netobj_call_latency_micros histogram");
         for (label, h) in &self.app_calls {
             render_histogram(&mut out, "netobj_call_latency_micros", "method", label, h);
@@ -300,8 +350,35 @@ fn merge_stats(a: &StatsSnapshot, b: &StatsSnapshot) -> StatsSnapshot {
         retries_attempted,
         breaker_opened,
         calls_failed_fast,
+        calls_shed_global,
+        calls_shed_quota,
+        dirty_refused_quota,
         blocked_ns,
     )
+}
+
+/// Renders the per-client quota gauge families, one line per client in
+/// key order. Emits nothing for an empty map, so spaces without quotas
+/// keep their exposition unchanged.
+fn render_client_gauges(out: &mut String, per_client: &BTreeMap<String, ClientQuotaGauges>) {
+    if per_client.is_empty() {
+        return;
+    }
+    type Field = fn(&ClientQuotaGauges) -> u64;
+    let families: [(&str, Field); 6] = [
+        ("netobj_client_connections", |g| g.connections),
+        ("netobj_client_inflight", |g| g.inflight),
+        ("netobj_client_queued", |g| g.queued),
+        ("netobj_client_export_slots", |g| g.export_slots),
+        ("netobj_client_dirty_entries", |g| g.dirty_entries),
+        ("netobj_client_shed_total", |g| g.shed),
+    ];
+    for (name, value) in families {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for (client, g) in per_client {
+            let _ = writeln!(out, "{name}{{client=\"{client}\"}} {}", value(g));
+        }
+    }
 }
 
 fn render_histogram(
@@ -428,6 +505,40 @@ mod tests {
         assert!(text.contains("netobj_gc_latency_micros_bucket{kind=\"dirty\",le=\"+Inf\"} 1"));
         // Deterministic: same snapshot, same text.
         assert_eq!(text, m.to_prometheus_text());
+    }
+
+    #[test]
+    fn per_client_gauges_render_only_when_present() {
+        let mut m = Metrics::default();
+        let text = m.to_prometheus_text();
+        assert!(!text.contains("netobj_client_"));
+        m.per_client.insert(
+            format!("{:032x}", 0xabcu128),
+            ClientQuotaGauges {
+                connections: 1,
+                inflight: 2,
+                queued: 1,
+                export_slots: 3,
+                dirty_entries: 5,
+                shed: 7,
+            },
+        );
+        let text = m.to_prometheus_text();
+        let label = format!("{:032x}", 0xabcu128);
+        assert!(text.contains("# TYPE netobj_client_connections gauge"));
+        assert!(text.contains(&format!("netobj_client_inflight{{client=\"{label}\"}} 2")));
+        assert!(text.contains(&format!("netobj_client_shed_total{{client=\"{label}\"}} 7")));
+        // Merging sums per client.
+        let mut other = Metrics::default();
+        other.per_client.insert(
+            label.clone(),
+            ClientQuotaGauges {
+                shed: 1,
+                ..Default::default()
+            },
+        );
+        m.merge(&other);
+        assert_eq!(m.per_client[&label].shed, 8);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use netobj_rpc::{BreakerConfig, RetryPolicy};
+use netobj_rpc::{BreakerConfig, ResourceBudget, RetryPolicy};
 use netobj_transport::ClockHandle;
 
 /// Configuration for a [`crate::Space`].
@@ -64,6 +64,14 @@ pub struct Options {
     /// `Busy` reply instead of letting them time out behind the backlog.
     /// `None` restores the unbounded queue.
     pub server_queue_limit: Option<usize>,
+    /// Per-client resource limits enforced at every untrusted entry point:
+    /// dispatch (queue share and in-flight calls), connection accept, and
+    /// the collector's dirty path (export slots and dirty entries).
+    /// Over-budget requests are refused with the non-retryable
+    /// `QuotaExceeded` remote error. The default disables every limit —
+    /// the cooperative-peers behaviour; hardened deployments should use
+    /// [`ResourceBudget::standard`] or their own figures.
+    pub budget: ResourceBudget,
     /// The clock every runtime timer reads: retry backoff pauses, breaker
     /// cool-downs, the cleanup demon's retry schedule, ping and lease
     /// periods, call deadlines. The default is the real system clock;
@@ -89,6 +97,7 @@ impl Default for Options {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             server_queue_limit: Some(1024),
+            budget: ResourceBudget::unlimited(),
             clock: ClockHandle::system(),
         }
     }
@@ -124,6 +133,18 @@ mod tests {
         assert!(o.retry.attempt_timeout.is_none());
         assert!(o.breaker.enabled);
         assert!(o.server_queue_limit.is_some());
+        // Quotas are opt-in: the base algorithm trusts its peers.
+        assert!(o.budget.is_unlimited());
+    }
+
+    #[test]
+    fn standard_budget_is_finite_and_coherent() {
+        let b = ResourceBudget::standard();
+        assert!(!b.is_unlimited());
+        // A dirty-entry allowance below the export-slot allowance would
+        // make the latter unreachable.
+        assert!(b.max_dirty_entries.unwrap() >= b.max_export_slots.unwrap());
+        assert!(b.max_inflight.unwrap() >= b.max_queue_share.unwrap());
     }
 
     #[test]

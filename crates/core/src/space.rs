@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use crossbeam::channel::Sender;
 use netobj_rpc::{
     Admission, Backoff, BreakerState, CallClient, CallReply, CircuitBreaker, Dispatch, DispatchCx,
-    Dispatcher, FailureClass, RpcError, RpcServer,
+    Dispatcher, FailureClass, RpcError, RpcServer, ServerConfig,
 };
 use netobj_transport::{Bytes, Endpoint, TransportRegistry};
 use netobj_wire::{
@@ -28,7 +28,7 @@ use crate::dgc::{self, GcJob};
 use crate::error::{to_remote_error, Error, NetResult};
 use crate::handle::{Handle, HandleKind, PinKind, SurrogateCore, TransientPin};
 use crate::marshal::UnmarshalCx;
-use crate::metrics::{Gauges, Histogram, Metrics, GC_KINDS};
+use crate::metrics::{ClientQuotaGauges, Gauges, Histogram, Metrics, GC_KINDS};
 use crate::obj::NetObject;
 use crate::options::Options;
 use crate::span::{self, IdAlloc, SpanRing, TraceScope, DEFAULT_SPAN_CAPACITY};
@@ -161,12 +161,15 @@ impl SpaceBuilder {
             let local = listener.local_endpoint();
             let dispatcher: Arc<dyn Dispatcher> =
                 Arc::new(SpaceDispatcher(Arc::downgrade(&space.inner)));
-            let server = RpcServer::start_with_clock(
+            let server = RpcServer::start_with_config(
                 listener,
                 dispatcher,
-                space.inner.options.workers,
-                space.inner.options.server_queue_limit,
-                space.inner.options.clock.clone(),
+                ServerConfig {
+                    workers: space.inner.options.workers,
+                    queue_limit: space.inner.options.server_queue_limit,
+                    budget: space.inner.options.budget.clone(),
+                    clock: space.inner.options.clock.clone(),
+                },
             );
             *space.inner.local_ep.lock() = Some(local);
             *space.inner.server.lock() = Some(server);
@@ -202,8 +205,17 @@ impl Space {
     }
 
     /// A snapshot of the space's activity counters.
+    ///
+    /// The shed counters live in the RPC server (calls refused there never
+    /// reach the space's dispatcher); the snapshot folds them in so one
+    /// read sees all admission decisions.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut snap = self.inner.stats.snapshot();
+        if let Some(server) = self.inner.server.lock().as_ref() {
+            snap.calls_shed_global += server.shed_global();
+            snap.calls_shed_quota += server.shed_quota();
+        }
+        snap
     }
 
     /// The space's trace ring (the collector's flight recorder).
@@ -237,18 +249,20 @@ impl Space {
             .map(|(label, h)| (label.clone(), h.snapshot()))
             .collect();
         let gc_calls = std::array::from_fn(|i| self.inner.gc_hist[i].snapshot());
+        let (queue_depth, queue_high_water) = {
+            let server = self.inner.server.lock();
+            server
+                .as_ref()
+                .map(|s| (s.queue_depth() as u64, s.queue_high_water() as u64))
+                .unwrap_or((0, 0))
+        };
         let gauges = Gauges {
             exports: self.exported_count() as u64,
             surrogates: self.inner.table.imports.len() as u64,
             dirty_entries: self.inner.table.exports.dirty_entry_count(),
             pending_clean_retries: self.inner.pending_clean_retries.load(Ordering::Relaxed),
-            server_queue_depth: self
-                .inner
-                .server
-                .lock()
-                .as_ref()
-                .map(|s| s.queue_depth() as u64)
-                .unwrap_or(0),
+            server_queue_depth: queue_depth,
+            server_queue_high_water: queue_high_water,
             pool_connections: self.inner.clients.read().len() as u64,
             open_breakers: self
                 .inner
@@ -258,12 +272,34 @@ impl Space {
                 .filter(|b| b.state() == BreakerState::Open)
                 .count() as u64,
         };
+        // Per-client quota gauges are assembled only under a finite
+        // budget: client ids are random per process, so unconditional
+        // emission would make the exposition nondeterministic for
+        // deployments that never asked for quotas.
+        let mut per_client: BTreeMap<String, ClientQuotaGauges> = BTreeMap::new();
+        if !self.inner.options.budget.is_unlimited() {
+            if let Some(server) = self.inner.server.lock().as_ref() {
+                for (id, usage) in server.per_client() {
+                    let g = per_client.entry(format!("{id}")).or_default();
+                    g.connections = usage.connections;
+                    g.queued = usage.queued;
+                    g.inflight = usage.inflight;
+                    g.shed = usage.shed_quota;
+                }
+            }
+            for (id, fp) in self.inner.table.exports.client_footprints() {
+                let g = per_client.entry(format!("{id}")).or_default();
+                g.export_slots = fp.dirty as u64;
+                g.dirty_entries = (fp.dirty + fp.floors) as u64;
+            }
+        }
         Metrics {
             space: self.id(),
             stats: self.stats(),
             app_calls,
             gc_calls,
             gauges,
+            per_client,
         }
     }
 

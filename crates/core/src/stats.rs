@@ -101,6 +101,16 @@ stats_counters! {
     /// Outgoing calls rejected immediately (open breaker or dead owner)
     /// without touching the network.
     calls_failed_fast,
+    /// Incoming calls shed because the server's aggregate queue was full
+    /// (retryable `Busy`: global saturation, not the caller's fault).
+    calls_shed_global,
+    /// Incoming calls refused because the *calling* client exceeded its
+    /// queue-share, in-flight or connection budget (non-retryable
+    /// `QuotaExceeded`).
+    calls_shed_quota,
+    /// Dirty calls refused because the calling client exceeded its export
+    /// slot or dirty-entry budget.
+    dirty_refused_quota,
     /// Total nanoseconds unmarshal threads spent blocked waiting for
     /// reference registration (dirty round-trips).
     blocked_ns,
@@ -156,7 +166,7 @@ mod tests {
         s.calls_rejected.store(2, Ordering::Relaxed);
         let named = s.snapshot().named();
         // One entry per struct field, in declaration order, no gaps.
-        assert_eq!(named.len(), 25);
+        assert_eq!(named.len(), 28);
         assert_eq!(named[0], ("calls_sent", 11));
         assert!(named.contains(&("calls_rejected", 2)));
         assert!(named.contains(&("blocked_ns", 0)));

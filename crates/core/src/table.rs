@@ -37,6 +37,11 @@
 //! 3. Import shards are independent; no operation holds two at once, and
 //!    no operation holds an import shard together with `ident` or an
 //!    export shard.
+//! 4. The per-client footprint map (`ExportTable::counts`) is a *leaf*
+//!    lock: it may be taken while holding `ident` and/or one export
+//!    shard, and nothing else is ever acquired while holding it. Keeping
+//!    the quota check-and-increment under this single lock makes budget
+//!    enforcement exact even though entries live in different shards.
 //!
 //! Entry removal always holds `ident` *and* the entry's shard, so any
 //! reader holding `ident` may rely on `by_ptr` hits resolving to live
@@ -49,6 +54,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Instant;
 
+use netobj_rpc::ResourceBudget;
 use netobj_transport::Endpoint;
 use netobj_wire::{ObjIx, SpaceId, TypeList, WireRep};
 use parking_lot::{Condvar, Mutex};
@@ -156,6 +162,28 @@ struct ExportIdent {
     by_ptr: HashMap<usize, u64>,
 }
 
+/// What one client currently costs this owner in table bookkeeping.
+///
+/// `dirty` counts the objects the client holds dirty registrations on
+/// (its *export slots*); `floors` counts its seqno-floor entries. Floors
+/// outlive cleans by design — a strong clean must permanently outrank any
+/// delayed dirty — which makes them the one piece of per-client state a
+/// peer can grow without holding anything, so the dirty-entry budget
+/// bounds `dirty + floors`, not `dirty` alone.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ClientFootprint {
+    /// Objects on which the client is currently in the dirty set.
+    pub dirty: usize,
+    /// Seqno-floor entries recorded for the client.
+    pub floors: usize,
+}
+
+impl ClientFootprint {
+    fn is_empty(&self) -> bool {
+        self.dirty == 0 && self.floors == 0
+    }
+}
+
 /// Owner-side table state, sharded by object index.
 pub(crate) struct ExportTable {
     ident: Mutex<ExportIdent>,
@@ -163,6 +191,11 @@ pub(crate) struct ExportTable {
     /// keeps transient pinning off every lock.
     next_pin: AtomicU64,
     shards: Vec<Mutex<HashMap<u64, ConcreteEntry>>>,
+    /// Per-client footprint, maintained alongside every dirty-set and
+    /// floor mutation (leaf lock; see the module lock-order notes).
+    /// Records exist only while the footprint is nonzero, so refused or
+    /// stale calls from never-seen clients cannot grow this map.
+    counts: Mutex<HashMap<SpaceId, ClientFootprint>>,
 }
 
 fn ptr_key(obj: &Arc<dyn NetObject>) -> usize {
@@ -180,6 +213,7 @@ impl ExportTable {
             shards: (0..EXPORT_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            counts: Mutex::new(HashMap::new()),
         }
     }
 
@@ -304,10 +338,14 @@ impl ExportTable {
         self.collect_if_removable(ix)
     }
 
-    /// Applies a dirty call from `client` with `seqno`.
+    /// Applies a dirty call from `client` with `seqno`, charging the
+    /// client's footprint against `budget`.
     ///
-    /// Returns the object's type list, or `None` for a vanished object or a
-    /// stale sequence number (`Some` ⇒ the entry now lists the client).
+    /// Stale or over-budget calls are rejected **without mutating
+    /// anything** — in particular without creating a floor entry — so the
+    /// validation path itself cannot be used to exhaust owner memory.
+    /// Renewals (the client is already in the dirty set) never hit the
+    /// quota checks: they acquire nothing new.
     pub fn apply_dirty(
         &self,
         ix: ObjIx,
@@ -315,16 +353,39 @@ impl ExportTable {
         seqno: u64,
         client_ep: Option<Endpoint>,
         now: Instant,
+        budget: &ResourceBudget,
     ) -> DirtyOutcome {
         let mut shard = self.shard(ix.0).lock();
         let Some(entry) = shard.get_mut(&ix.0) else {
             return DirtyOutcome::NoSuchObject;
         };
-        let floor = entry.seqno_floor.entry(client).or_insert(0);
-        if seqno <= *floor {
+        if seqno <= entry.seqno_floor.get(&client).copied().unwrap_or(0) {
             return DirtyOutcome::Stale;
         }
-        *floor = seqno;
+        let new_dirty = !entry.dirty.contains_key(&client);
+        let new_floor = !entry.seqno_floor.contains_key(&client);
+        if new_dirty {
+            // Check-and-increment under the counts leaf lock, so dirties
+            // racing on different shards cannot both slip under a limit.
+            let mut counts = self.counts.lock();
+            let held = counts.get(&client).copied().unwrap_or_default();
+            if let Some(max) = budget.max_export_slots {
+                if held.dirty >= max {
+                    return DirtyOutcome::QuotaExceeded("export slots");
+                }
+            }
+            if let Some(max) = budget.max_dirty_entries {
+                if held.dirty + held.floors + 1 + usize::from(new_floor) > max {
+                    return DirtyOutcome::QuotaExceeded("dirty entries");
+                }
+            }
+            let fp = counts.entry(client).or_default();
+            fp.dirty += 1;
+            if new_floor {
+                fp.floors += 1;
+            }
+        }
+        entry.seqno_floor.insert(client, seqno);
         match entry.dirty.get_mut(&client) {
             Some(info) => {
                 info.last_seqno = seqno;
@@ -360,12 +421,31 @@ impl ExportTable {
             let Some(entry) = shard.get_mut(&ix.0) else {
                 return CleanOutcome::NoOp;
             };
-            let floor = entry.seqno_floor.entry(client).or_insert(0);
-            if seqno <= *floor {
+            if seqno <= entry.seqno_floor.get(&client).copied().unwrap_or(0) {
+                // Stale: reject without touching the floor map, so replayed
+                // cleans leave no per-client state behind.
                 return CleanOutcome::Stale;
             }
-            *floor = seqno;
-            if entry.dirty.remove(&client).is_none() {
+            let new_floor = entry.seqno_floor.insert(client, seqno).is_none();
+            let dropped = entry.dirty.remove(&client).is_some();
+            if new_floor || dropped {
+                // Cleans are release operations and are never refused for
+                // quota — but the floor entry a previously-unknown client's
+                // clean leaves behind (required so a delayed dirty cannot
+                // outrank it) still counts against its footprint.
+                let mut counts = self.counts.lock();
+                let fp = counts.entry(client).or_default();
+                if new_floor {
+                    fp.floors += 1;
+                }
+                if dropped {
+                    fp.dirty = fp.dirty.saturating_sub(1);
+                }
+                if fp.is_empty() {
+                    counts.remove(&client);
+                }
+            }
+            if !dropped {
                 // Unknown client: a no-op, but the floor update above still
                 // blocks any delayed dirty with a lower seqno.
                 return CleanOutcome::NoOp;
@@ -393,6 +473,15 @@ impl ExportTable {
                     .filter_map(|(&ix, e)| e.dirty.remove(&client).map(|_| ix)),
             );
         }
+        if !affected.is_empty() {
+            let mut counts = self.counts.lock();
+            if let Some(fp) = counts.get_mut(&client) {
+                fp.dirty = fp.dirty.saturating_sub(affected.len());
+                if fp.is_empty() {
+                    counts.remove(&client);
+                }
+            }
+        }
         let mut collected = 0;
         for ix in affected {
             if self.collect_if_removable(ObjIx(ix)) {
@@ -407,15 +496,33 @@ impl ExportTable {
     pub fn expire_leases(&self, expiry: Instant) -> (u64, u64) {
         let mut expired = 0;
         let mut affected = Vec::new();
+        let mut dropped: HashMap<SpaceId, usize> = HashMap::new();
         for shard in &self.shards {
             let mut shard = shard.lock();
             for (&ix, e) in shard.iter_mut() {
                 let before = e.dirty.len();
-                e.dirty.retain(|_, info| info.renewed >= expiry);
+                e.dirty.retain(|&c, info| {
+                    let keep = info.renewed >= expiry;
+                    if !keep {
+                        *dropped.entry(c).or_insert(0) += 1;
+                    }
+                    keep
+                });
                 let removed = before - e.dirty.len();
                 if removed > 0 {
                     expired += removed as u64;
                     affected.push(ix);
+                }
+            }
+        }
+        if !dropped.is_empty() {
+            let mut counts = self.counts.lock();
+            for (c, n) in dropped {
+                if let Some(fp) = counts.get_mut(&c) {
+                    fp.dirty = fp.dirty.saturating_sub(n);
+                    if fp.is_empty() {
+                        counts.remove(&c);
+                    }
                 }
             }
         }
@@ -479,6 +586,38 @@ impl ExportTable {
             .sum()
     }
 
+    /// Per-client footprint snapshot, sorted by client id (gauges and
+    /// introspection; consistent because the map has its own lock).
+    pub fn client_footprints(&self) -> Vec<(SpaceId, ClientFootprint)> {
+        let counts = self.counts.lock();
+        let mut v: Vec<_> = counts.iter().map(|(&c, &fp)| (c, fp)).collect();
+        v.sort_by_key(|(c, _)| *c);
+        v
+    }
+
+    /// Recomputes every client's footprint from a full table scan and
+    /// compares it with the maintained counts (test observability).
+    #[cfg(test)]
+    pub fn counts_match_scan(&self) -> bool {
+        let mut scanned: HashMap<SpaceId, (usize, usize)> = HashMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for e in shard.values() {
+                for &c in e.dirty.keys() {
+                    scanned.entry(c).or_default().0 += 1;
+                }
+                for &c in e.seqno_floor.keys() {
+                    scanned.entry(c).or_default().1 += 1;
+                }
+            }
+        }
+        let counts = self.counts.lock();
+        counts.len() == scanned.len()
+            && counts
+                .iter()
+                .all(|(c, fp)| scanned.get(c) == Some(&(fp.dirty, fp.floors)))
+    }
+
     /// Number of live concrete entries at non-reserved indices (built-ins
     /// at reserved indices live forever and would otherwise make every
     /// listening space report a nonzero count).
@@ -514,6 +653,20 @@ impl ExportTable {
         let removable = shard.get(&ix.0).is_some_and(|e| e.removable());
         if removable {
             let entry = shard.remove(&ix.0).expect("checked present");
+            // Removable ⇒ the dirty set is empty; only the entry's floor
+            // entries still weigh on client footprints. Release them.
+            if !entry.seqno_floor.is_empty() {
+                let mut counts = self.counts.lock();
+                for client in entry.seqno_floor.keys() {
+                    let Some(fp) = counts.get_mut(client) else {
+                        continue;
+                    };
+                    fp.floors = fp.floors.saturating_sub(1);
+                    if fp.is_empty() {
+                        counts.remove(client);
+                    }
+                }
+            }
             let key = ptr_key(&entry.obj);
             if ident.by_ptr.get(&key) == Some(&ix.0) {
                 ident.by_ptr.remove(&key);
@@ -575,6 +728,9 @@ pub(crate) enum DirtyOutcome {
     Stale,
     /// The object is gone from the table.
     NoSuchObject,
+    /// The client's footprint is at its budget; nothing was mutated. The
+    /// static string names the exhausted limit.
+    QuotaExceeded(&'static str),
 }
 
 /// Result of applying a clean call at the owner.
@@ -617,6 +773,10 @@ mod tests {
 
     fn client(n: u128) -> SpaceId {
         SpaceId::from_raw(n)
+    }
+
+    fn open() -> ResourceBudget {
+        ResourceBudget::unlimited()
     }
 
     #[test]
@@ -682,7 +842,7 @@ mod tests {
         let pin = e.add_transient(ix).unwrap();
         let now = Instant::now();
         assert!(matches!(
-            e.apply_dirty(ix, client(1), 1, None, now),
+            e.apply_dirty(ix, client(1), 1, None, now, &open()),
             DirtyOutcome::Applied(_)
         ));
         // Transient released: dirty entry still protects.
@@ -698,19 +858,19 @@ mod tests {
         let (ix, _, _) = e.export(&obj, true);
         let now = Instant::now();
         assert!(matches!(
-            e.apply_dirty(ix, client(1), 5, None, now),
+            e.apply_dirty(ix, client(1), 5, None, now, &open()),
             DirtyOutcome::Applied(_)
         ));
         assert!(matches!(
-            e.apply_dirty(ix, client(1), 5, None, now),
+            e.apply_dirty(ix, client(1), 5, None, now, &open()),
             DirtyOutcome::Stale
         ));
         assert!(matches!(
-            e.apply_dirty(ix, client(1), 4, None, now),
+            e.apply_dirty(ix, client(1), 4, None, now, &open()),
             DirtyOutcome::Stale
         ));
         assert!(matches!(
-            e.apply_dirty(ix, client(1), 6, None, now),
+            e.apply_dirty(ix, client(1), 6, None, now, &open()),
             DirtyOutcome::Applied(_)
         ));
     }
@@ -725,19 +885,19 @@ mod tests {
         let (ix, _, _) = e.export(&obj, true);
         let now = Instant::now();
         assert!(matches!(
-            e.apply_dirty(ix, client(1), 5, None, now),
+            e.apply_dirty(ix, client(1), 5, None, now, &open()),
             DirtyOutcome::Applied(_)
         ));
         assert_eq!(e.apply_clean(ix, client(1), 8), CleanOutcome::Removed);
         // The delayed dirty(7) finally arrives: the seqno floor left by the
         // strong clean(8) must block it.
         assert!(matches!(
-            e.apply_dirty(ix, client(1), 7, None, now),
+            e.apply_dirty(ix, client(1), 7, None, now, &open()),
             DirtyOutcome::Stale
         ));
         // And a genuinely newer dirty (a fresh import) is accepted.
         assert!(matches!(
-            e.apply_dirty(ix, client(1), 9, None, now),
+            e.apply_dirty(ix, client(1), 9, None, now, &open()),
             DirtyOutcome::Applied(_)
         ));
     }
@@ -759,9 +919,9 @@ mod tests {
         let (ia, _, _) = e.export(&a, false);
         let (ib, _, _) = e.export(&b, false);
         let now = Instant::now();
-        e.apply_dirty(ia, client(1), 1, None, now);
-        e.apply_dirty(ib, client(1), 2, None, now);
-        e.apply_dirty(ib, client(2), 3, None, now);
+        e.apply_dirty(ia, client(1), 1, None, now, &open());
+        e.apply_dirty(ib, client(1), 2, None, now, &open());
+        e.apply_dirty(ib, client(2), 3, None, now, &open());
         assert_eq!(e.purge_client(client(1)), 1); // a collected, b survives
         assert_eq!(e.len(), 1);
     }
@@ -772,7 +932,7 @@ mod tests {
         let obj = dummy();
         let (ix, _, _) = e.export(&obj, false);
         let old = Instant::now() - std::time::Duration::from_secs(100);
-        e.apply_dirty(ix, client(1), 1, None, old);
+        e.apply_dirty(ix, client(1), 1, None, old, &open());
         let (expired, collected) =
             e.expire_leases(Instant::now() - std::time::Duration::from_secs(10));
         assert_eq!((expired, collected), (1, 1));
@@ -784,13 +944,168 @@ mod tests {
         let obj = dummy();
         let (ix, _, _) = e.export(&obj, true);
         let now = Instant::now();
-        e.apply_dirty(ix, client(1), 1, Some(Endpoint::sim("c1")), now);
-        e.apply_dirty(ix, client(2), 2, None, now);
+        e.apply_dirty(ix, client(1), 1, Some(Endpoint::sim("c1")), now, &open());
+        e.apply_dirty(ix, client(2), 2, None, now, &open());
         let mut clients = e.dirty_clients();
         clients.sort_by_key(|(s, _)| *s);
         assert_eq!(clients.len(), 2);
         assert_eq!(clients[0].1, Some(Endpoint::sim("c1")));
         assert_eq!(clients[1].1, None);
+    }
+
+    #[test]
+    fn export_slot_quota_refuses_new_registrations_only() {
+        let e = fresh();
+        let budget = ResourceBudget {
+            max_export_slots: Some(2),
+            ..ResourceBudget::unlimited()
+        };
+        let objs: Vec<_> = (0..3).map(|_| dummy()).collect();
+        let ixs: Vec<_> = objs.iter().map(|o| e.export(o, true).0).collect();
+        let now = Instant::now();
+        assert!(matches!(
+            e.apply_dirty(ixs[0], client(1), 1, None, now, &budget),
+            DirtyOutcome::Applied(_)
+        ));
+        assert!(matches!(
+            e.apply_dirty(ixs[1], client(1), 2, None, now, &budget),
+            DirtyOutcome::Applied(_)
+        ));
+        // A third distinct object exceeds the slot budget...
+        assert!(matches!(
+            e.apply_dirty(ixs[2], client(1), 3, None, now, &budget),
+            DirtyOutcome::QuotaExceeded("export slots")
+        ));
+        // ...and the refusal left no floor entry behind: the same seqno
+        // succeeds once a slot frees up.
+        assert!(matches!(
+            e.apply_dirty(ixs[0], client(1), 4, None, now, &budget),
+            DirtyOutcome::Applied(_)
+        ));
+        // Another client has its own budget.
+        assert!(matches!(
+            e.apply_dirty(ixs[2], client(2), 1, None, now, &budget),
+            DirtyOutcome::Applied(_)
+        ));
+        assert_eq!(e.apply_clean(ixs[0], client(1), 5), CleanOutcome::Removed);
+        assert!(matches!(
+            e.apply_dirty(ixs[2], client(1), 3, None, now, &budget),
+            DirtyOutcome::Applied(_)
+        ));
+        assert!(e.counts_match_scan());
+    }
+
+    #[test]
+    fn dirty_entry_quota_counts_lingering_floors() {
+        let e = fresh();
+        // Floors persist after cleans on pinned entries, so a churned
+        // client accumulates floor entries that count against this limit.
+        let budget = ResourceBudget {
+            max_dirty_entries: Some(4),
+            ..ResourceBudget::unlimited()
+        };
+        let objs: Vec<_> = (0..4).map(|_| dummy()).collect();
+        let ixs: Vec<_> = objs.iter().map(|o| e.export(o, true).0).collect();
+        let now = Instant::now();
+        // Dirty+clean the first two objects: 0 dirty, 2 floors.
+        for (n, &ix) in ixs[..2].iter().enumerate() {
+            assert!(matches!(
+                e.apply_dirty(ix, client(1), 2 * n as u64 + 1, None, now, &budget),
+                DirtyOutcome::Applied(_)
+            ));
+            assert_eq!(
+                e.apply_clean(ix, client(1), 2 * n as u64 + 2),
+                CleanOutcome::Removed
+            );
+        }
+        // A fresh object costs dirty+floor = 2: 1 dirty, 3 floors = 4. OK.
+        assert!(matches!(
+            e.apply_dirty(ixs[2], client(1), 1, None, now, &budget),
+            DirtyOutcome::Applied(_)
+        ));
+        // The next would need 2 more: refused without mutation.
+        assert!(matches!(
+            e.apply_dirty(ixs[3], client(1), 1, None, now, &budget),
+            DirtyOutcome::QuotaExceeded("dirty entries")
+        ));
+        // Unpinning the cleaned entries collects them and releases their
+        // floors (2 of the 4 budget units), making room for the refused
+        // dirty's floor+dirty pair.
+        assert!(e.unpin(ixs[0]));
+        assert!(e.unpin(ixs[1]));
+        assert!(matches!(
+            e.apply_dirty(ixs[3], client(1), 1, None, now, &budget),
+            DirtyOutcome::Applied(_)
+        ));
+        assert!(e.counts_match_scan());
+    }
+
+    #[test]
+    fn refused_and_stale_calls_leave_no_footprint() {
+        let e = fresh();
+        let obj = dummy();
+        let (ix, _, _) = e.export(&obj, true);
+        let now = Instant::now();
+        // A seqno-0 dirty from a never-seen client is stale (the floor
+        // starts at 0) and must not create any per-client state.
+        assert!(matches!(
+            e.apply_dirty(ix, client(9), 0, None, now, &open()),
+            DirtyOutcome::Stale
+        ));
+        assert!(e.client_footprints().is_empty());
+        // Same for an over-quota client that was never admitted.
+        let zero = ResourceBudget {
+            max_export_slots: Some(0),
+            ..ResourceBudget::unlimited()
+        };
+        assert!(matches!(
+            e.apply_dirty(ix, client(9), 1, None, now, &zero),
+            DirtyOutcome::QuotaExceeded(_)
+        ));
+        assert!(e.client_footprints().is_empty());
+        // A stale clean replay likewise records nothing...
+        assert_eq!(e.apply_clean(ix, client(9), 0), CleanOutcome::Stale);
+        assert!(e.client_footprints().is_empty());
+        // ...but an unknown client's *advancing* clean leaves the floor
+        // entry the protocol requires, and it is accounted for.
+        assert_eq!(e.apply_clean(ix, client(9), 3), CleanOutcome::NoOp);
+        let fp = e.client_footprints();
+        assert_eq!(fp.len(), 1);
+        assert_eq!((fp[0].1.dirty, fp[0].1.floors), (0, 1));
+        assert!(e.counts_match_scan());
+    }
+
+    #[test]
+    fn footprints_survive_purge_expiry_and_collection() {
+        let e = fresh();
+        let now = Instant::now();
+        let objs: Vec<_> = (0..6).map(|_| dummy()).collect();
+        let ixs: Vec<_> = objs.iter().map(|o| e.export(o, false).0).collect();
+        for (n, &ix) in ixs.iter().enumerate() {
+            e.apply_dirty(ix, client(1), 1, None, now, &open());
+            if n % 2 == 0 {
+                e.apply_dirty(ix, client(2), 1, None, now, &open());
+            }
+        }
+        assert!(e.counts_match_scan());
+        // Purge client 1: the objects only it held collect (releasing
+        // their floors); on objects shared with client 2 the entry
+        // survives, and with it client 1's floor entries.
+        e.purge_client(client(1));
+        assert!(e.counts_match_scan());
+        let fps = e.client_footprints();
+        assert_eq!(fps.len(), 2);
+        assert_eq!(
+            (fps[0].0, fps[0].1.dirty, fps[0].1.floors),
+            (client(1), 0, 3)
+        );
+        assert_eq!(fps[1].0, client(2));
+        // Expire client 2's leases: everything collects, counts drain.
+        let (expired, _) = e.expire_leases(now + std::time::Duration::from_secs(1));
+        assert_eq!(expired, 3);
+        assert!(e.client_footprints().is_empty());
+        assert!(e.counts_match_scan());
+        assert_eq!(e.len(), 0);
     }
 
     #[test]
@@ -800,7 +1115,7 @@ mod tests {
         let now = Instant::now();
         for obj in &objs {
             let (ix, _, _) = e.export(obj, false);
-            e.apply_dirty(ix, client(7), 1, None, now);
+            e.apply_dirty(ix, client(7), 1, None, now, &open());
         }
         assert_eq!(e.len(), 64);
         assert_eq!(e.dirty_entry_count(), 64);

@@ -22,6 +22,13 @@ pub enum RemoteErrorKind {
     /// The callee's worker pool was saturated and shed the call *before*
     /// dispatching it. The method did not execute; retrying is safe.
     Busy,
+    /// The callee refused the call because *this* client exceeded its
+    /// resource budget (queue share, in-flight calls, connections, dirty
+    /// entries or export slots). The method did not execute — but unlike
+    /// [`RemoteErrorKind::Busy`] the failure is not transient congestion:
+    /// retrying will keep failing until the client releases resources, so
+    /// the resilience layer classifies it as *definite* and does not retry.
+    QuotaExceeded,
 }
 
 impl RemoteErrorKind {
@@ -33,6 +40,7 @@ impl RemoteErrorKind {
             RemoteErrorKind::Application => 3,
             RemoteErrorKind::Runtime => 4,
             RemoteErrorKind::Busy => 5,
+            RemoteErrorKind::QuotaExceeded => 6,
         }
     }
 
@@ -44,6 +52,7 @@ impl RemoteErrorKind {
             3 => RemoteErrorKind::Application,
             4 => RemoteErrorKind::Runtime,
             5 => RemoteErrorKind::Busy,
+            6 => RemoteErrorKind::QuotaExceeded,
             _ => return None,
         })
     }
@@ -174,6 +183,7 @@ mod tests {
             RemoteErrorKind::Application,
             RemoteErrorKind::Runtime,
             RemoteErrorKind::Busy,
+            RemoteErrorKind::QuotaExceeded,
         ] {
             let e = RemoteError::new(kind, "boom");
             let bytes = e.to_pickle_bytes();

@@ -11,8 +11,11 @@
 //!   concurrent calls over one connection; replies are matched by call id.
 //! - [`server::RpcServer`]: accepts connections and dispatches each request
 //!   on a worker pool to a user-provided [`Dispatcher`].
-//! - [`pool::ThreadPool`]: the worker pool (the original runtime likewise
-//!   handed each incoming call to a free server thread).
+//! - [`pool::ThreadPool`]: the general worker pool (the original runtime
+//!   likewise handed each incoming call to a free server thread).
+//! - [`budget`]: per-client [`budget::ResourceBudget`]s and the
+//!   [`budget::FairPool`] the server dispatches on — admission control
+//!   that keeps one abusive peer from starving everyone else.
 //!
 //! The layer above (the `netobj` runtime) implements [`Dispatcher`] to
 //! route calls to concrete objects, and issues collector calls (dirty,
@@ -21,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod client;
 pub mod error;
 pub mod msg;
@@ -61,13 +65,14 @@ pub(crate) type FibHashMap<K, V> =
 pub(crate) type FibHashSet<K> =
     std::collections::HashSet<K, std::hash::BuildHasherDefault<FibHasher>>;
 
+pub use budget::{ClientUsage, FairAdmit, FairPool, ResourceBudget};
 pub use client::{AckToken, CallClient, CallReply};
 pub use error::{RemoteError, RemoteErrorKind, RpcError};
 pub use resilience::{
     Admission, Backoff, BreakerConfig, BreakerState, CallFailure, CircuitBreaker, FailureClass,
     RetryPolicy,
 };
-pub use server::{Dispatch, DispatchCx, Dispatcher, RpcServer};
+pub use server::{Dispatch, DispatchCx, Dispatcher, RpcServer, ServerConfig};
 
 /// Result alias for RPC operations.
 pub type Result<T> = std::result::Result<T, RpcError>;

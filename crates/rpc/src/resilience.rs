@@ -59,6 +59,10 @@ impl CallFailure {
             // `Busy` rejection is issued before the call is dispatched, so
             // it is a not-delivered failure despite arriving as a reply.
             RpcError::Remote(e) if e.kind == RemoteErrorKind::Busy => FailureClass::NotDelivered,
+            // Every other remote error — including `QuotaExceeded`, which
+            // also precedes dispatch — is definite: a quota rejection will
+            // keep failing until the *client* changes its behaviour, so
+            // retrying it would only add load.
             RpcError::Remote(_) | RpcError::Wire(_) => FailureClass::Definite,
             // Transport or client-shutdown failures: ambiguity hinges on
             // whether the request went out.
@@ -409,6 +413,17 @@ mod tests {
         assert_eq!(f.class, FailureClass::NotDelivered);
         // A shed is retryable but arrived as a reply: the peer is alive,
         // so it must not count toward opening the breaker.
+        assert!(!f.counts_against_peer());
+    }
+
+    #[test]
+    fn quota_exceeded_is_definite_and_breaker_neutral() {
+        // Unlike Busy, a quota rejection is the client's own doing and
+        // will not clear on retry: definite, no retry, and — being a
+        // reply from a live peer — no breaker count either.
+        let quota = RemoteError::new(RemoteErrorKind::QuotaExceeded, "over budget");
+        let f = CallFailure::classify(RpcError::Remote(quota), true);
+        assert_eq!(f.class, FailureClass::Definite);
         assert!(!f.counts_against_peer());
     }
 

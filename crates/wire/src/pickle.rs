@@ -1201,6 +1201,63 @@ mod tests {
     }
 
     #[test]
+    fn pathological_container_nesting_errors_without_overflow() {
+        // 10 000 nested container headers — far past MAX_DEPTH, and far
+        // past what a recursive decoder without a depth check survives.
+        // Each level is a header (tag + varint count 1) announcing a
+        // single child; the innermost payload never arrives.
+        const DEEP: usize = 10_000;
+        for t in [tag::SEQ, tag::RECORD] {
+            let mut bytes = Vec::with_capacity(2 * DEEP + 1);
+            for _ in 0..DEEP {
+                bytes.push(t);
+                bytes.push(1); // varint count: one element
+            }
+            bytes.push(tag::UNIT);
+            assert_eq!(
+                Value::from_pickle_bytes(&bytes),
+                Err(WireError::OutOfRange("value nesting too deep")),
+                "tag {t:#04x} must hit the depth limit"
+            );
+            // The runtime's receive path scans every argument pickle for
+            // references before dispatch; it must be bounded too.
+            assert!(scan_refs(&bytes).is_err());
+        }
+        // Maps nest through both keys and values; nest through the key.
+        let mut bytes = Vec::with_capacity(2 * DEEP + 3);
+        for _ in 0..DEEP {
+            bytes.push(tag::MAP);
+            bytes.push(1); // one key/value pair
+        }
+        bytes.push(tag::UNIT); // innermost key
+        bytes.push(tag::UNIT); // innermost value
+        assert_eq!(
+            Value::from_pickle_bytes(&bytes),
+            Err(WireError::OutOfRange("value nesting too deep"))
+        );
+        assert!(scan_refs(&bytes).is_err());
+    }
+
+    #[test]
+    fn nesting_at_the_depth_limit_still_decodes() {
+        // MAX_DEPTH itself is legal — only one past it errors.
+        let mut bytes = Vec::new();
+        for _ in 0..Value::MAX_DEPTH {
+            bytes.push(tag::SEQ);
+            bytes.push(1);
+        }
+        bytes.push(tag::UNIT);
+        let v = Value::from_pickle_bytes(&bytes).expect("depth exactly at limit decodes");
+        let mut depth = 0;
+        let mut cur = &v;
+        while let Value::Seq(inner) = cur {
+            depth += 1;
+            cur = &inner[0];
+        }
+        assert_eq!(depth, Value::MAX_DEPTH);
+    }
+
+    #[test]
     fn writer_reuse() {
         let mut w = PickleWriter::with_capacity(64);
         w.put_text("one");

@@ -189,18 +189,30 @@ fn stale_dirty_is_rejected_and_trace_replays_clean() {
     wait_until(&clock, "collected", || client.imported_count() == 0);
     assert_eq!(owner.stats().dirty_stale, 0);
 
-    // Re-send the superseded dirty raw (seqno 0, below the floor), as if
-    // it had been delayed in the network past its own clean — the
-    // transmission race of TR-116 §2.3. The owner must refuse it rather
-    // than resurrect the dead registration.
+    // Re-send the superseded dirty raw (seqno 1, below the floor its own
+    // clean raised), as if it had been delayed in the network past that
+    // clean — the transmission race of TR-116 §2.3. The owner must refuse
+    // it rather than resurrect the dead registration.
     let conn = Transport::connect(&net, &Endpoint::sim("owner")).unwrap();
     let raw = CallClient::with_clock(Arc::from(conn), client.id(), clock.clone());
     let stale = raw.call(
         WireRep::gc_service(owner.id()),
         methods::DIRTY,
-        (ObjIx::FIRST_USER.0, 0u64, None::<Endpoint>).to_pickle_bytes(),
+        (ObjIx::FIRST_USER.0, 1u64, None::<Endpoint>).to_pickle_bytes(),
     );
     assert!(stale.is_err(), "stale dirty must be rejected: {stale:?}");
+    assert_eq!(owner.stats().dirty_stale, 1);
+    // Sequence number 0 is not a legal protocol value at all: it draws a
+    // BadArguments rejection up front, not a stale mark.
+    let malformed = raw.call(
+        WireRep::gc_service(owner.id()),
+        methods::DIRTY,
+        (ObjIx::FIRST_USER.0, 0u64, None::<Endpoint>).to_pickle_bytes(),
+    );
+    assert!(
+        malformed.is_err(),
+        "seqno 0 must be rejected: {malformed:?}"
+    );
     assert_eq!(owner.stats().dirty_stale, 1);
     assert!(
         owner

@@ -1,0 +1,103 @@
+//! Deterministic fuzz regression: the untrusted decode path (frame →
+//! envelope → pickle) survives a large adversarial workload without
+//! panicking, and the whole run is a pure function of its seed.
+//!
+//! This is the in-tree, always-on slice of the fuzz harness; CI also runs
+//! the `fuzz_wire` binary with a bigger budget (see the fuzz-smoke job).
+
+use std::path::PathBuf;
+
+use netobj_bench::fuzz::{self, FuzzRng};
+
+fn corpus() -> Vec<(String, Vec<u8>)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let from_disk = fuzz::load_corpus(&dir);
+    assert!(
+        !from_disk.is_empty(),
+        "committed corpus missing at {} — run `cargo run -p netobj-bench --bin gen_corpus`",
+        dir.display()
+    );
+    from_disk
+}
+
+/// The committed corpus must stay in sync with the built-in seeds it is
+/// generated from; a wire-format change without a corpus regen fails here
+/// with an actionable message.
+#[test]
+fn committed_corpus_matches_generator() {
+    let on_disk = corpus();
+    let builtin = fuzz::builtin_corpus();
+    assert_eq!(on_disk.len(), builtin.len(), "corpus file count drifted");
+    for (name, bytes) in builtin {
+        let found = on_disk
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("corpus file {name}.bin missing"));
+        assert_eq!(
+            found.1, bytes,
+            "tests/corpus/{name}.bin is stale — run `cargo run -p netobj-bench --bin gen_corpus`"
+        );
+    }
+}
+
+/// ≥100k adversarial cases, zero panics. No `catch_unwind` here: a panic
+/// anywhere in the decode path fails the test with its own backtrace.
+#[test]
+fn hundred_thousand_cases_no_panics() {
+    let corpus = corpus();
+    let report = fuzz::run(0x4e45_544f_424a, 100_000, &corpus, |_, _| {});
+    assert_eq!(report.cases, 100_000);
+    // The harness must actually exercise the valid paths, not just feed
+    // noise that dies at the first length check.
+    assert!(report.frames > 10_000, "too few frames decoded: {report:?}");
+    assert!(report.msgs > 1_000, "too few messages decoded: {report:?}");
+    assert!(report.values > 100, "too few payloads decoded: {report:?}");
+}
+
+/// Same seed, same corpus → byte-identical behaviour, twice. This is what
+/// makes a CI crash reproducible from the logged seed alone.
+#[test]
+fn runs_are_deterministic() {
+    let corpus = corpus();
+    let mut first_cases: Vec<u64> = Vec::new();
+    let a = fuzz::run(2026, 20_000, &corpus, |_, bytes| {
+        // Fingerprint each case cheaply (FNV-1a) instead of storing it.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        first_cases.push(h);
+    });
+    let mut i = 0usize;
+    let b = fuzz::run(2026, 20_000, &corpus, |_, bytes| {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in bytes {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+        }
+        assert_eq!(h, first_cases[i], "case {i} diverged between runs");
+        i += 1;
+    });
+    assert_eq!(a, b, "aggregate report diverged between identical runs");
+    assert_ne!(
+        a,
+        fuzz::run(2027, 20_000, &corpus, |_, _| {}),
+        "different seeds should explore different inputs"
+    );
+}
+
+/// The generator respects its own size cap: no case may balloon past the
+/// documented bound (plus framing and the optional trailing valid frame).
+#[test]
+fn cases_are_bounded() {
+    let corpus = corpus();
+    let mut rng = FuzzRng::new(99);
+    let biggest_seed = corpus.iter().map(|(_, b)| b.len()).max().unwrap_or(0);
+    for _ in 0..50_000 {
+        let case = fuzz::build_case(&mut rng, &corpus);
+        assert!(
+            case.len() <= 64 * 1024 + 8 + biggest_seed,
+            "case exceeded size bound: {} bytes",
+            case.len()
+        );
+    }
+}
