@@ -20,16 +20,19 @@ use netobj::{Options, Space};
 const DEFAULT_ADDR: &str = "127.0.0.1:7777";
 
 fn usage() -> ! {
-    eprintln!("usage: netobjd [--listen HOST:PORT] [--lease MILLIS]");
+    eprintln!("usage: netobjd [--listen HOST:PORT] [--lease MILLIS] [--max-conns N]");
     eprintln!();
     eprintln!("  --listen HOST:PORT  address to serve on (default {DEFAULT_ADDR})");
     eprintln!("  --lease MILLIS      expire dirty entries not renewed within MILLIS");
+    eprintln!("  --max-conns N       per-client connection cap (ResourceBudget);");
+    eprintln!("                      excess connections are refused QuotaExceeded");
     std::process::exit(2);
 }
 
 fn main() {
     let mut addr = DEFAULT_ADDR.to_owned();
     let mut lease: Option<Duration> = None;
+    let mut max_conns: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -41,6 +44,10 @@ fn main() {
                 Some(ms) => lease = Some(Duration::from_millis(ms)),
                 None => usage(),
             },
+            "--max-conns" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => max_conns = Some(n),
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -49,10 +56,16 @@ fn main() {
         }
     }
 
-    let options = Options {
+    let mut options = Options {
         lease,
         ..Options::default()
     };
+    if let Some(n) = max_conns {
+        options.budget = netobj::ResourceBudget {
+            max_connections: Some(n),
+            ..options.budget
+        };
+    }
     let space = match Space::builder()
         .transport(Arc::new(Tcp))
         .listen(Endpoint::tcp(addr))

@@ -173,6 +173,16 @@ fn netobj_top(args: &[String]) {
             &rows,
         );
 
+        // Live-structure gauges — queue depth, reactor connections and
+        // coalescing counters, per-client quotas — parsed out of the same
+        // Prometheus text the --metrics mode dumps raw.
+        if let Ok(text) = intro.metrics_text() {
+            let rows = gauge_rows(&text);
+            if !rows.is_empty() {
+                print_table("gauges", &["gauge", "value"], &rows);
+            }
+        }
+
         match intro.spans(8) {
             Ok(spans) if !spans.is_empty() => {
                 let rows: Vec<Vec<String>> = spans
@@ -207,6 +217,32 @@ fn netobj_top(args: &[String]) {
         }
         std::thread::sleep(interval);
     }
+}
+
+/// Extracts every `gauge`-typed sample (label sets included) from a
+/// Prometheus text exposition, preserving emission order.
+fn gauge_rows(text: &str) -> Vec<Vec<String>> {
+    let mut gauge_families = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((name, "gauge")) = rest.rsplit_once(' ') {
+                gauge_families.insert(name.to_owned());
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            let family = name.split('{').next().unwrap_or(name);
+            if gauge_families.contains(family) {
+                rows.push(vec![name.to_owned(), value.to_owned()]);
+            }
+        }
+    }
+    rows
 }
 
 fn netobj_top_usage() -> ! {

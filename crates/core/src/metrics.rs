@@ -163,6 +163,20 @@ pub struct Gauges {
     pub pool_connections: u64,
     /// Per-endpoint circuit breakers currently open.
     pub open_breakers: u64,
+    /// Connections registered with the server's reactor core (0 when the
+    /// server runs thread-per-connection, e.g. loopback or virtual clock).
+    pub reactor_connections: u64,
+    /// Readiness events delivered by the reactor's most recent poll batch
+    /// — the instantaneous depth of the readiness queue.
+    pub reactor_readiness_depth: u64,
+    /// Largest readiness batch the reactor has ever drained in one wakeup.
+    pub reactor_readiness_high_water: u64,
+    /// Reply frames written by the reactor's coalesced flushes.
+    pub reactor_frames_flushed: u64,
+    /// Vectored-write syscalls those flushes issued;
+    /// `reactor_frames_flushed / reactor_flush_syscalls` is the
+    /// writes-coalesced-per-flush ratio.
+    pub reactor_flush_syscalls: u64,
 }
 
 impl Gauges {
@@ -178,6 +192,13 @@ impl Gauges {
             .max(other.server_queue_high_water);
         self.pool_connections += other.pool_connections;
         self.open_breakers += other.open_breakers;
+        self.reactor_connections += other.reactor_connections;
+        self.reactor_readiness_depth += other.reactor_readiness_depth;
+        self.reactor_readiness_high_water = self
+            .reactor_readiness_high_water
+            .max(other.reactor_readiness_high_water);
+        self.reactor_frames_flushed += other.reactor_frames_flushed;
+        self.reactor_flush_syscalls += other.reactor_flush_syscalls;
     }
 
     /// Every gauge, as `(name, value)` pairs in declaration order.
@@ -191,6 +212,14 @@ impl Gauges {
             ("server_queue_high_water", self.server_queue_high_water),
             ("pool_connections", self.pool_connections),
             ("open_breakers", self.open_breakers),
+            ("reactor_connections", self.reactor_connections),
+            ("reactor_readiness_depth", self.reactor_readiness_depth),
+            (
+                "reactor_readiness_high_water",
+                self.reactor_readiness_high_water,
+            ),
+            ("reactor_frames_flushed", self.reactor_frames_flushed),
+            ("reactor_flush_syscalls", self.reactor_flush_syscalls),
         ]
     }
 }

@@ -249,13 +249,20 @@ impl Space {
             .map(|(label, h)| (label.clone(), h.snapshot()))
             .collect();
         let gc_calls = std::array::from_fn(|i| self.inner.gc_hist[i].snapshot());
-        let (queue_depth, queue_high_water) = {
+        let (queue_depth, queue_high_water, reactor) = {
             let server = self.inner.server.lock();
             server
                 .as_ref()
-                .map(|s| (s.queue_depth() as u64, s.queue_high_water() as u64))
-                .unwrap_or((0, 0))
+                .map(|s| {
+                    (
+                        s.queue_depth() as u64,
+                        s.queue_high_water() as u64,
+                        s.reactor_stats(),
+                    )
+                })
+                .unwrap_or((0, 0, None))
         };
+        let reactor = reactor.unwrap_or_default();
         let gauges = Gauges {
             exports: self.exported_count() as u64,
             surrogates: self.inner.table.imports.len() as u64,
@@ -271,6 +278,11 @@ impl Space {
                 .values()
                 .filter(|b| b.state() == BreakerState::Open)
                 .count() as u64,
+            reactor_connections: reactor.connections,
+            reactor_readiness_depth: reactor.readiness_depth,
+            reactor_readiness_high_water: reactor.readiness_high_water,
+            reactor_frames_flushed: reactor.frames_flushed,
+            reactor_flush_syscalls: reactor.flush_syscalls,
         };
         // Per-client quota gauges are assembled only under a finite
         // budget: client ids are random per process, so unconditional

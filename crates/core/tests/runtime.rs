@@ -560,25 +560,45 @@ fn mass_drop_batches_clean_calls() {
             .unwrap(),
     )
     .unwrap();
-    for i in 0..16 {
-        let c = CounterClient::narrow(owner.local(new_counter())).unwrap();
-        owner_registry.put(format!("c{i}"), c).unwrap();
-    }
-    let mut held = Vec::new();
-    for i in 0..16 {
-        held.push(registry.get(format!("c{i}")).unwrap().expect("present"));
-    }
-    assert_eq!(owner.exported_count(), 17);
+    // Whether a burst of drops coalesces depends on the demon's wakeup
+    // landing after the whole burst is enqueued; under heavy host load the
+    // demon can be scheduled between individual drops and send solo cleans.
+    // Batching is best-effort by design, so the test retries the scenario
+    // until one burst travels together rather than asserting on a single
+    // schedule-dependent round.
+    for round in 0..5 {
+        for i in 0..16 {
+            let c = CounterClient::narrow(owner.local(new_counter())).unwrap();
+            owner_registry.put(format!("c{round}_{i}"), c).unwrap();
+        }
+        let mut held = Vec::new();
+        for i in 0..16 {
+            held.push(
+                registry
+                    .get(format!("c{round}_{i}"))
+                    .unwrap()
+                    .expect("present"),
+            );
+        }
+        assert_eq!(owner.exported_count(), 17);
 
-    // Drop them all at once: the cleanup demon should coalesce the clean
-    // calls into far fewer RPCs.
-    drop(held);
-    wait_until("all collected", || owner.exported_count() == 1);
-    let stats = client.stats();
-    assert_eq!(stats.clean_sent, 16, "one clean entry per reference");
-    assert!(
-        stats.clean_batches >= 1,
-        "expected at least one batched clean RPC, got {stats:?}"
+        // Drop them all at once: the cleanup demon should coalesce the
+        // clean calls into far fewer RPCs.
+        drop(held);
+        wait_until("all collected", || owner.exported_count() == 1);
+        let stats = client.stats();
+        assert_eq!(
+            stats.clean_sent,
+            16 * (round as u64 + 1),
+            "one clean entry per reference"
+        );
+        if stats.clean_batches >= 1 {
+            return;
+        }
+    }
+    panic!(
+        "no batched clean RPC in 5 rounds of 16 simultaneous drops: {:?}",
+        client.stats()
     );
 }
 

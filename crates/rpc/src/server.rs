@@ -1,10 +1,27 @@
-//! The RPC server: accept loop, per-connection readers, worker dispatch.
+//! The RPC server: readiness-driven accept/decode, worker dispatch.
 //!
-//! Every accepted connection gets a reader thread; each decoded request is
-//! handed to the shared worker pool, which calls the [`Dispatcher`] and
-//! sends the reply back on the same connection. Long-running methods
-//! therefore never block the reader: concurrent calls on one connection
-//! proceed in parallel, exactly as in the original runtime.
+//! The server runs on one of two execution substrates, chosen at start:
+//!
+//! - **Reactor core** (pollable listener + system clock): a single
+//!   [`Reactor`] thread owns every connection. Readiness wakes it, it
+//!   decodes frames and feeds them to a per-connection *state machine*
+//!   ([`ServerConnDriver`] around [`ConnState`]); fast methods dispatch
+//!   inline on the reactor thread, everything else goes to the shared
+//!   [`FairPool`]. Replies — from workers or the inline path — queue on
+//!   the connection and flush in coalesced vectored writes. This scales
+//!   to tens of thousands of connections on a handful of threads.
+//! - **Thread per connection** (everything else): each accepted
+//!   connection gets a blocking reader thread running the same state
+//!   machine. In-process transports (loopback, SimNet, channels) and
+//!   virtual-clock servers always use this path, which is what keeps the
+//!   deterministic virtual-time suites byte-identical: the reactor is an
+//!   execution substrate, not a semantic change.
+//!
+//! Either way each decoded request is handed to the worker pool (or the
+//! inline fast path), which calls the [`Dispatcher`] and sends the reply
+//! back on the same connection; long-running methods never block frame
+//! decode, so concurrent calls on one connection proceed in parallel,
+//! exactly as in the original runtime.
 //!
 //! # The inline fast path
 //!
@@ -24,7 +41,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use netobj_transport::{ClockHandle, Conn, Listener};
+use netobj_transport::reactor::{AcceptDriver, ConnDriver, Drive, Reactor, ReactorSnapshot};
+use netobj_transport::{Bytes, ClockHandle, Conn, Listener};
 use netobj_wire::{SpaceId, WireRep};
 
 use crate::budget::{ClientUsage, FairAdmit, FairPool, ResourceBudget};
@@ -157,6 +175,9 @@ pub struct RpcServer {
     stopped: Arc<AtomicBool>,
     listener: Arc<dyn Listener>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// `Some` when this server runs on the reactor core (pollable
+    /// listener, system clock); `None` on the thread-per-connection path.
+    reactor: Option<Arc<Reactor>>,
     stats: Arc<ServerStats>,
     pool: Arc<FairPool>,
 }
@@ -236,6 +257,40 @@ impl RpcServer {
         let pool = FairPool::new(workers, "rpc-worker", queue_limit, budget);
         let listener: Arc<dyn Listener> = Arc::from(listener);
 
+        // Reactor core: a pollable listener on a system clock is served by
+        // the event loop instead of per-connection threads. Virtual-clock
+        // servers always keep the thread path — the deterministic suites
+        // rely on blocking reads interleaving with virtual-time holds.
+        // `NETOBJ_NO_REACTOR` forces the thread path for A/B measurement
+        // (experiment C5) and as an operational escape hatch.
+        let reactor_disabled = std::env::var_os("NETOBJ_NO_REACTOR").is_some();
+        if !reactor_disabled && clock.as_virtual().is_none() && listener.as_pollable().is_some() {
+            if let Ok(reactor) = Reactor::start(Reactor::DEFAULT_TICK) {
+                let accept = ServerAccept {
+                    dispatcher: Arc::clone(&dispatcher),
+                    pool: Arc::clone(&pool),
+                    stats: Arc::clone(&stats),
+                    stopped: Arc::clone(&stopped),
+                    clock: clock.clone(),
+                };
+                if reactor
+                    .register_listener(Arc::clone(&listener), Box::new(accept))
+                    .is_ok()
+                {
+                    return RpcServer {
+                        stopped,
+                        listener,
+                        accept_thread: None,
+                        reactor: Some(Arc::new(reactor)),
+                        stats,
+                        pool,
+                    };
+                }
+            }
+            // No readiness backend (or registration failed): fall through
+            // to the blocking path below.
+        }
+
         let accept_stopped = Arc::clone(&stopped);
         let accept_stats = Arc::clone(&stats);
         let accept_listener = Arc::clone(&listener);
@@ -269,6 +324,7 @@ impl RpcServer {
             stopped,
             listener,
             accept_thread: Some(accept_thread),
+            reactor: None,
             stats,
             pool,
         }
@@ -334,12 +390,24 @@ impl RpcServer {
         self.pool.per_client()
     }
 
+    /// Reactor-core statistics: `Some` when this server runs on the
+    /// readiness event loop, `None` on the thread-per-connection path.
+    pub fn reactor_stats(&self) -> Option<ReactorSnapshot> {
+        self.reactor.as_ref().map(|r| r.stats())
+    }
+
     /// Stops accepting and tears the server down.
     pub fn stop(&mut self) {
         self.stopped.store(true, Ordering::Release);
         self.listener.close();
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
+        }
+        // Reactor first: its shutdown closes every registered connection
+        // and runs each driver's teardown (ack drains, quota unbinding)
+        // while the pool can still report ShutDown to late frames.
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
         self.pool.shutdown();
     }
@@ -564,77 +632,102 @@ fn serve_request(ctx: &ConnCtx, rq: Request, enqueued: std::time::Instant) -> st
     after.saturating_duration_since(svc_start)
 }
 
-fn connection_loop(
-    conn: Arc<dyn Conn>,
-    dispatcher: Arc<dyn Dispatcher>,
+/// Verdict of [`ConnState::handle_frame`]: keep the connection, or tear
+/// it down (malformed traffic, protocol violation, quota refusal, a dead
+/// peer, or server shutdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Continue,
+    Close,
+}
+
+/// The per-connection protocol state machine, shared verbatim by both
+/// execution substrates: the blocking reader thread feeds it from
+/// `recv_timeout`, the reactor feeds it from readiness-driven decode.
+/// Admission control, identity binding, dup suppression and the inline
+/// fast path therefore behave identically on either core.
+struct ConnState {
+    ctx: Arc<ConnCtx>,
     pool: Arc<FairPool>,
-    stats: Arc<ServerStats>,
     stopped: Arc<AtomicBool>,
-    clock: ClockHandle,
-) {
-    let ctx = Arc::new(ConnCtx {
-        conn,
-        dispatcher,
-        stats,
-        fast: clock.as_virtual().is_none().then(FastMethods::new),
-        clock,
-        acks: AckTable::default(),
-        send_buf: parking_lot::Mutex::new(SendBuf::new()),
-    });
-    let mut seen = SeenRequests::new();
-    // The client this connection is attributed to for the connection
-    // budget: unknown until the first request decodes (the transport
-    // accept path carries no identity).
-    let mut bound: Option<SpaceId> = None;
-    loop {
-        if stopped.load(Ordering::Acquire) {
-            break;
+    seen: SeenRequests,
+    /// The client this connection is attributed to for the connection
+    /// budget: unknown until the first request decodes (the transport
+    /// accept path carries no identity).
+    bound: Option<SpaceId>,
+}
+
+impl ConnState {
+    fn new(
+        conn: Arc<dyn Conn>,
+        dispatcher: Arc<dyn Dispatcher>,
+        pool: Arc<FairPool>,
+        stats: Arc<ServerStats>,
+        stopped: Arc<AtomicBool>,
+        clock: ClockHandle,
+    ) -> ConnState {
+        let ctx = Arc::new(ConnCtx {
+            conn,
+            dispatcher,
+            stats,
+            fast: clock.as_virtual().is_none().then(FastMethods::new),
+            clock,
+            acks: AckTable::default(),
+            send_buf: parking_lot::Mutex::new(SendBuf::new()),
+        });
+        ConnState {
+            ctx,
+            pool,
+            stopped,
+            seen: SeenRequests::new(),
+            bound: None,
         }
-        // A bounded recv lets us sweep expired ack obligations even when
-        // the connection is idle.
-        let frame = match ctx.conn.recv_timeout(std::time::Duration::from_millis(500)) {
-            Ok(f) => f,
-            Err(netobj_transport::TransportError::Timeout) => {
-                if !ctx.acks.is_empty() {
-                    ctx.acks.expire(ctx.clock.now());
-                }
-                continue;
-            }
-            Err(_) => break,
-        };
-        if !ctx.acks.is_empty() {
-            ctx.acks.expire(ctx.clock.now());
+    }
+
+    /// Sweeps expired ack obligations (no-op while the table is empty).
+    fn sweep_acks(&self) {
+        if !self.ctx.acks.is_empty() {
+            self.ctx.acks.expire(self.ctx.clock.now());
         }
-        let msg = match RpcMsg::decode(&frame) {
+    }
+
+    /// Runs one decoded wire frame through the state machine.
+    fn handle_frame(&mut self, frame: &Bytes) -> Step {
+        let ctx = &self.ctx;
+        if self.stopped.load(Ordering::Acquire) {
+            return Step::Close;
+        }
+        self.sweep_acks();
+        let msg = match RpcMsg::decode(frame) {
             Ok(m) => m,
             Err(_) => {
                 // Malformed traffic: drop the connection.
-                break;
+                return Step::Close;
             }
         };
         let rq = match msg {
             RpcMsg::Request(rq) => {
-                if !seen.insert(rq.call_id) {
+                if !self.seen.insert(rq.call_id) {
                     // A duplicated frame from an at-least-once channel:
                     // the call already ran (or is running); drop it. The
                     // caller matches on call id, so a duplicate reply from
                     // the first execution serves both frames.
-                    continue;
+                    return Step::Continue;
                 }
                 rq
             }
             RpcMsg::ReplyAck(call_id) => {
                 ctx.acks.acknowledge(call_id);
-                continue;
+                return Step::Continue;
             }
             RpcMsg::Reply(_) => {
                 // Replies arriving at a server end are protocol violations.
-                break;
+                return Step::Close;
             }
         };
-        if bound.is_none() {
-            if pool.register_conn(rq.caller) {
-                bound = Some(rq.caller);
+        if self.bound.is_none() {
+            if self.pool.register_conn(rq.caller) {
+                self.bound = Some(rq.caller);
             } else {
                 // Over the client's connection budget: refuse the request
                 // and drop the connection. Non-retryable — the client must
@@ -649,7 +742,7 @@ fn connection_loop(
                     .lock()
                     .encode_reply(rq.call_id, false, Err(&err));
                 let _ = ctx.conn.send(frame);
-                break;
+                return Step::Close;
             }
         }
         ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -658,20 +751,21 @@ fn connection_loop(
         if let Some(fast) = &ctx.fast {
             if fast.is_fast(fast_key) {
                 // Last observation was fast: skip the worker handoff and
-                // dispatch on this thread. A slow surprise demotes the
-                // method so the next call goes back to the pool. Inline
-                // calls bypass queue admission, but the reader serialises
-                // them, so one connection can hold at most one at a time.
-                let service = serve_request(&ctx, rq, enqueued);
+                // dispatch on the decoding thread (the reader, or the
+                // reactor itself). A slow surprise demotes the method so
+                // the next call goes back to the pool. Inline calls bypass
+                // queue admission, but the decoder serialises them, so one
+                // connection can hold at most one at a time.
+                let service = serve_request(ctx, rq, enqueued);
                 fast.observe(fast_key, service);
-                continue;
+                return Step::Continue;
             }
         }
         let call_id = rq.call_id;
         let caller = rq.caller;
-        let job_ctx = Arc::clone(&ctx);
-        let shed_ctx = Arc::clone(&ctx);
-        let admitted = pool.try_execute(
+        let job_ctx = Arc::clone(ctx);
+        let shed_ctx = Arc::clone(ctx);
+        let admitted = self.pool.try_execute(
             caller,
             Box::new(move || {
                 let service = serve_request(&job_ctx, rq, enqueued);
@@ -693,18 +787,19 @@ fn connection_loop(
             }),
         );
         match admitted {
-            FairAdmit::Queued => {}
+            FairAdmit::Queued => Step::Continue,
             FairAdmit::Saturated => {
                 // Shed before dispatch: the method did not (and will not)
                 // run, so the rejection is a *not delivered* failure the
-                // caller may retry freely. Answer from the reader thread —
-                // by definition no worker is free to do it.
+                // caller may retry freely. Answer from the decoding thread
+                // — by definition no worker is free to do it.
                 ctx.stats.shed_global.fetch_add(1, Ordering::Relaxed);
                 let busy = RemoteError::new(RemoteErrorKind::Busy, "server worker pool saturated");
                 let frame = ctx.send_buf.lock().encode_reply(call_id, false, Err(&busy));
                 if ctx.conn.send(frame).is_err() {
-                    break;
+                    return Step::Close;
                 }
+                Step::Continue
             }
             FairAdmit::OverQuota => {
                 // The client exceeded its own queue share or in-flight
@@ -717,18 +812,112 @@ fn connection_loop(
                 );
                 let frame = ctx.send_buf.lock().encode_reply(call_id, false, Err(&err));
                 if ctx.conn.send(frame).is_err() {
-                    break;
+                    return Step::Close;
                 }
+                Step::Continue
             }
-            FairAdmit::ShutDown => break,
+            FairAdmit::ShutDown => Step::Close,
         }
     }
-    ctx.conn.close();
-    // Connection over: no acks can arrive; release everything.
-    ctx.acks.drain();
-    if let Some(client) = bound {
-        pool.unregister_conn(client);
+
+    /// Connection over: no acks can arrive; release everything the
+    /// connection holds. Idempotent.
+    fn finish(&mut self) {
+        self.ctx.conn.close();
+        self.ctx.acks.drain();
+        if let Some(client) = self.bound.take() {
+            self.pool.unregister_conn(client);
+        }
     }
+}
+
+/// The reactor-side wrapper: adapts [`ConnState`] to the transport's
+/// [`ConnDriver`] callbacks. `on_frame` (and therefore the inline fast
+/// path) runs directly on the reactor thread; replies it queues are
+/// flushed by the reactor's coalesced write right after the frame batch.
+struct ServerConnDriver {
+    state: ConnState,
+}
+
+impl ConnDriver for ServerConnDriver {
+    fn on_frame(&mut self, frame: Bytes) -> Drive {
+        match self.state.handle_frame(&frame) {
+            Step::Continue => Drive::Continue,
+            Step::Close => Drive::Close,
+        }
+    }
+
+    fn on_tick(&mut self) {
+        // Matches the blocking path's 500 ms `recv_timeout` sweep: expired
+        // ack obligations are released even while the connection is idle.
+        self.state.sweep_acks();
+    }
+
+    fn on_close(&mut self) {
+        self.state.finish();
+    }
+}
+
+/// Builds a [`ServerConnDriver`] for every connection the reactor accepts.
+struct ServerAccept {
+    dispatcher: Arc<dyn Dispatcher>,
+    pool: Arc<FairPool>,
+    stats: Arc<ServerStats>,
+    stopped: Arc<AtomicBool>,
+    clock: ClockHandle,
+}
+
+impl AcceptDriver for ServerAccept {
+    fn on_accept(&mut self, conn: Arc<dyn Conn>) -> Option<Box<dyn ConnDriver>> {
+        if self.stopped.load(Ordering::Acquire) {
+            conn.close();
+            return None;
+        }
+        self.stats.connections.fetch_add(1, Ordering::Relaxed);
+        Some(Box::new(ServerConnDriver {
+            state: ConnState::new(
+                conn,
+                Arc::clone(&self.dispatcher),
+                Arc::clone(&self.pool),
+                Arc::clone(&self.stats),
+                Arc::clone(&self.stopped),
+                self.clock.clone(),
+            ),
+        }))
+    }
+}
+
+/// The blocking substrate: one thread per connection, driving the same
+/// [`ConnState`] from a bounded `recv_timeout` loop.
+fn connection_loop(
+    conn: Arc<dyn Conn>,
+    dispatcher: Arc<dyn Dispatcher>,
+    pool: Arc<FairPool>,
+    stats: Arc<ServerStats>,
+    stopped: Arc<AtomicBool>,
+    clock: ClockHandle,
+) {
+    let conn_handle = Arc::clone(&conn);
+    let mut state = ConnState::new(conn, dispatcher, pool, stats, stopped, clock);
+    loop {
+        if state.stopped.load(Ordering::Acquire) {
+            break;
+        }
+        // A bounded recv lets us sweep expired ack obligations even when
+        // the connection is idle.
+        let frame = match conn_handle.recv_timeout(std::time::Duration::from_millis(500)) {
+            Ok(f) => f,
+            Err(netobj_transport::TransportError::Timeout) => {
+                state.sweep_acks();
+                continue;
+            }
+            Err(_) => break,
+        };
+        if state.handle_frame(&frame) == Step::Close {
+            break;
+        }
+    }
+    state.finish();
 }
 
 #[cfg(test)]
@@ -1038,5 +1227,123 @@ mod tests {
         std::thread::sleep(Duration::from_millis(100));
         let got = client.call_with_timeout(target(0), 0, vec![], Duration::from_millis(200));
         assert!(got.is_err());
+    }
+
+    #[test]
+    fn loopback_server_stays_on_thread_path() {
+        let (server, _client) = start_over_loopback();
+        assert!(server.reactor_stats().is_none());
+    }
+
+    #[cfg(unix)]
+    mod reactor_core {
+        use super::*;
+        use netobj_transport::tcp::Tcp;
+
+        fn start_over_tcp() -> (RpcServer, Arc<CallClient>) {
+            let l = Tcp.listen(&Endpoint::tcp("127.0.0.1:0")).unwrap();
+            let server = RpcServer::start(l, echo_dispatcher(), 4);
+            let conn = Tcp.connect(&server.local_endpoint()).unwrap();
+            let client = CallClient::new(Arc::from(conn), SpaceId::from_raw(1));
+            (server, client)
+        }
+
+        fn wait_until(mut cond: impl FnMut() -> bool) {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while !cond() {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "condition not reached in 10s"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+
+        #[test]
+        fn tcp_server_uses_the_reactor() {
+            let (server, client) = start_over_tcp();
+            assert!(
+                server.reactor_stats().is_some(),
+                "tcp + system clock must select the reactor core"
+            );
+            for i in 0..50u8 {
+                let got = client.call(target(7), 0, vec![i]).unwrap();
+                assert_eq!(&got[..8], &7u64.to_le_bytes());
+                assert_eq!(got[8], i);
+            }
+            assert_eq!(server.requests(), 50);
+            assert_eq!(server.connections(), 1);
+            let stats = server.reactor_stats().unwrap();
+            assert_eq!(stats.accepted, 1);
+            assert_eq!(stats.connections, 1);
+        }
+
+        #[test]
+        fn slow_call_does_not_block_fast_call_on_reactor() {
+            let l = Tcp.listen(&Endpoint::tcp("127.0.0.1:0")).unwrap();
+            let dispatcher: Arc<dyn Dispatcher> =
+                Arc::new(|_c: SpaceId, _t: WireRep, method: u32, _a: &[u8]| {
+                    if method == 1 {
+                        std::thread::sleep(Duration::from_millis(300));
+                    }
+                    Ok(vec![method as u8])
+                });
+            let server = RpcServer::start(l, dispatcher, 4);
+            assert!(server.reactor_stats().is_some());
+            let conn = Tcp.connect(&server.local_endpoint()).unwrap();
+            let client = CallClient::new(Arc::from(conn), SpaceId::from_raw(1));
+
+            let slow_client = Arc::clone(&client);
+            let slow = std::thread::spawn(move || slow_client.call(target(0), 1, vec![]));
+            std::thread::sleep(Duration::from_millis(30));
+            let t0 = std::time::Instant::now();
+            let fast = client.call(target(0), 2, vec![]).unwrap();
+            assert_eq!(fast, vec![2]);
+            assert!(
+                t0.elapsed() < Duration::from_millis(200),
+                "fast call was blocked by slow call"
+            );
+            assert_eq!(slow.join().unwrap().unwrap(), vec![1]);
+        }
+
+        #[test]
+        fn closed_connections_release_identity_and_quota_state() {
+            let l = Tcp.listen(&Endpoint::tcp("127.0.0.1:0")).unwrap();
+            let server = RpcServer::start_with_config(
+                l,
+                echo_dispatcher(),
+                ServerConfig {
+                    workers: 2,
+                    budget: ResourceBudget {
+                        max_connections: Some(1),
+                        ..ResourceBudget::unlimited()
+                    },
+                    ..ServerConfig::default()
+                },
+            );
+            assert!(server.reactor_stats().is_some());
+            let caller = SpaceId::from_raw(7);
+            let conn1 = Tcp.connect(&server.local_endpoint()).unwrap();
+            let c1 = CallClient::new(Arc::from(conn1), caller);
+            c1.call(target(1), 0, vec![]).unwrap();
+            assert_eq!(server.per_client().len(), 1);
+            drop(c1);
+            // The reactor notices the close and unbinds the identity, so
+            // the same client may connect again under its 1-conn budget.
+            wait_until(|| server.per_client().is_empty());
+            wait_until(|| server.reactor_stats().unwrap().connections == 0);
+            let conn2 = Tcp.connect(&server.local_endpoint()).unwrap();
+            let c2 = CallClient::new(Arc::from(conn2), caller);
+            c2.call(target(1), 0, vec![]).unwrap();
+        }
+
+        #[test]
+        fn stop_closes_reactor_connections() {
+            let (mut server, client) = start_over_tcp();
+            client.call(target(1), 0, vec![]).unwrap();
+            server.stop();
+            let got = client.call_with_timeout(target(0), 0, vec![], Duration::from_secs(1));
+            assert!(got.is_err());
+        }
     }
 }

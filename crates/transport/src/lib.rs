@@ -31,6 +31,7 @@ pub mod endpoint;
 pub mod error;
 pub mod loopback;
 pub mod pool;
+pub mod reactor;
 pub mod registry;
 pub mod sim;
 pub mod tcp;
@@ -73,6 +74,14 @@ pub trait Conn: Send + Sync {
 
     /// The remote endpoint this connection talks to, if known.
     fn peer(&self) -> Option<Endpoint>;
+
+    /// The connection's readiness handle, if it can be driven by the
+    /// [`reactor::Reactor`] instead of blocking threads. In-process
+    /// transports (loopback, SimNet, channels) return `None` and keep the
+    /// blocking model — that is what preserves virtual-time determinism.
+    fn as_pollable(&self) -> Option<&dyn reactor::Pollable> {
+        None
+    }
 }
 
 /// A passive endpoint accepting incoming connections.
@@ -86,6 +95,13 @@ pub trait Listener: Send + Sync {
     /// Stops listening; a blocked [`Listener::accept`] returns
     /// [`TransportError::Closed`].
     fn close(&self);
+
+    /// The listener's readiness handle, if the [`reactor::Reactor`] can
+    /// accept from it without blocking. `None` keeps the blocking
+    /// accept-thread model.
+    fn as_pollable(&self) -> Option<&dyn reactor::PollableListener> {
+        None
+    }
 }
 
 /// A transport: a way of establishing [`Conn`]s from endpoint addresses.

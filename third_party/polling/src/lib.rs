@@ -1,0 +1,505 @@
+//! Vendored subset of the `polling` crate API.
+//!
+//! The workspace builds in environments with no registry access, so the
+//! external crate is replaced by this shim. It exposes the portable
+//! readiness abstraction the reactor needs:
+//!
+//! * [`Poller`] — registers raw file descriptors for readiness interest and
+//!   blocks in `wait` until one becomes ready or [`Poller::notify`] is
+//!   called from another thread. Like the real crate, interests are
+//!   **oneshot**: a delivered event disarms the source until re-armed with
+//!   [`Poller::modify`].
+//! * [`Event`] / [`Events`] — an interest/readiness record (key plus
+//!   readable/writable flags) and the reusable buffer `wait` fills.
+//!
+//! On Linux this is epoll (`EPOLLONESHOT`) plus an `eventfd` notifier —
+//! the same backend the real crate selects there. Other platforms get a
+//! stub whose `Poller::new` fails with `ErrorKind::Unsupported`, which
+//! callers treat as "no reactor here, fall back to blocking I/O".
+//!
+//! All `unsafe` in the workspace's transport stack is confined to the FFI
+//! in this crate; the syscall wrappers keep the invariants trivial (no
+//! borrowed memory outlives a call, fds are owned and closed exactly once
+//! in `Drop`).
+
+/// Interest in, or readiness of, one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier reported back with readiness.
+    pub key: usize,
+    /// Interested in (or ready for) reading.
+    pub readable: bool,
+    /// Interested in (or ready for) writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in readability only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (leaves the source registered but disarmed).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// A reusable buffer of readiness events filled by [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct Events {
+    items: Vec<Event>,
+}
+
+impl Events {
+    /// Creates an empty buffer.
+    pub fn new() -> Events {
+        Events::default()
+    }
+
+    /// Number of events from the last `wait`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the last `wait` returned no events.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the events of the last `wait`.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Clears the buffer (call before reusing it).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+pub use sys::Poller;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    #![allow(unsafe_code)]
+
+    use super::{Event, Events};
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    // Kernel ABI: on x86 the epoll_event struct is packed; elsewhere it is
+    // naturally aligned. Mirrors the libc definitions.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: u32, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// The key `wait` reserves for the internal notifier; user keys must
+    /// stay below it (the reactor allocates small integers, so this is
+    /// never a practical restriction).
+    const NOTIFY_KEY: u64 = u64::MAX;
+
+    /// Largest number of events one `wait` call collects.
+    const WAIT_BATCH: usize = 1024;
+
+    /// An epoll instance with oneshot interests and an eventfd notifier.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: c_int,
+        notify_fd: c_int,
+        /// Collapses concurrent `notify` calls into one eventfd write
+        /// until the wake-up is consumed.
+        notified: AtomicBool,
+    }
+
+    impl Poller {
+        /// Creates a poller.
+        pub fn new() -> io::Result<Poller> {
+            // Safety: plain syscalls; returned fds are owned by the
+            // Poller and closed in Drop.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let notify_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            let poller = Poller {
+                epfd,
+                notify_fd,
+                notified: AtomicBool::new(false),
+            };
+            // The notifier is level-triggered and permanent (not oneshot):
+            // a pending notification must survive until drained.
+            let mut ev = EpollEvent {
+                events: EPOLLIN,
+                data: NOTIFY_KEY,
+            };
+            cvt(unsafe { epoll_ctl(poller.epfd, EPOLL_CTL_ADD, poller.notify_fd, &mut ev) })?;
+            Ok(poller)
+        }
+
+        fn interest_bits(ev: Event) -> u32 {
+            let mut bits = EPOLLONESHOT;
+            if ev.readable {
+                bits |= EPOLLIN | EPOLLRDHUP;
+            }
+            if ev.writable {
+                bits |= EPOLLOUT;
+            }
+            bits
+        }
+
+        /// Registers `fd` with an initial oneshot interest.
+        pub fn add(&self, fd: i32, ev: Event) -> io::Result<()> {
+            let mut native = EpollEvent {
+                events: Self::interest_bits(ev),
+                data: ev.key as u64,
+            };
+            // Safety: the event struct lives across the call only.
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut native) })?;
+            Ok(())
+        }
+
+        /// Re-arms (or changes) the oneshot interest of a registered fd.
+        pub fn modify(&self, fd: i32, ev: Event) -> io::Result<()> {
+            let mut native = EpollEvent {
+                events: Self::interest_bits(ev),
+                data: ev.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut native) })?;
+            Ok(())
+        }
+
+        /// Removes a registered fd.
+        pub fn delete(&self, fd: i32) -> io::Result<()> {
+            let mut native = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut native) })?;
+            Ok(())
+        }
+
+        /// Blocks until at least one source is ready, `timeout` elapses, or
+        /// [`Poller::notify`] is called; appends readiness records to
+        /// `events` and returns how many were added. A notification alone
+        /// produces zero events.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            let timeout_ms: c_int = match timeout {
+                // Round up so a 100µs timeout does not busy-spin at 0ms.
+                Some(d) => d
+                    .as_millis()
+                    .saturating_add(u128::from(d.subsec_micros() % 1000 != 0))
+                    .min(c_int::MAX as u128) as c_int,
+                None => -1,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; WAIT_BATCH];
+            let n = loop {
+                // Safety: buf outlives the call; kernel writes at most
+                // WAIT_BATCH entries.
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), WAIT_BATCH as c_int, timeout_ms)
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            let mut added = 0;
+            for native in &buf[..n] {
+                let data = native.data;
+                let bits = native.events;
+                if data == NOTIFY_KEY {
+                    self.drain_notify();
+                    continue;
+                }
+                events.items.push(Event {
+                    key: data as usize,
+                    // Errors and hang-ups surface as both-ready so the
+                    // caller's next read/write observes the failure.
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+                added += 1;
+            }
+            Ok(added)
+        }
+
+        /// Wakes a concurrent (or the next) `wait` call.
+        pub fn notify(&self) -> io::Result<()> {
+            if self.notified.swap(true, Ordering::AcqRel) {
+                return Ok(()); // a wake-up is already pending
+            }
+            let one: u64 = 1;
+            // Safety: writes 8 owned bytes to an owned eventfd.
+            let n = unsafe { write(self.notify_fd, (&one as *const u64).cast(), 8) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                // A full counter still wakes the waiter; not an error.
+                if e.kind() != io::ErrorKind::WouldBlock {
+                    return Err(e);
+                }
+            }
+            Ok(())
+        }
+
+        fn drain_notify(&self) {
+            let mut buf = 0u64;
+            // Clear the pending flag before draining: a notify arriving
+            // after the drain must trigger a fresh eventfd write.
+            self.notified.store(false, Ordering::Release);
+            // Safety: reads 8 bytes into an owned buffer from an owned fd.
+            unsafe { read(self.notify_fd, (&mut buf as *mut u64).cast(), 8) };
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // Safety: fds are owned and not used after this point.
+            unsafe {
+                close(self.notify_fd);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Event, Events};
+    use std::io;
+    use std::time::Duration;
+
+    /// Stub poller for platforms without the epoll backend: construction
+    /// fails and callers fall back to blocking I/O.
+    #[derive(Debug)]
+    pub struct Poller {
+        _private: (),
+    }
+
+    impl Poller {
+        /// Always fails on this platform.
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "readiness polling is unavailable on this platform",
+            ))
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn add(&self, _fd: i32, _ev: Event) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn modify(&self, _fd: i32, _ev: Event) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn delete(&self, _fd: i32) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn wait(&self, _events: &mut Events, _t: Option<Duration>) -> io::Result<usize> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn notify(&self) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::{Duration, Instant};
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readiness_is_reported_with_key() {
+        let poller = Poller::new().unwrap();
+        let (a, mut b) = pair();
+        poller.add(a.as_raw_fd(), Event::readable(7)).unwrap();
+        let mut events = Events::new();
+        // Nothing to read yet: times out with no events.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        b.write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+    }
+
+    #[test]
+    fn oneshot_requires_rearm() {
+        let poller = Poller::new().unwrap();
+        let (mut a, mut b) = pair();
+        poller.add(a.as_raw_fd(), Event::readable(1)).unwrap();
+        b.write_all(b"x").unwrap();
+        let mut events = Events::new();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap(),
+            1
+        );
+        // Without a rearm the (still readable) source stays silent.
+        events.clear();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap(),
+            0
+        );
+        // Rearm: the unread byte triggers again (level semantics).
+        poller.modify(a.as_raw_fd(), Event::readable(1)).unwrap();
+        events.clear();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap(),
+            1
+        );
+        let mut buf = [0u8; 8];
+        let _ = a.read(&mut buf);
+    }
+
+    #[test]
+    fn notify_wakes_wait_without_events() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let p = std::sync::Arc::clone(&poller);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            p.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let t0 = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(t0.elapsed() < Duration::from_secs(5), "notify did not wake");
+        h.join().unwrap();
+        // The notification was drained: the next wait times out normally.
+        let t0 = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn delete_stops_events() {
+        let poller = Poller::new().unwrap();
+        let (a, mut b) = pair();
+        poller.add(a.as_raw_fd(), Event::readable(3)).unwrap();
+        poller.delete(a.as_raw_fd()).unwrap();
+        b.write_all(b"x").unwrap();
+        let mut events = Events::new();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn writable_interest_fires() {
+        let poller = Poller::new().unwrap();
+        let (a, _b) = pair();
+        poller.add(a.as_raw_fd(), Event::all(9)).unwrap();
+        let mut events = Events::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().writable);
+    }
+}
